@@ -1,0 +1,158 @@
+// bench_ablations — design-choice ablations called out in DESIGN.md:
+//   1. signed-log pixel compression vs raw difference pixels (flux CNN)
+//   2. max pooling vs average pooling (the paper argues max is key)
+//   3. highway layers vs plain fully connected layers (classifier)
+#include <cstdio>
+
+#include <memory>
+
+#include "common.h"
+
+using namespace sne;
+
+int main() {
+  eval::print_banner(
+      "Ablations — signed-log, pooling, highway",
+      "Each ablation trains the affected model twice at equal budget.\n"
+      "Scale with SNE_SAMPLES / SNE_PAIRS / SNE_EPOCHS.");
+
+  const sim::SnDataset data = bench::make_dataset(400);
+  const bench::Splits splits = bench::paper_splits(data, 8);
+  const eval::Stopwatch timer;
+
+  // --- flux-CNN ablations (input transform, pooling) ---
+  bench::FluxRunConfig base;
+  base.input_size = 44;
+  base.train_pairs = eval::env_int64("PAIRS", 1200);
+  base.val_pairs = 300;
+  base.test_pairs = 300;
+  base.epochs = eval::env_int64("EPOCHS", 4);
+
+  eval::TextTable cnn_table({"flux CNN variant", "test loss", "test MAE"});
+  double loss_signed = 0.0;
+  double loss_raw = 0.0;
+  double loss_max = 0.0;
+  double loss_avg = 0.0;
+  {
+    bench::FluxRunConfig cfg = base;
+    const bench::FluxRun run = bench::train_flux_cnn(data, splits, cfg);
+    cnn_table.add_row({"signed-log + max-pool (paper)",
+                       eval::fmt(run.test_loss, 3),
+                       eval::fmt(run.test_mae, 3)});
+    loss_signed = run.test_loss;
+    loss_max = run.test_loss;
+    std::printf("  [baseline %.1fs]\n", timer.seconds());
+  }
+  {
+    bench::FluxRunConfig cfg = base;
+    cfg.signed_log = false;
+    const bench::FluxRun run = bench::train_flux_cnn(data, splits, cfg);
+    cnn_table.add_row({"raw difference pixels", eval::fmt(run.test_loss, 3),
+                       eval::fmt(run.test_mae, 3)});
+    loss_raw = run.test_loss;
+    std::printf("  [raw-pixels %.1fs]\n", timer.seconds());
+  }
+  {
+    bench::FluxRunConfig cfg = base;
+    cfg.pool = core::PoolKind::Average;
+    const bench::FluxRun run = bench::train_flux_cnn(data, splits, cfg);
+    cnn_table.add_row({"average pooling", eval::fmt(run.test_loss, 3),
+                       eval::fmt(run.test_mae, 3)});
+    loss_avg = run.test_loss;
+    std::printf("  [avg-pool %.1fs]\n", timer.seconds());
+  }
+  std::printf("\n%s\n", cnn_table.to_string().c_str());
+  std::printf("signed-log %s raw pixels; max-pool %s avg-pool\n\n",
+              loss_signed <= loss_raw ? "beats" : "loses to (at this scale)",
+              loss_max <= loss_avg ? "beats" : "loses to (at this scale)");
+
+  // --- shared vs per-band CNN weights ---
+  // The paper shares one CNN across all five bands. The alternative —
+  // five per-band specialists — sees 1/5 of the data each at the same
+  // total budget. Both are evaluated on the same mixed-band test pairs.
+  {
+    auto train_one = [&](const std::vector<core::FluxPairItem>& items,
+                         std::uint64_t seed) {
+      Rng rng(seed);
+      core::BandCnnConfig mc;
+      mc.input_size = base.input_size;
+      auto model = std::make_unique<core::BandCnn>(mc, rng);
+      const nn::LazyDataset ds =
+          core::make_flux_pair_dataset(data, items, base.input_size);
+      nn::Adam opt(model->params(), base.learning_rate);
+      nn::Trainer trainer(*model, opt, nn::mse_loss);
+      nn::TrainConfig tc;
+      tc.epochs = base.epochs;
+      tc.batch_size = base.batch_size;
+      tc.shuffle_seed = seed + 1;
+      trainer.fit(ds, nullptr, tc);
+      return model;
+    };
+    auto eval_one = [&](core::BandCnn& model,
+                        const std::vector<core::FluxPairItem>& items) {
+      const nn::LazyDataset ds =
+          core::make_flux_pair_dataset(data, items, base.input_size);
+      nn::Adam opt(model.params(), 1e-4f);
+      nn::Trainer trainer(model, opt, nn::mse_loss);
+      return trainer.evaluate(ds).loss;
+    };
+
+    auto train_items =
+        core::enumerate_flux_pairs(data, splits.train, base.max_target_mag);
+    if (static_cast<std::int64_t>(train_items.size()) > base.train_pairs) {
+      train_items.resize(static_cast<std::size_t>(base.train_pairs));
+    }
+    auto test_items =
+        core::enumerate_flux_pairs(data, splits.test, base.max_target_mag);
+    if (static_cast<std::int64_t>(test_items.size()) > base.test_pairs) {
+      test_items.resize(static_cast<std::size_t>(base.test_pairs));
+    }
+
+    const auto shared = train_one(train_items, 950);
+    const double shared_loss = eval_one(*shared, test_items);
+
+    double per_band_loss = 0.0;
+    double tested = 0.0;
+    for (const astro::Band b : astro::kAllBands) {
+      std::vector<core::FluxPairItem> band_train;
+      std::vector<core::FluxPairItem> band_test;
+      for (const auto& item : train_items) {
+        if (item.band == b) band_train.push_back(item);
+      }
+      for (const auto& item : test_items) {
+        if (item.band == b) band_test.push_back(item);
+      }
+      if (band_train.empty() || band_test.empty()) continue;
+      const auto specialist =
+          train_one(band_train, 960 + astro::band_index(b));
+      per_band_loss += eval_one(*specialist, band_test) *
+                       static_cast<double>(band_test.size());
+      tested += static_cast<double>(band_test.size());
+    }
+    per_band_loss /= tested;
+
+    eval::TextTable share_table({"weight sharing", "test loss"});
+    share_table.add_row({"one CNN shared across bands (paper)",
+                         eval::fmt(shared_loss, 3)});
+    share_table.add_row({"five per-band specialists",
+                         eval::fmt(per_band_loss, 3)});
+    std::printf("%s\n", share_table.to_string().c_str());
+    std::printf("shared weights %s per-band specialists at equal total "
+                "budget\n\n",
+                shared_loss <= per_band_loss ? "beat" : "lose to");
+    std::printf("  [weight-sharing ablation %.1fs]\n\n", timer.seconds());
+  }
+
+  // --- classifier ablation (highway vs plain FC) ---
+  eval::TextTable clf_table({"classifier variant", "AUC"});
+  core::FeatureConfig features;
+  const std::int64_t clf_epochs = eval::env_int64("CLF_EPOCHS", 40);
+  const bench::ClassifierRun highway = bench::train_lc_classifier(
+      data, splits, features, 100, clf_epochs, 900, /*use_highway=*/true);
+  const bench::ClassifierRun plain = bench::train_lc_classifier(
+      data, splits, features, 100, clf_epochs, 900, /*use_highway=*/false);
+  clf_table.add_row({"2 highway layers (paper)", eval::fmt(highway.auc, 4)});
+  clf_table.add_row({"2 plain FC layers", eval::fmt(plain.auc, 4)});
+  std::printf("%s\n", clf_table.to_string().c_str());
+  return 0;
+}

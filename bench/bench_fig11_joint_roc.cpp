@@ -1,0 +1,72 @@
+// bench_fig11_joint_roc — reproduces Fig. 11: ROC of the joint
+// image→class model (band-wise CNNs + highway classifier, fine-tuned from
+// the pre-trained components). The paper reports AUC ≈ 0.897 — lower than
+// the 0.958 reached with ground-truth light-curve features, because the
+// CNN's magnitude estimates carry measurement error.
+#include <cstdio>
+
+#include "joint_common.h"
+
+using namespace sne;
+
+int main() {
+  eval::print_banner(
+      "Fig. 11 — joint model ROC (single-epoch, from images)",
+      "Pre-train CNN + classifier, transplant, fine-tune jointly.\n"
+      "Scale with SNE_SAMPLES / SNE_SIZE / SNE_PAIRS / SNE_EPOCHS.");
+
+  const sim::SnDataset data = bench::make_dataset(400);
+  const bench::Splits splits = bench::paper_splits(data, 6);
+  const bench::JointBenchConfig cfg = bench::joint_config_from_env();
+
+  const eval::Stopwatch timer;
+  const auto cnn = bench::pretrain_cnn(data, splits, cfg);
+  std::printf("  [cnn pre-trained %.1fs]\n", timer.seconds());
+  const auto clf = bench::pretrain_classifier(data, splits, cfg);
+  std::printf("  [classifier pre-trained %.1fs]\n", timer.seconds());
+
+  core::JointModelConfig jc;
+  jc.cnn = bench::joint_cnn_config(cfg);
+  jc.classifier = clf->config();
+  Rng rng(cfg.seed + 10);
+  core::JointModel joint(jc, rng);
+  core::init_joint_from_pretrained(joint, *cnn, *clf);
+
+  const auto history = bench::train_joint(joint, data, splits, cfg, 1e-3f);
+  std::printf("  [joint fine-tuned %.1fs]\n\n", timer.seconds());
+
+  for (const nn::EpochStats& e : history) {
+    std::printf("  epoch %lld: train loss %.4f acc %.3f | val loss %.4f acc "
+                "%.3f\n",
+                static_cast<long long>(e.epoch), e.train_loss, e.train_metric,
+                e.val_loss, e.val_metric);
+  }
+
+  const bench::ClassifierRun run = bench::score_joint(joint, data, splits,
+                                                      cfg);
+  std::printf("\n");
+  bench::print_roc(run.scores, run.labels, "joint model, single epoch");
+  const eval::AucInterval ci =
+      eval::bootstrap_auc(run.scores, run.labels);
+  std::printf("  AUC 95%% bootstrap CI: [%.3f, %.3f]\n", ci.lo, ci.hi);
+
+  // Extension: image-level multi-epoch ensemble (average the joint logit
+  // over all four epoch subsets).
+  const bench::ClassifierRun ensemble =
+      bench::score_joint_ensemble(joint, data, splits, cfg, 4);
+  std::printf("  4-epoch image ensemble AUC: %.3f (extension; paper's\n"
+              "  multi-epoch row used features, not images)\n",
+              ensemble.auc);
+
+  // Reference: the GT-feature classifier on the same test split.
+  core::FeatureConfig features;
+  const bench::ClassifierRun gt = bench::train_lc_classifier(
+      data, splits, features, 100, cfg.classifier_epochs, cfg.seed + 20);
+  std::printf("\npaper: joint 0.897 < GT-feature 0.958.\n"
+              "ours:  joint %.3f vs GT-feature %.3f (%s)\n",
+              run.auc, gt.auc,
+              run.auc <= gt.auc + 0.02
+                  ? "reproduced: images cost accuracy vs perfect photometry"
+                  : "unexpected ordering at this scale");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// bench_micro — google-benchmark microbenchmarks of the substrates: GEMM,
+// convolution forward/backward, Sérsic rendering, PSF operations,
+// difference imaging, dataset sample materialization, and ROC computation.
+#include <benchmark/benchmark.h>
+
+#include "core/band_cnn.h"
+#include "eval/roc.h"
+#include "nn/nn.h"
+#include "sim/dataset_builder.h"
+#include "sim/difference.h"
+#include "sim/image_ops.h"
+#include "sim/psf.h"
+#include "sim/sersic.h"
+#include "tensor/gemm.h"
+
+namespace sne {
+namespace {
+
+void BM_Sgemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    sgemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  const auto size = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(1, 10, 5, rng);
+  const Tensor x = Tensor::randn({8, 1, size, size}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(36)->Arg(60);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const auto size = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(1, 10, 5, rng);
+  const Tensor x = Tensor::randn({8, 1, size, size}, rng);
+  const Tensor y = conv.forward(x);
+  const Tensor gy = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    Tensor gx = conv.backward(gy);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(36)->Arg(60);
+
+void BM_BandCnnForward(benchmark::State& state) {
+  Rng rng(4);
+  core::BandCnnConfig cfg;
+  cfg.input_size = state.range(0);
+  core::BandCnn cnn(cfg, rng);
+  cnn.set_training(false);
+  const Tensor x = Tensor::randn({1, 2, cfg.input_size, cfg.input_size}, rng);
+  for (auto _ : state) {
+    Tensor y = cnn.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BandCnnForward)->Arg(36)->Arg(60)->Arg(65);
+
+void BM_SersicRender(benchmark::State& state) {
+  sim::SersicProfile p;
+  p.sersic_n = 2.0;
+  p.half_light_radius = 5.0;
+  p.total_flux = 500.0;
+  for (auto _ : state) {
+    Tensor img = sim::render_sersic(p, 65, 65, 32.0, 32.0);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_SersicRender);
+
+void BM_GaussianBlur(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor img = Tensor::randn({65, 65}, rng);
+  for (auto _ : state) {
+    Tensor out = sim::gaussian_blur(img, 1.5);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GaussianBlur);
+
+void BM_PsfPointSource(benchmark::State& state) {
+  const sim::GaussianPsf psf(3.5);
+  for (auto _ : state) {
+    Tensor stamp = psf.render_point_source(65, 65, 32.2, 31.7, 100.0);
+    benchmark::DoNotOptimize(stamp.data());
+  }
+}
+BENCHMARK(BM_PsfPointSource);
+
+class DatasetFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (!data) {
+      sim::SnDataset::Config cfg;
+      cfg.num_samples = 32;
+      cfg.catalog.count = 200;
+      data = std::make_unique<sim::SnDataset>(sim::SnDataset::build(cfg));
+    }
+  }
+  static std::unique_ptr<sim::SnDataset> data;
+};
+std::unique_ptr<sim::SnDataset> DatasetFixture::data;
+
+BENCHMARK_F(DatasetFixture, ObservationStamp)(benchmark::State& state) {
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    Tensor img = data->observation_image(i % 32, astro::Band::i,
+                                         (i / 32) % 4);
+    benchmark::DoNotOptimize(img.data());
+    ++i;
+  }
+}
+
+BENCHMARK_F(DatasetFixture, DifferenceStamp)(benchmark::State& state) {
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    Tensor img = data->difference_image(i % 32, astro::Band::r, i % 4);
+    benchmark::DoNotOptimize(img.data());
+    ++i;
+  }
+}
+
+BENCHMARK_F(DatasetFixture, MeasuredLightCurve)(benchmark::State& state) {
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto lc = data->measured_light_curve(i % 32);
+    benchmark::DoNotOptimize(lc.data());
+    ++i;
+  }
+}
+
+void BM_RocCurve(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 10000; ++i) {
+    const bool pos = rng.bernoulli(0.5);
+    scores.push_back(static_cast<float>(rng.normal(pos ? 1.0 : 0.0, 1.0)));
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  for (auto _ : state) {
+    const eval::RocCurve curve = eval::compute_roc(scores, labels);
+    benchmark::DoNotOptimize(curve.auc);
+  }
+}
+BENCHMARK(BM_RocCurve);
+
+}  // namespace
+}  // namespace sne
+
+BENCHMARK_MAIN();

@@ -1,0 +1,252 @@
+// bench_table2_comparison — reproduces Table 2: the proposed classifier
+// against re-implementations of the literature baselines, all evaluated
+// on one common synthetic dataset (the paper compares against numbers the
+// baselines reported on their own datasets; running everything on the
+// same data makes the regime comparison cleaner, not weaker).
+//
+// Rows:
+//   Poznanski2007  — Bayesian single-epoch template fit, ±redshift
+//   Sullivan-style — multi-epoch χ² template fit (the classical pipeline)
+//   Lochner2016    — light-curve features + random forest, ±redshift
+//   Moller2016     — forest on Ia template-fit parameters (+redshift)
+//   Charnock2016   — GRU over the measured flux sequence, ±redshift
+//   Proposed       — highway classifier on (mag, date) features, single
+//                    and 4-epoch, no redshift; with measured fluxes
+//                    (realistic) and ground-truth fluxes (upper bound)
+//
+// Expected shape (paper): single-epoch-no-z template fitting is poor;
+// the proposed single-epoch method is comparable to multi-epoch
+// baselines; the proposed 4-epoch variant is best.
+#include <cmath>
+#include <cstdio>
+
+#include <memory>
+
+#include "baselines/chi2fit.h"
+#include "baselines/features.h"
+#include "baselines/forest.h"
+#include "baselines/poznanski.h"
+#include "baselines/rnn.h"
+#include "common.h"
+
+using namespace sne;
+
+namespace {
+
+std::vector<float> labels_of(const sim::SnDataset& data,
+                             const std::vector<std::int64_t>& idx) {
+  std::vector<float> y;
+  y.reserve(idx.size());
+  for (const std::int64_t i : idx) y.push_back(data.is_ia(i) ? 1.0f : 0.0f);
+  return y;
+}
+
+std::vector<int> int_labels_of(const sim::SnDataset& data,
+                               const std::vector<std::int64_t>& idx) {
+  std::vector<int> y;
+  y.reserve(idx.size());
+  for (const std::int64_t i : idx) y.push_back(data.is_ia(i) ? 1 : 0);
+  return y;
+}
+
+baselines::TemplateGridConfig bench_grid() {
+  baselines::TemplateGridConfig g;
+  g.z_step = 0.15;
+  g.peak_step = 5.0;
+  g.ia_stretches = {0.85, 1.0, 1.15};
+  return g;
+}
+
+// Moller-style features: parameters of the best-fit Ia template plus fit
+// quality, per sample.
+std::vector<std::vector<float>> moller_features(
+    const sim::SnDataset& data, const std::vector<std::int64_t>& idx,
+    const baselines::TemplateGrid& grid) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(idx.size());
+  for (const std::int64_t i : idx) {
+    std::vector<sim::FluxMeasurement> points;
+    for (const astro::Band b : astro::kAllBands) {
+      for (std::int64_t e = 0; e < 4; ++e) {
+        points.push_back(data.measured_point(i, b, e));
+      }
+    }
+    baselines::GridEntry ia_entry;
+    const baselines::GridFit ia = grid.best_fit_of_class(true, points,
+                                                         &ia_entry);
+    const baselines::GridFit cc = grid.best_fit_of_class(false, points);
+    rows.push_back({static_cast<float>(ia_entry.redshift),
+                    static_cast<float>(ia_entry.stretch),
+                    static_cast<float>(ia_entry.peak_mjd / 60.0),
+                    static_cast<float>(std::log10(ia.amplitude + 1e-3)),
+                    static_cast<float>(ia.chi2 / 20.0),
+                    static_cast<float>((cc.chi2 - ia.chi2) / 20.0),
+                    static_cast<float>(data.host(i).photo_z)});
+  }
+  return rows;
+}
+
+std::unique_ptr<baselines::CharnockRnn> train_gru(
+    const sim::SnDataset& data, const std::vector<std::int64_t>& train_idx,
+    bool include_z, std::int64_t epochs, std::uint64_t seed) {
+  baselines::CharnockRnnConfig cfg;
+  cfg.hidden = 24;
+  cfg.include_redshift = include_z;
+  cfg.seed = seed;
+  Rng rng(seed);
+  auto model_ptr = std::make_unique<baselines::CharnockRnn>(cfg, rng);
+  baselines::CharnockRnn& model = *model_ptr;
+  const nn::VectorDataset train = nn::materialize(
+      baselines::make_sequence_dataset(data, train_idx, cfg));
+  nn::Adam opt(model.params(), 3e-3f);
+  nn::Trainer trainer(model, opt, nn::bce_with_logits_loss);
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 64;
+  tc.grad_clip = 5.0f;
+  tc.shuffle_seed = seed;
+  trainer.fit(train, nullptr, tc);
+  return model_ptr;
+}
+
+std::vector<float> gru_scores(baselines::CharnockRnn& model,
+                              const sim::SnDataset& data,
+                              const std::vector<std::int64_t>& test_idx) {
+  baselines::CharnockRnnConfig cfg = model.config();
+  const nn::LazyDataset test =
+      baselines::make_sequence_dataset(data, test_idx, cfg);
+  model.set_training(false);
+  std::vector<float> scores;
+  for (std::int64_t k = 0; k < test.size(); ++k) {
+    const nn::Sample s = test.get(k);
+    scores.push_back(
+        model.forward(s.x.reshaped({1, s.x.extent(0), s.x.extent(1)}))[0]);
+  }
+  return scores;
+}
+
+}  // namespace
+
+int main() {
+  eval::print_banner(
+      "Table 2 — comparison with existing methods",
+      "All methods on one common synthetic dataset; AUC on the test split\n"
+      "(accuracy at the best threshold for the Poznanski rows, matching\n"
+      "how that paper reports). Scale with SNE_SAMPLES / SNE_EPOCHS.");
+
+  const sim::SnDataset data = bench::make_dataset(2000);
+  const bench::Splits splits = bench::paper_splits(data, 5);
+  const auto test_labels = labels_of(data, splits.test);
+  const std::int64_t nn_epochs = eval::env_int64("EPOCHS", 30);
+
+  eval::TextTable table({"method", "features", "AUC", "best acc"});
+  const eval::Stopwatch total;
+
+  // --- Poznanski 2007 (single-epoch template Bayes) ---
+  {
+    const baselines::TemplateGridConfig grid = bench_grid();
+    for (const bool with_z : {true, false}) {
+      baselines::PoznanskiConfig cfg;
+      cfg.grid = grid;
+      cfg.use_redshift = with_z;
+      const baselines::PoznanskiClassifier clf(cfg);
+      const auto scores = clf.score(data, splits.test);
+      table.add_row({"Poznanski2007 (reimpl)",
+                     with_z ? "single-epoch + z" : "single-epoch, no z",
+                     eval::fmt(eval::auc(scores, test_labels), 3),
+                     eval::fmt(eval::best_accuracy(scores, test_labels), 3)});
+    }
+    std::printf("  [poznanski done %.1fs]\n", total.seconds());
+  }
+
+  // --- Sullivan-style multi-epoch chi^2 template fit ---
+  {
+    baselines::Chi2FitConfig cfg;
+    cfg.grid = bench_grid();
+    const baselines::Chi2FitClassifier clf(cfg);
+    const auto scores = clf.score(data, splits.test);
+    table.add_row({"Template chi2 (Sullivan-style)", "multi-epoch (4), no z",
+                   eval::fmt(eval::auc(scores, test_labels), 3),
+                   eval::fmt(eval::best_accuracy(scores, test_labels), 3)});
+    std::printf("  [chi2 fit done %.1fs]\n", total.seconds());
+  }
+
+  // --- Lochner 2016 (features + random forest) ---
+  for (const bool with_z : {true, false}) {
+    baselines::LcFeatureExtractorConfig fc;
+    fc.include_redshift = with_z;
+    const baselines::LcFeatureExtractor extractor(fc);
+    baselines::ForestConfig forest_cfg;
+    forest_cfg.num_trees = 120;
+    baselines::RandomForest forest(forest_cfg);
+    forest.fit(extractor.extract_all(data, splits.train),
+               int_labels_of(data, splits.train));
+    const auto scores =
+        forest.predict_proba_all(extractor.extract_all(data, splits.test));
+    table.add_row({"Lochner2016 (reimpl)",
+                   with_z ? "multi-epoch (4) + z" : "multi-epoch (4), no z",
+                   eval::fmt(eval::auc(scores, test_labels), 3),
+                   eval::fmt(eval::best_accuracy(scores, test_labels), 3)});
+  }
+  std::printf("  [lochner forest done %.1fs]\n", total.seconds());
+
+  // --- Moller 2016 (forest on template-fit parameters) ---
+  {
+    const baselines::TemplateGrid grid(bench_grid());
+    baselines::ForestConfig forest_cfg;
+    forest_cfg.num_trees = 120;
+    baselines::RandomForest forest(forest_cfg);
+    forest.fit(moller_features(data, splits.train, grid),
+               int_labels_of(data, splits.train));
+    const auto scores = forest.predict_proba_all(
+        moller_features(data, splits.test, grid));
+    table.add_row({"Moller2016 (reimpl)", "multi-epoch (4) + z",
+                   eval::fmt(eval::auc(scores, test_labels), 3),
+                   eval::fmt(eval::best_accuracy(scores, test_labels), 3)});
+    std::printf("  [moller forest done %.1fs]\n", total.seconds());
+  }
+
+  // --- Charnock 2016 (GRU) ---
+  for (const bool with_z : {true, false}) {
+    const auto model = train_gru(data, splits.train, with_z, nn_epochs / 2,
+                                 with_z ? 41 : 42);
+    const auto scores = gru_scores(*model, data, splits.test);
+    table.add_row({"Charnock2016 (reimpl)",
+                   with_z ? "multi-epoch (4) + z" : "multi-epoch (4), no z",
+                   eval::fmt(eval::auc(scores, test_labels), 3),
+                   eval::fmt(eval::best_accuracy(scores, test_labels), 3)});
+  }
+  std::printf("  [charnock gru done %.1fs]\n", total.seconds());
+
+  // --- Proposed (highway classifier on per-band (mag, date) features) ---
+  double proposed_1 = 0.0;
+  double proposed_4 = 0.0;
+  for (const std::int64_t k : {std::int64_t{1}, std::int64_t{4}}) {
+    for (const bool noisy : {true, false}) {
+      core::FeatureConfig features;
+      features.epochs = k;
+      features.noisy = noisy;
+      const bench::ClassifierRun run = bench::train_lc_classifier(
+          data, splits, features, 100, nn_epochs,
+          static_cast<std::uint64_t>(300 + k * 2 + (noisy ? 1 : 0)));
+      const std::string tag = noisy ? " (measured flux)" : " (true flux)";
+      table.add_row({"Proposed" + tag,
+                     (k == 1 ? std::string("single-epoch, no z")
+                             : std::string("multi-epoch (4), no z")),
+                     eval::fmt(run.auc, 3),
+                     eval::fmt(eval::best_accuracy(run.scores, run.labels),
+                               3)});
+      if (noisy && k == 1) proposed_1 = run.auc;
+      if (noisy && k == 4) proposed_4 = run.auc;
+    }
+  }
+  std::printf("  [proposed done %.1fs]\n\n", total.seconds());
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "paper shape: Poznanski-no-z << proposed single-epoch ~= multi-epoch\n"
+      "baselines < proposed 4-epoch (0.958 vs 0.995 on their dataset).\n"
+      "ours: proposed single-epoch %.3f, 4-epoch %.3f\n",
+      proposed_1, proposed_4);
+  return 0;
+}

@@ -1,0 +1,161 @@
+// joint_common.h — shared machinery for the joint-model benches
+// (Figs. 11 and 12): component pre-training, joint assembly, and joint
+// training with per-epoch statistics.
+#pragma once
+
+#include <memory>
+
+#include "common.h"
+
+namespace sne::bench {
+
+struct JointBenchConfig {
+  std::int64_t stamp = 44;        ///< CNN input size (paper used 60)
+  std::int64_t pretrain_pairs = 1200;
+  std::int64_t pretrain_epochs = 3;
+  std::int64_t classifier_epochs = 30;
+  std::int64_t joint_epochs = 4;
+  std::int64_t epoch_subset = 0;  ///< which single-epoch subset feeds it
+  std::uint64_t seed = 600;
+};
+
+inline JointBenchConfig joint_config_from_env() {
+  JointBenchConfig cfg;
+  cfg.stamp = eval::env_int64("SIZE", cfg.stamp);
+  cfg.pretrain_pairs = eval::env_int64("PAIRS", cfg.pretrain_pairs);
+  cfg.pretrain_epochs = eval::env_int64("PRETRAIN_EPOCHS",
+                                        cfg.pretrain_epochs);
+  cfg.joint_epochs = eval::env_int64("EPOCHS", cfg.joint_epochs);
+  return cfg;
+}
+
+inline core::BandCnnConfig joint_cnn_config(const JointBenchConfig& cfg) {
+  core::BandCnnConfig mc;
+  mc.input_size = cfg.stamp;
+  return mc;
+}
+
+/// Pre-trains the band CNN on flux pairs from the train split.
+inline std::unique_ptr<core::BandCnn> pretrain_cnn(
+    const sim::SnDataset& data, const Splits& splits,
+    const JointBenchConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto cnn_ptr = std::make_unique<core::BandCnn>(joint_cnn_config(cfg), rng);
+  core::BandCnn& cnn = *cnn_ptr;
+  auto items = core::enumerate_flux_pairs(data, splits.train, 26.5);
+  if (static_cast<std::int64_t>(items.size()) > cfg.pretrain_pairs) {
+    items.resize(static_cast<std::size_t>(cfg.pretrain_pairs));
+  }
+  const nn::LazyDataset pairs =
+      core::make_flux_pair_dataset(data, items, cfg.stamp);
+  nn::Adam opt(cnn.params(), 2e-3f);
+  nn::Trainer trainer(cnn, opt, nn::mse_loss);
+  nn::TrainConfig tc;
+  tc.epochs = cfg.pretrain_epochs;
+  tc.batch_size = 16;
+  tc.shuffle_seed = cfg.seed + 1;
+  trainer.fit(pairs, nullptr, tc);
+  // Photometric zero-point calibration: a systematic magnitude offset in
+  // the pre-trained CNN would shift every feature the transplanted
+  // classifier sees and poison the fine-tuning start.
+  const double zp = core::calibrate_flux_zero_point(cnn, pairs);
+  std::printf("  [flux zero-point correction: %+.3f mag]\n", zp);
+  return cnn_ptr;
+}
+
+/// Pre-trains the light-curve classifier on ground-truth features.
+inline std::unique_ptr<core::LcClassifier> pretrain_classifier(
+    const sim::SnDataset& data, const Splits& splits,
+    const JointBenchConfig& cfg) {
+  Rng rng(cfg.seed + 2);
+  core::LcClassifierConfig cc;
+  cc.input_dim = 10;
+  cc.hidden_units = 100;
+  auto clf_ptr = std::make_unique<core::LcClassifier>(cc, rng);
+  core::LcClassifier& clf = *clf_ptr;
+  // Noisy (measured-flux) features: the classifier must expect the same
+  // measurement error the CNN's magnitude estimates will carry, or the
+  // transplant starts overconfident.
+  core::FeatureConfig features;
+  features.noisy = true;
+  const nn::VectorDataset train = nn::materialize(
+      core::make_lc_feature_dataset(data, splits.train, features));
+  nn::Adam opt(clf.params(), 3e-3f);
+  nn::Trainer trainer(clf, opt, nn::bce_with_logits_loss);
+  nn::TrainConfig tc;
+  tc.epochs = cfg.classifier_epochs;
+  tc.batch_size = 64;
+  tc.shuffle_seed = cfg.seed + 3;
+  trainer.fit(train, nullptr, tc);
+  return clf_ptr;
+}
+
+/// Joint training; returns per-epoch history. The model is trained on the
+/// configured single-epoch subset of the train split.
+inline std::vector<nn::EpochStats> train_joint(
+    core::JointModel& joint, const sim::SnDataset& data, const Splits& splits,
+    const JointBenchConfig& cfg, float lr) {
+  const nn::LazyDataset train = core::make_joint_dataset(
+      data, splits.train, cfg.epoch_subset, cfg.stamp, {});
+  const nn::LazyDataset val = core::make_joint_dataset(
+      data, splits.val, cfg.epoch_subset, cfg.stamp, {});
+  nn::Adam opt(joint.params(), lr);
+  nn::Trainer trainer(joint, opt, nn::bce_with_logits_loss,
+                      nn::binary_accuracy);
+  nn::TrainConfig tc;
+  tc.epochs = cfg.joint_epochs;
+  tc.batch_size = 16;
+  tc.grad_clip = 5.0f;
+  tc.shuffle_seed = cfg.seed + 4;
+  return trainer.fit(train, &val, tc);
+}
+
+/// Multi-epoch ensemble scoring: the joint model is applied to each of
+/// the `epochs` single-epoch subsets and the logits averaged — the
+/// image-level counterpart of the paper's 4-epoch feature row (its
+/// "future work" direction for the joint model).
+inline ClassifierRun score_joint_ensemble(core::JointModel& joint,
+                                          const sim::SnDataset& data,
+                                          const Splits& splits,
+                                          const JointBenchConfig& cfg,
+                                          std::int64_t epochs) {
+  joint.set_training(false);
+  ClassifierRun run;
+  std::vector<double> sums(splits.test.size(), 0.0);
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    const nn::LazyDataset test =
+        core::make_joint_dataset(data, splits.test, e, cfg.stamp, {});
+    for (std::int64_t k = 0; k < test.size(); ++k) {
+      const nn::Sample s = test.get(k);
+      sums[static_cast<std::size_t>(k)] +=
+          joint.forward(s.x.reshaped({1, s.x.size()}))[0];
+    }
+  }
+  for (std::size_t k = 0; k < sums.size(); ++k) {
+    run.scores.push_back(
+        static_cast<float>(sums[k] / static_cast<double>(epochs)));
+    run.labels.push_back(data.is_ia(splits.test[k]) ? 1.0f : 0.0f);
+  }
+  run.auc = eval::auc(run.scores, run.labels);
+  return run;
+}
+
+/// Test-split scores of a joint model.
+inline ClassifierRun score_joint(core::JointModel& joint,
+                                 const sim::SnDataset& data,
+                                 const Splits& splits,
+                                 const JointBenchConfig& cfg) {
+  const nn::LazyDataset test = core::make_joint_dataset(
+      data, splits.test, cfg.epoch_subset, cfg.stamp, {});
+  joint.set_training(false);
+  ClassifierRun run;
+  for (std::int64_t k = 0; k < test.size(); ++k) {
+    const nn::Sample s = test.get(k);
+    run.scores.push_back(joint.forward(s.x.reshaped({1, s.x.size()}))[0]);
+    run.labels.push_back(s.y[0]);
+  }
+  run.auc = eval::auc(run.scores, run.labels);
+  return run;
+}
+
+}  // namespace sne::bench

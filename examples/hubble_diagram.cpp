@@ -1,0 +1,129 @@
+// hubble_diagram — the science the whole pipeline exists for. Take a
+// photometric sample, keep the candidates the classifier calls SNIa,
+// estimate each one's apparent peak magnitude from its light-curve fit,
+// and place them on the Hubble diagram (distance modulus vs redshift).
+// Then fit Ω_m by χ² grid scan — with a pure Ia sample the standard-
+// candle relation comes out; core-collapse contamination would bias it.
+//
+// Run: ./build/examples/hubble_diagram
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "astro/cosmology.h"
+#include "astro/photometry.h"
+#include "baselines/chi2fit.h"
+#include "core/lc_classifier.h"
+#include "core/lc_features.h"
+#include "eval/tables.h"
+#include "nn/nn.h"
+#include "sim/dataset_builder.h"
+
+using namespace sne;
+
+int main() {
+  // A photometric survey season.
+  sim::SnDataset::Config config;
+  config.num_samples = 500;
+  config.seed = 314159;
+  const sim::SnDataset data = sim::SnDataset::build(config);
+
+  // Train the single-epoch classifier on the first 400 candidates
+  // (historical data with spectroscopic labels), apply to the rest.
+  Rng rng(1);
+  core::FeatureConfig features;
+  features.noisy = true;  // operational regime: measured photometry
+  std::vector<std::int64_t> train_idx(400);
+  std::iota(train_idx.begin(), train_idx.end(), 0);
+  std::vector<std::int64_t> survey_idx(100);
+  std::iota(survey_idx.begin(), survey_idx.end(), 400);
+
+  core::LcClassifierConfig cc;
+  cc.input_dim = core::feature_dim(features);
+  cc.hidden_units = 100;
+  core::LcClassifier clf(cc, rng);
+  nn::Adam opt(clf.params(), 3e-3f);
+  nn::Trainer trainer(clf, opt, nn::bce_with_logits_loss);
+  const nn::VectorDataset train = nn::materialize(
+      core::make_lc_feature_dataset(data, train_idx, features));
+  nn::TrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_size = 64;
+  std::printf("training classifier on %zu labeled candidates...\n",
+              train_idx.size());
+  trainer.fit(train, nullptr, tc);
+
+  // Select photometric SNeIa from the survey set.
+  clf.set_training(false);
+  std::vector<std::int64_t> ia_sample;
+  int contaminants = 0;
+  for (const std::int64_t i : survey_idx) {
+    const Tensor f = core::lc_features(data, i, features);
+    const Tensor logit = clf.forward(f.reshaped({1, f.size()}));
+    if (logit[0] > 1.5) {  // high-purity cut for cosmology
+      ia_sample.push_back(i);
+      if (!data.is_ia(i)) ++contaminants;
+    }
+  }
+  std::printf("selected %zu photometric SNeIa (%d contaminants)\n\n",
+              ia_sample.size(), contaminants);
+
+  // Distance modulus per SN: fit the multi-epoch light curve with the Ia
+  // template grid; the profiled amplitude converts to an apparent peak
+  // magnitude, and μ = m_peak − M_fiducial.
+  baselines::Chi2FitConfig fit_cfg;
+  fit_cfg.grid.z_step = 0.1;
+  fit_cfg.grid.peak_step = 4.0;
+  const baselines::Chi2FitClassifier fitter(fit_cfg);
+
+  struct Point {
+    double z;
+    double mu;
+  };
+  std::vector<Point> diagram;
+  for (const std::int64_t i : ia_sample) {
+    const baselines::GridEntry fit = fitter.best_ia_entry(data, i);
+    // Peak measured flux across bands near the fitted peak:
+    double peak_flux = 0.0;
+    for (const auto& m : data.measured_light_curve(i)) {
+      peak_flux = std::max(peak_flux, m.flux);
+    }
+    if (peak_flux <= 0.0) continue;
+    const double m_peak = astro::mag_from_flux(peak_flux);
+    diagram.push_back({fit.redshift, m_peak - (-19.3)});
+  }
+  std::sort(diagram.begin(), diagram.end(),
+            [](const Point& a, const Point& b) { return a.z < b.z; });
+
+  eval::TextTable table({"z (fit)", "mu (est)", "mu (LCDM Om=0.3)"});
+  const astro::Cosmology fiducial;
+  for (const Point& p : diagram) {
+    table.add_row({eval::fmt(p.z, 2), eval::fmt(p.mu, 2),
+                   eval::fmt(fiducial.distance_modulus(p.z), 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Ω_m grid fit (flat ΛCDM, H0 fixed): the cosmology measurement.
+  double best_om = 0.0;
+  double best_chi2 = 1e300;
+  for (double om = 0.05; om <= 0.95; om += 0.05) {
+    const astro::Cosmology cosmo(70.0, om);
+    double chi2 = 0.0;
+    for (const Point& p : diagram) {
+      const double d = p.mu - cosmo.distance_modulus(p.z);
+      chi2 += d * d / (0.25 * 0.25);  // ~0.25 mag per-SN scatter
+    }
+    if (chi2 < best_chi2) {
+      best_chi2 = chi2;
+      best_om = om;
+    }
+  }
+  std::printf("best-fit Omega_m = %.2f (simulation truth: 0.30)\n", best_om);
+  std::printf("\nThe fit is crude (coarse z grid, no K-corrections, peak\n"
+              "flux as a proxy for the fitted amplitude) — the point is the\n"
+              "workflow: classify cheaply, follow up the pure sample, do\n"
+              "cosmology. A contaminated sample would bias Omega_m low,\n"
+              "since core-collapse SNe are intrinsically fainter.\n");
+  return 0;
+}

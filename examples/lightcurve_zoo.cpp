@@ -1,0 +1,76 @@
+// lightcurve_zoo — a tour of the light-curve substrate: ASCII light
+// curves of every supernova type in two bands and at two redshifts,
+// showing the template physics the classifier exploits (Ia's fast
+// decline and NIR bump, IIP's plateau, IIn's slow fade, UV suppression
+// at high redshift).
+//
+// Run: ./build/examples/lightcurve_zoo
+#include <cstdio>
+#include <string>
+
+#include "astro/cosmology.h"
+#include "astro/lightcurve.h"
+
+using namespace sne;
+using astro::Band;
+using astro::SnType;
+
+namespace {
+
+void plot(const astro::LightCurve& lc, Band band, double peak_mjd) {
+  // 60-column strip chart: magnitude 20 (top) to 28 (bottom).
+  constexpr int kRows = 9;
+  constexpr int kCols = 60;
+  std::string grid[kRows];
+  for (auto& row : grid) row.assign(kCols, ' ');
+
+  for (int col = 0; col < kCols; ++col) {
+    const double mjd = peak_mjd - 20.0 + col * 2.0;  // 120 days
+    const double mag = lc.magnitude(band, mjd, 28.5);
+    const int row = static_cast<int>((mag - 20.0));
+    if (row >= 0 && row < kRows) grid[row][static_cast<std::size_t>(col)] = '*';
+  }
+  for (int r = 0; r < kRows; ++r) {
+    std::printf("  %4.1f |%s\n", 20.0 + r, grid[r].c_str());
+  }
+  std::printf("       +%s\n", std::string(kCols, '-').c_str());
+  std::printf("        -20d%*speak%*s+100d\n", 14, "", 30, "");
+}
+
+}  // namespace
+
+int main() {
+  const astro::Cosmology cosmo;
+
+  for (const double z : {0.3, 1.2}) {
+    std::printf("================ redshift z = %.1f (mu = %.2f) "
+                "================\n\n",
+                z, cosmo.distance_modulus(z));
+    for (const SnType type :
+         {SnType::Ia, SnType::IIP, SnType::IIn, SnType::Ib}) {
+      astro::SnParams p;
+      p.type = type;
+      p.redshift = z;
+      p.peak_mjd = 0.0;
+      p.peak_abs_mag = type == SnType::Ia ? -19.3 : -17.5;
+      const astro::LightCurve lc(p, cosmo);
+
+      for (const Band band : {Band::g, Band::z}) {
+        std::printf("%s, %s band (rest %.0f nm), apparent magnitude:\n",
+                    std::string(astro::sn_type_name(type)).c_str(),
+                    std::string(astro::band_name(band)).c_str(),
+                    astro::effective_wavelength_nm(band) / (1.0 + z));
+        plot(lc, band, 0.0);
+        std::printf("\n");
+      }
+    }
+  }
+  std::printf(
+      "things to notice:\n"
+      "  * Ia declines fast; IIP holds a ~100-day plateau; IIn fades "
+      "slowly\n"
+      "  * at z=1.2 the g band samples rest-frame UV: the Ia curve all but\n"
+      "    disappears (UV suppression) while IIn stays visible\n"
+      "  * time dilation stretches every curve by (1+z)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// quickstart — the five-minute tour of the library:
+//   1. build a synthetic survey dataset (hosts + supernovae + schedule),
+//   2. train the paper's light-curve classifier on single-epoch features,
+//   3. evaluate with ROC/AUC,
+//   4. classify one individual candidate.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "core/lc_classifier.h"
+#include "core/lc_features.h"
+#include "eval/roc.h"
+#include "nn/nn.h"
+#include "sim/dataset_builder.h"
+
+using namespace sne;
+
+int main() {
+  // 1. A small synthetic dataset: 600 supernovae (half Type Ia) embedded
+  //    on COSMOS-like host galaxies, observed in g,r,i,z,y with 4 epochs
+  //    per band. Everything is seeded — rerunning reproduces this output.
+  sim::SnDataset::Config config;
+  config.num_samples = 600;
+  config.seed = 42;
+  const sim::SnDataset data = sim::SnDataset::build(config);
+  std::printf("dataset: %lld samples, %lld catalog galaxies\n",
+              static_cast<long long>(data.size()),
+              static_cast<long long>(data.catalog().size()));
+
+  // 2. Split 80/10/10 as in the paper and train the classifier on
+  //    single-epoch (magnitude, date) features.
+  Rng split_rng(7);
+  const nn::SplitIndices split =
+      nn::split_indices(data.size(), 0.8, 0.1, split_rng);
+
+  core::FeatureConfig features;  // single epoch, ground-truth photometry
+  const nn::LazyDataset train =
+      core::make_lc_feature_dataset(data, split.train, features);
+  const nn::LazyDataset test =
+      core::make_lc_feature_dataset(data, split.test, features);
+
+  Rng rng(1);
+  core::LcClassifierConfig model_config;
+  model_config.input_dim = core::feature_dim(features);
+  model_config.hidden_units = 100;
+  core::LcClassifier model(model_config, rng);
+
+  nn::Adam optimizer(model.params(), 3e-3f);
+  nn::Trainer trainer(model, optimizer, nn::bce_with_logits_loss,
+                      nn::binary_accuracy);
+  nn::TrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_size = 64;
+  std::printf("training %lld-unit highway classifier (%lld params)...\n",
+              static_cast<long long>(model_config.hidden_units),
+              static_cast<long long>(model.num_params()));
+  trainer.fit(train, nullptr, tc);
+
+  // 3. Evaluate.
+  const Tensor scores = trainer.predict(test);
+  std::vector<float> s(scores.data(), scores.data() + scores.size());
+  std::vector<float> labels;
+  for (const std::int64_t i : split.test) {
+    labels.push_back(data.is_ia(i) ? 1.0f : 0.0f);
+  }
+  std::printf("test AUC (single epoch, no redshift): %.3f\n",
+              eval::auc(s, labels));
+
+  // 4. Classify one candidate.
+  const std::int64_t candidate = split.test.front();
+  model.set_training(false);
+  const Tensor f = core::lc_features(data, candidate, features);
+  const Tensor logit = model.forward(f.reshaped({1, f.size()}));
+  const double p = 1.0 / (1.0 + std::exp(-logit[0]));
+  std::printf(
+      "candidate %lld: host z=%.2f, true type %s -> P(SNIa) = %.2f\n",
+      static_cast<long long>(candidate), data.host(candidate).photo_z,
+      std::string(astro::sn_type_name(data.spec(candidate).sn.type)).c_str(),
+      p);
+  return 0;
+}

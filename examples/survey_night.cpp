@@ -1,0 +1,99 @@
+// survey_night — one night at the telescope: render reference and
+// observation stamps for a field of candidates, run PSF-matched
+// difference imaging, and detect transients by matched-filter S/N. This
+// is steps (1)–(2) of the paper's standard supernova pipeline, the part
+// that feeds the classifier.
+//
+// Run: ./build/examples/survey_night
+#include <cstdio>
+
+#include "eval/tables.h"
+#include "sim/dataset_builder.h"
+#include "sim/difference.h"
+#include "sim/measurement.h"
+#include "sim/pgm.h"
+#include "sim/psf.h"
+
+using namespace sne;
+
+int main() {
+  sim::SnDataset::Config config;
+  config.num_samples = 24;
+  config.seed = 20260705;
+  config.catalog.count = 500;
+  const sim::SnDataset data = sim::SnDataset::build(config);
+
+  std::printf("simulating one r-band visit of %lld candidate hosts...\n\n",
+              static_cast<long long>(data.size()));
+
+  eval::TextTable table({"cand", "host z", "type", "true mag", "S/N",
+                         "detected", "flux est", "flux true"});
+  int detected = 0;
+  int detectable = 0;
+  constexpr double kSnThreshold = 5.0;
+  const astro::Band band = astro::Band::r;
+  const std::int64_t epoch = 1;
+
+  for (std::int64_t i = 0; i < data.size(); ++i) {
+    const Tensor obs = data.observation_image(i, band, epoch);
+    const Tensor ref = data.reference_image(i, band);
+    const sim::Observation conditions = data.band_epoch(i, band, epoch);
+    const sim::Observation& ref_conditions =
+        data.spec(i).schedule.references[astro::band_index(band)];
+
+    const Tensor diff =
+        sim::psf_matched_difference(obs, ref, conditions, ref_conditions);
+
+    // Matched-filter photometry at the known SN position (forced
+    // photometry; a real pipeline would first run source detection).
+    const sim::GaussianPsf psf(conditions.seeing_fwhm_px);
+    const double c = 32.0;
+    const double flux_est =
+        sim::psf_weighted_flux(diff, c + data.spec(i).offset.dy,
+                               c + data.spec(i).offset.dx, psf.sigma()) /
+        conditions.transparency;
+    const double sigma = sim::point_source_flux_sigma(
+        data.config().renderer.noise, psf.sigma(), std::max(0.0, flux_est));
+    const double snr = flux_est / sigma;
+
+    const double true_flux = data.true_flux(i, band, epoch);
+    const double true_sigma = sim::point_source_flux_sigma(
+        data.config().renderer.noise, psf.sigma(), true_flux);
+    if (true_flux / true_sigma > kSnThreshold) ++detectable;
+    const bool is_detected = snr > kSnThreshold;
+    if (is_detected) ++detected;
+
+    table.add_row(
+        {std::to_string(i), eval::fmt(data.host(i).photo_z, 2),
+         std::string(astro::sn_type_name(data.spec(i).sn.type)),
+         eval::fmt(data.true_magnitude(i, band, epoch), 2),
+         eval::fmt(snr, 1), is_detected ? "yes" : "-",
+         eval::fmt(flux_est, 1), eval::fmt(true_flux, 1)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Export one candidate's stamp trio for visual inspection.
+  {
+    const std::int64_t i = 0;
+    sim::write_pgm("/tmp/sne_reference.pgm",
+                   data.reference_image(i, band));
+    sim::write_pgm("/tmp/sne_observation.pgm",
+                   data.observation_image(i, band, epoch));
+    const Tensor diff = sim::psf_matched_difference(
+        data.observation_image(i, band, epoch),
+        data.reference_image(i, band), data.band_epoch(i, band, epoch),
+        data.spec(i).schedule.references[astro::band_index(band)]);
+    sim::write_pgm("/tmp/sne_difference.pgm", diff);
+    std::printf("wrote /tmp/sne_{reference,observation,difference}.pgm for "
+                "candidate 0\n");
+  }
+  std::printf("detected %d / %lld candidates at S/N > %.0f "
+              "(%d truly above threshold)\n",
+              detected, static_cast<long long>(data.size()), kSnThreshold,
+              detectable);
+  std::printf("\nnote: faint high-z events are invisible in single visits — "
+              "exactly why\nthe paper pushes classification to single-epoch "
+              "images before the SN fades.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// bands.h — the five broad-band survey filters. The paper's survey takes
+// g, r, i, z, y images (Subaru/HSC filter set); every dataset sample
+// carries one reference + four observation epochs per band.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sne::astro {
+
+enum class Band : std::uint8_t { g = 0, r = 1, i = 2, z = 3, y = 4 };
+
+inline constexpr std::int64_t kNumBands = 5;
+
+inline constexpr std::array<Band, kNumBands> kAllBands = {
+    Band::g, Band::r, Band::i, Band::z, Band::y};
+
+/// Effective filter wavelength in nanometres (HSC filter set).
+constexpr double effective_wavelength_nm(Band b) noexcept {
+  switch (b) {
+    case Band::g: return 480.0;
+    case Band::r: return 620.0;
+    case Band::i: return 770.0;
+    case Band::z: return 890.0;
+    case Band::y: return 1000.0;
+  }
+  return 0.0;  // unreachable
+}
+
+constexpr std::string_view band_name(Band b) noexcept {
+  switch (b) {
+    case Band::g: return "g";
+    case Band::r: return "r";
+    case Band::i: return "i";
+    case Band::z: return "z";
+    case Band::y: return "y";
+  }
+  return "?";
+}
+
+constexpr std::int64_t band_index(Band b) noexcept {
+  return static_cast<std::int64_t>(b);
+}
+
+}  // namespace sne::astro

@@ -1,0 +1,53 @@
+#include "astro/cosmology.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::astro {
+
+namespace {
+constexpr double kSpeedOfLightKms = 299792.458;
+constexpr int kSimpsonIntervals = 256;  // even; integrand is very smooth
+}  // namespace
+
+Cosmology::Cosmology(double hubble_h0, double omega_m)
+    : omega_m_(omega_m),
+      omega_lambda_(1.0 - omega_m),
+      hubble_distance_(kSpeedOfLightKms / hubble_h0) {
+  if (hubble_h0 <= 0.0 || omega_m < 0.0 || omega_m > 1.0) {
+    throw std::invalid_argument("Cosmology: invalid parameters");
+  }
+}
+
+double Cosmology::efunc(double z) const {
+  if (z < 0.0) throw std::domain_error("Cosmology: negative redshift");
+  const double a = 1.0 + z;
+  return std::sqrt(omega_m_ * a * a * a + omega_lambda_);
+}
+
+double Cosmology::comoving_distance_mpc(double z) const {
+  if (z < 0.0) throw std::domain_error("Cosmology: negative redshift");
+  if (z == 0.0) return 0.0;
+  const double h = z / kSimpsonIntervals;
+  double sum = 1.0 / efunc(0.0) + 1.0 / efunc(z);
+  for (int k = 1; k < kSimpsonIntervals; ++k) {
+    const double zk = k * h;
+    sum += (k % 2 == 1 ? 4.0 : 2.0) / efunc(zk);
+  }
+  return hubble_distance_ * sum * h / 3.0;
+}
+
+double Cosmology::luminosity_distance_mpc(double z) const {
+  return (1.0 + z) * comoving_distance_mpc(z);
+}
+
+double Cosmology::distance_modulus(double z) const {
+  const double dl = luminosity_distance_mpc(z);
+  if (dl <= 0.0) {
+    throw std::domain_error("Cosmology: distance modulus requires z > 0");
+  }
+  // D_L in Mpc → μ = 5 log10(D_L) + 25.
+  return 5.0 * std::log10(dl) + 25.0;
+}
+
+}  // namespace sne::astro

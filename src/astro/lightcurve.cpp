@@ -1,0 +1,200 @@
+#include "astro/lightcurve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "astro/photometry.h"
+
+namespace sne::astro {
+
+namespace {
+
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Bazin et al. (2009) analytic light-curve shape, re-parametrized so the
+/// maximum sits at phase 0 with value 1.
+///   f(p) = exp(−p/τ_fall) · σ((p − c)/τ_rise) / f(0)
+/// with c = −τ_rise·ln(τ_fall/τ_rise − 1) placing the extremum at 0.
+double bazin_shape(double phase, double tau_rise, double tau_fall) noexcept {
+  const double c = -tau_rise * std::log(tau_fall / tau_rise - 1.0);
+  const double f = std::exp(-phase / tau_fall) *
+                   sigmoid((phase - c) / tau_rise);
+  const double f0 = sigmoid(-c / tau_rise);
+  return f / f0;
+}
+
+double lerp(double a, double b, double t) noexcept { return a + (b - a) * t; }
+
+/// Smooth wavelength interpolation factor in [0, 1] from blue (400 nm) to
+/// red (1000 nm).
+double red_fraction(double wavelength_nm) noexcept {
+  const double t = (wavelength_nm - 400.0) / 600.0;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+/// Ia: Bazin core + secondary NIR bump + strong UV suppression.
+double ia_relative_flux(double p, double wavelength_nm) {
+  // Decline slows toward the red; rise is slightly slower in the red too.
+  const double red = red_fraction(wavelength_nm);
+  const double tau_rise = lerp(4.5, 6.5, red);
+  const double tau_fall = lerp(16.0, 30.0, red);
+  if (p < -25.0) return 0.0;  // pre-explosion
+  double f = bazin_shape(p, tau_rise, tau_fall);
+
+  // Secondary maximum in i/z/y (rest ≳ 600 nm) near +25 d.
+  if (wavelength_nm > 600.0) {
+    const double amp = 0.25 * std::min(1.0, (wavelength_nm - 600.0) / 300.0);
+    const double dp = (p - 25.0) / 8.0;
+    f += amp * std::exp(-0.5 * dp * dp) * bazin_shape(0.0, tau_rise, tau_fall);
+  }
+
+  // SNe Ia are UV-poor: strong suppression blueward of ~330 nm rest frame.
+  // At z ≳ 1 this extinguishes the observer-frame g band, the feature the
+  // classifier keys on for high-z Ia (Fig. 5 bottom row of the paper).
+  if (wavelength_nm < 330.0) {
+    const double deficit_mag = 2.2 * (330.0 - wavelength_nm) / 40.0;
+    f *= std::pow(10.0, -0.4 * deficit_mag);
+  }
+  return f;
+}
+
+/// Stripped-envelope (Ib/Ic): slower, no bump, milder UV deficit.
+double ibc_relative_flux(double p, double wavelength_nm) {
+  const double red = red_fraction(wavelength_nm);
+  const double tau_rise = lerp(7.0, 9.0, red);
+  const double tau_fall = lerp(25.0, 38.0, red);
+  if (p < -35.0) return 0.0;
+  double f = bazin_shape(p, tau_rise, tau_fall);
+  if (wavelength_nm < 300.0) {
+    const double deficit_mag = 1.2 * (300.0 - wavelength_nm) / 50.0;
+    f *= std::pow(10.0, -0.4 * deficit_mag);
+  }
+  return f;
+}
+
+/// Fireball rise used by the Type II templates: flux ∝ ((p+t_r)/t_r)²
+/// between explosion (−t_r) and peak.
+double fireball_rise(double p, double t_rise) noexcept {
+  if (p <= -t_rise) return 0.0;
+  const double x = (p + t_rise) / t_rise;
+  return std::min(1.0, x * x);
+}
+
+/// Type II templates expressed as a post-peak magnitude offset ΔM(p).
+double type2_relative_flux(SnType type, double p, double wavelength_nm) {
+  double t_rise = 8.0;
+  double delta_mag = 0.0;
+  switch (type) {
+    case SnType::IIP: {
+      t_rise = 7.0;
+      // ~90-day plateau with a mild slope, then a sharp radioactive drop.
+      // Blue bands fade faster across the plateau (recombination cooling).
+      const double blue_extra =
+          0.012 * std::max(0.0, (550.0 - wavelength_nm) / 150.0);
+      if (p <= 90.0) {
+        delta_mag = (0.005 + blue_extra) * std::max(0.0, p);
+      } else {
+        delta_mag = (0.005 + blue_extra) * 90.0 + 0.06 * (p - 90.0);
+      }
+      break;
+    }
+    case SnType::IIL:
+      t_rise = 8.0;
+      delta_mag = 0.045 * std::max(0.0, p);
+      break;
+    case SnType::IIn:
+      t_rise = 15.0;
+      delta_mag = 0.018 * std::max(0.0, p);
+      break;
+    default:
+      throw std::logic_error("type2_relative_flux: not a Type II");
+  }
+  const double peak_flux = std::pow(10.0, -0.4 * delta_mag);
+  if (p < 0.0) return fireball_rise(p, t_rise);
+  return peak_flux;
+}
+
+}  // namespace
+
+double template_relative_flux(SnType type, double phase_days,
+                              double wavelength_nm) {
+  if (wavelength_nm <= 0.0) {
+    throw std::domain_error("template_relative_flux: wavelength must be > 0");
+  }
+  // No template extends usefully beyond ~1.5 years rest frame.
+  if (phase_days > 550.0) return 0.0;
+  switch (type) {
+    case SnType::Ia: return ia_relative_flux(phase_days, wavelength_nm);
+    case SnType::Ib:
+    case SnType::Ic: return ibc_relative_flux(phase_days, wavelength_nm);
+    case SnType::IIP:
+    case SnType::IIL:
+    case SnType::IIn:
+      return type2_relative_flux(type, phase_days, wavelength_nm);
+  }
+  throw std::logic_error("template_relative_flux: unknown type");
+}
+
+double color_law(double wavelength_nm) noexcept {
+  // Normalized to 0 at rest B (440 nm); roughly CCM-slope toward the UV.
+  return 2.2 * (440.0 / wavelength_nm - 1.0);
+}
+
+namespace {
+
+double validated_modulus(const SnParams& params, const Cosmology& cosmology) {
+  if (params.redshift <= 0.0) {
+    throw std::invalid_argument("LightCurve: redshift must be positive");
+  }
+  if (params.stretch <= 0.0) {
+    throw std::invalid_argument("LightCurve: stretch must be positive");
+  }
+  return cosmology.distance_modulus(params.redshift);
+}
+
+}  // namespace
+
+LightCurve::LightCurve(const SnParams& params, const Cosmology& cosmology)
+    : params_(params), mu_(validated_modulus(params, cosmology)) {}
+
+double LightCurve::flux(Band b, double mjd) const {
+  const double one_plus_z = 1.0 + params_.redshift;
+  double phase = (mjd - params_.peak_mjd) / one_plus_z;
+  if (is_type_ia(params_.type)) phase /= params_.stretch;
+
+  const double rest_nm = effective_wavelength_nm(b) / one_plus_z;
+  const double rel = template_relative_flux(params_.type, phase, rest_nm);
+  if (rel <= 0.0) return 0.0;
+
+  double peak_mag = params_.peak_abs_mag + mu_;
+  if (is_type_ia(params_.type)) {
+    peak_mag += params_.color * color_law(rest_nm);
+  }
+  return flux_from_mag(peak_mag) * rel;
+}
+
+double LightCurve::magnitude(Band b, double mjd, double faint_limit) const {
+  const double f = flux(b, mjd);
+  const double floor_flux = flux_from_mag(faint_limit);
+  return mag_from_flux(std::max(f, floor_flux));
+}
+
+double LightCurve::peak_mjd_in_band(Band b) const {
+  const double one_plus_z = 1.0 + params_.redshift;
+  double lo = params_.peak_mjd - 120.0 * one_plus_z;
+  double hi = params_.peak_mjd + 120.0 * one_plus_z;
+  constexpr double kGolden = 0.618033988749895;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double a = hi - (hi - lo) * kGolden;
+    const double c = lo + (hi - lo) * kGolden;
+    if (flux(b, a) < flux(b, c)) {
+      lo = a;
+    } else {
+      hi = c;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace sne::astro

@@ -1,0 +1,98 @@
+// lightcurve.h — analytic supernova light-curve templates. Substitutes for
+// the SALT2-II model ([12] Mosher et al.) and the core-collapse templates
+// the paper uses to generate its synthetic dataset. Each template is a
+// rest-frame *relative flux* surface F(phase, wavelength) ∈ [0, ~1] with
+// F = 1 at (0, ·); the observer-frame light curve applies redshift time
+// dilation, the Ia stretch/color laws, the distance modulus, and the
+// per-band rest wavelength.
+//
+// What matters for the classifier is that the templates reproduce the
+// discriminative structure real SNe have:
+//   * Ia  — fast rise (~18 d), ~0.06 mag/d early decline, secondary NIR
+//           bump at +25 d, strong UV suppression (faint in blue bands at
+//           high z), stretch–luminosity and color–luminosity relations;
+//   * Ib/c — slower, fainter, no secondary bump;
+//   * IIP — week-long rise then a ~90 d plateau before a sharp drop;
+//   * IIL — linear (in mag) decline;
+//   * IIn — bright, very slow decline.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "astro/bands.h"
+#include "astro/cosmology.h"
+
+namespace sne::astro {
+
+enum class SnType : std::uint8_t { Ia = 0, Ib = 1, Ic = 2, IIP = 3, IIL = 4, IIn = 5 };
+
+inline constexpr std::array<SnType, 6> kAllSnTypes = {
+    SnType::Ia, SnType::Ib, SnType::Ic, SnType::IIP, SnType::IIL, SnType::IIn};
+
+/// The five non-Ia classes used as negatives in the paper's dataset
+/// ("Ib, c, IIL, IIN, IIP").
+inline constexpr std::array<SnType, 5> kNonIaTypes = {
+    SnType::Ib, SnType::Ic, SnType::IIP, SnType::IIL, SnType::IIn};
+
+constexpr bool is_type_ia(SnType t) noexcept { return t == SnType::Ia; }
+
+constexpr std::string_view sn_type_name(SnType t) noexcept {
+  switch (t) {
+    case SnType::Ia: return "Ia";
+    case SnType::Ib: return "Ib";
+    case SnType::Ic: return "Ic";
+    case SnType::IIP: return "IIP";
+    case SnType::IIL: return "IIL";
+    case SnType::IIn: return "IIn";
+  }
+  return "?";
+}
+
+/// Physical + nuisance parameters of one simulated supernova.
+struct SnParams {
+  SnType type = SnType::Ia;
+  double redshift = 0.5;
+  double stretch = 1.0;       ///< Ia light-curve stretch s (1 = fiducial)
+  double color = 0.0;         ///< Ia SALT-like color c (positive = red)
+  double peak_mjd = 0.0;      ///< observer-frame date of rest-B maximum
+  double peak_abs_mag = -19.3;  ///< absolute magnitude at peak (rest B)
+};
+
+/// Rest-frame relative flux of the bare template (no stretch/color/
+/// distance), normalized to 1 at phase 0 in rest B (440 nm).
+/// `phase_days` is rest-frame days since peak; `wavelength_nm` the
+/// rest-frame effective wavelength. Returns 0 before explosion.
+double template_relative_flux(SnType type, double phase_days,
+                              double wavelength_nm);
+
+/// SALT-like color law CL(λ): magnitude change per unit color c,
+/// normalized to CL(440 nm) = 0, positive toward the UV.
+double color_law(double wavelength_nm) noexcept;
+
+/// Observer-frame light curve of one supernova.
+class LightCurve {
+ public:
+  LightCurve(const SnParams& params, const Cosmology& cosmology);
+
+  /// Observed flux (zero-point 27 units) in band `b` at observer date
+  /// `mjd`. Zero before explosion.
+  double flux(Band b, double mjd) const;
+
+  /// Apparent magnitude; clamps to `faint_limit` when the flux underflows
+  /// (pre-explosion / far post-fade epochs).
+  double magnitude(Band b, double mjd, double faint_limit = 35.0) const;
+
+  /// Observer-frame date at which band `b` reaches maximum flux, found by
+  /// golden-section search over ±120 rest-frame days around the B peak.
+  double peak_mjd_in_band(Band b) const;
+
+  const SnParams& params() const noexcept { return params_; }
+  double distance_modulus() const noexcept { return mu_; }
+
+ private:
+  SnParams params_;
+  double mu_;
+};
+
+}  // namespace sne::astro

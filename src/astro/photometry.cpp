@@ -1,0 +1,29 @@
+#include "astro/photometry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::astro {
+
+double mag_from_flux(double flux) {
+  if (flux <= 0.0) {
+    throw std::domain_error("mag_from_flux: flux must be positive");
+  }
+  return -2.5 * std::log10(flux) + kZeroPoint;
+}
+
+double flux_from_mag(double mag) {
+  return std::pow(10.0, (kZeroPoint - mag) / 2.5);
+}
+
+double signed_log(double x) noexcept {
+  const double y = std::log10(std::abs(x) + 1.0);
+  return x < 0.0 ? -y : y;
+}
+
+double signed_log_inverse(double y) noexcept {
+  const double x = std::pow(10.0, std::abs(y)) - 1.0;
+  return y < 0.0 ? -x : x;
+}
+
+}  // namespace sne::astro

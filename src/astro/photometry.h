@@ -1,0 +1,28 @@
+// photometry.h — flux/magnitude conversions and the signed-log pixel
+// transform. The paper fixes the zero point at 27.0:
+//     mag = −2.5·log10(flux) + 27.0
+// and preprocesses difference-image pixels with
+//     y = sgn(x)·log10(|x| + 1)
+// so that the network sees magnitudes-like dynamic range while noise
+// around zero stays linear.
+#pragma once
+
+namespace sne::astro {
+
+/// Photometric zero point used throughout the paper.
+inline constexpr double kZeroPoint = 27.0;
+
+/// Stellar magnitude from flux (flux must be positive).
+double mag_from_flux(double flux);
+
+/// Flux from stellar magnitude.
+double flux_from_mag(double mag);
+
+/// Signed logarithmic pixel compression: sgn(x)·log10(|x| + 1).
+/// Odd, monotone, identity-sloped at the origin.
+double signed_log(double x) noexcept;
+
+/// Inverse of signed_log.
+double signed_log_inverse(double y) noexcept;
+
+}  // namespace sne::astro

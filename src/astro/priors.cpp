@@ -1,0 +1,59 @@
+#include "astro/priors.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sne::astro {
+
+SnParams sample_sn_params(SnType type, double redshift, double peak_mjd_lo,
+                          double peak_mjd_hi, Rng& rng,
+                          const SnPopulation& population) {
+  if (peak_mjd_hi < peak_mjd_lo) {
+    throw std::invalid_argument("sample_sn_params: bad peak window");
+  }
+  SnParams p;
+  p.type = type;
+  p.redshift = redshift;
+  p.peak_mjd = rng.uniform(peak_mjd_lo, peak_mjd_hi);
+
+  if (is_type_ia(type)) {
+    // SALT-like Tripp relation: M = M0 − α·x1 + β·c + scatter. x1 maps to
+    // the template stretch as s = 1 + 0.1·x1 (clamped to the physical
+    // range seen in SALT training samples).
+    const double x1 = rng.truncated_normal(0.0, population.ia_x1_sigma,
+                                           -3.0, 3.0);
+    const double c = rng.truncated_normal(0.0, population.ia_color_sigma,
+                                          -0.3, 0.5);
+    p.stretch = std::clamp(1.0 + 0.1 * x1, 0.6, 1.4);
+    p.color = c;
+    p.peak_abs_mag = population.ia_mean_abs_mag - population.ia_alpha * x1 +
+                     population.ia_beta * c +
+                     rng.normal(0.0, population.ia_sigma_int);
+  } else {
+    p.stretch = 1.0;
+    p.color = 0.0;
+    double mean = 0.0;
+    double sigma = 1.0;
+    switch (type) {
+      case SnType::Ib: mean = population.ib_mean; sigma = population.ib_sigma; break;
+      case SnType::Ic: mean = population.ic_mean; sigma = population.ic_sigma; break;
+      case SnType::IIP: mean = population.iip_mean; sigma = population.iip_sigma; break;
+      case SnType::IIL: mean = population.iil_mean; sigma = population.iil_sigma; break;
+      case SnType::IIn: mean = population.iin_mean; sigma = population.iin_sigma; break;
+      case SnType::Ia: break;  // unreachable
+    }
+    // Truncate at ±2σ: the tails of the Richardson luminosity functions
+    // are dominated by selection effects we do not simulate.
+    p.peak_abs_mag = rng.truncated_normal(mean, sigma, mean - 2.0 * sigma,
+                                          mean + 2.0 * sigma);
+  }
+  return p;
+}
+
+SnType sample_sn_type(Rng& rng, double p_ia) {
+  if (rng.bernoulli(p_ia)) return SnType::Ia;
+  return kNonIaTypes[static_cast<std::size_t>(
+      rng.uniform_index(kNonIaTypes.size()))];
+}
+
+}  // namespace sne::astro

@@ -1,0 +1,44 @@
+// priors.h — population priors for supernova parameters. The dataset
+// section of the paper draws each supernova's (type, stretch, color) from
+// "the already known distributions" of Mosher et al. [12]; this module
+// encodes those distributions: SALT-like x1/c Gaussians with the
+// stretch–luminosity (α) and color–luminosity (β) corrections for Ia, and
+// the measured absolute-magnitude distributions (Richardson et al. 2014)
+// for the core-collapse classes.
+#pragma once
+
+#include "astro/lightcurve.h"
+#include "tensor/rng.h"
+
+namespace sne::astro {
+
+/// Population hyper-parameters; defaults follow the SALT2 training values.
+struct SnPopulation {
+  // Type Ia
+  double ia_mean_abs_mag = -19.36;  ///< M_B at x1 = 0, c = 0
+  double ia_alpha = 0.14;           ///< stretch–luminosity slope
+  double ia_beta = 3.1;             ///< color–luminosity slope
+  double ia_sigma_int = 0.10;       ///< intrinsic scatter (mag)
+  double ia_x1_sigma = 1.0;         ///< x1 ~ N(0, σ), s = 1 + 0.1·x1
+  double ia_color_sigma = 0.1;      ///< c ~ N(0, σ)
+
+  // Core collapse: mean absolute magnitude and scatter per type.
+  double ib_mean = -17.45, ib_sigma = 1.12;
+  double ic_mean = -17.66, ic_sigma = 1.18;
+  double iip_mean = -16.90, iip_sigma = 1.12;
+  double iil_mean = -17.46, iil_sigma = 0.88;
+  double iin_mean = -18.53, iin_sigma = 1.36;
+};
+
+/// Draws the non-positional parameters of a supernova of type `type` at
+/// redshift `redshift`, with the observer-frame B-peak date drawn
+/// uniformly in [peak_mjd_lo, peak_mjd_hi].
+SnParams sample_sn_params(SnType type, double redshift, double peak_mjd_lo,
+                          double peak_mjd_hi, Rng& rng,
+                          const SnPopulation& population = {});
+
+/// Draws a type: Ia with probability `p_ia`, otherwise uniform over the
+/// five core-collapse classes (the paper's 6000/6000 dataset uses 0.5).
+SnType sample_sn_type(Rng& rng, double p_ia = 0.5);
+
+}  // namespace sne::astro

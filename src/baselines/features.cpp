@@ -1,0 +1,101 @@
+#include "baselines/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "astro/photometry.h"
+
+namespace sne::baselines {
+
+namespace {
+
+double safe_mag(double flux, double faint_mag) {
+  const double floor_flux = astro::flux_from_mag(faint_mag);
+  return astro::mag_from_flux(std::max(flux, floor_flux));
+}
+
+}  // namespace
+
+LcFeatureExtractor::LcFeatureExtractor(const LcFeatureExtractorConfig& config)
+    : config_(config) {
+  if (config.epochs <= 0) {
+    throw std::invalid_argument("LcFeatureExtractor: epochs must be > 0");
+  }
+}
+
+std::int64_t LcFeatureExtractor::dim() const noexcept {
+  // Per band: peak mag, peak date, rise slope, decline slope (4), plus
+  // 4 adjacent-band peak colors, plus optional photo-z.
+  return astro::kNumBands * 4 + (astro::kNumBands - 1) +
+         (config_.include_redshift ? 1 : 0);
+}
+
+std::vector<float> LcFeatureExtractor::extract(const sim::SnDataset& data,
+                                               std::int64_t i) const {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(dim()));
+
+  std::array<double, astro::kNumBands> peak_mag{};
+  const double season = data.config().schedule.season_days;
+
+  for (const astro::Band b : astro::kAllBands) {
+    // Collect this band's epochs in time order.
+    std::vector<sim::FluxMeasurement> pts;
+    pts.reserve(static_cast<std::size_t>(config_.epochs));
+    for (std::int64_t e = 0; e < config_.epochs; ++e) {
+      pts.push_back(data.measured_point(i, b, e));
+    }
+    std::sort(pts.begin(), pts.end(),
+              [](const sim::FluxMeasurement& a, const sim::FluxMeasurement& x) {
+                return a.mjd < x.mjd;
+              });
+
+    // Peak = maximum measured flux.
+    std::size_t peak_idx = 0;
+    for (std::size_t k = 1; k < pts.size(); ++k) {
+      if (pts[k].flux > pts[peak_idx].flux) peak_idx = k;
+    }
+    const double pmag = safe_mag(pts[peak_idx].flux, config_.faint_mag);
+    peak_mag[static_cast<std::size_t>(astro::band_index(b))] = pmag;
+
+    // Rise slope: mag/day from the first point to the peak; decline slope
+    // from the peak to the last point. Degenerate spans contribute 0.
+    auto slope = [&](std::size_t from, std::size_t to) -> double {
+      if (to == from) return 0.0;
+      const double dt = pts[to].mjd - pts[from].mjd;
+      if (std::abs(dt) < 1e-9) return 0.0;
+      const double dm = safe_mag(pts[to].flux, config_.faint_mag) -
+                        safe_mag(pts[from].flux, config_.faint_mag);
+      return dm / dt;
+    };
+
+    out.push_back(static_cast<float>((pmag - 25.0) / 5.0));
+    out.push_back(static_cast<float>(
+        (pts[peak_idx].mjd - data.config().schedule.start_mjd) / season));
+    out.push_back(static_cast<float>(slope(0, peak_idx)));
+    out.push_back(static_cast<float>(slope(peak_idx, pts.size() - 1)));
+  }
+
+  // Adjacent-band colors at peak (g−r, r−i, i−z, z−y): the SED shape,
+  // which is what actually separates Ia from CC at a single phase.
+  for (std::size_t b = 0; b + 1 < astro::kNumBands; ++b) {
+    out.push_back(static_cast<float>((peak_mag[b] - peak_mag[b + 1]) / 2.0));
+  }
+
+  if (config_.include_redshift) {
+    out.push_back(static_cast<float>(data.host(i).photo_z));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> LcFeatureExtractor::extract_all(
+    const sim::SnDataset& data,
+    const std::vector<std::int64_t>& samples) const {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(samples.size());
+  for (const std::int64_t i : samples) rows.push_back(extract(data, i));
+  return rows;
+}
+
+}  // namespace sne::baselines

@@ -1,0 +1,41 @@
+// features.h — hand-crafted light-curve features in the spirit of Lochner
+// et al. (2016) "Photometric supernova classification with machine
+// learning" (ref. [8]): per-band summary statistics of the measured light
+// curve plus peak colors, fed to a random forest. With the paper-standard
+// 4 epochs per band, the features are peak magnitude, peak date, rise and
+// decline slopes per band, and adjacent-band colors at peak.
+#pragma once
+
+#include <vector>
+
+#include "sim/dataset_builder.h"
+
+namespace sne::baselines {
+
+struct LcFeatureExtractorConfig {
+  std::int64_t epochs = 4;
+  bool include_redshift = false;  ///< append the host photo-z
+  double faint_mag = 32.0;
+};
+
+class LcFeatureExtractor {
+ public:
+  explicit LcFeatureExtractor(const LcFeatureExtractorConfig& config = {});
+
+  const LcFeatureExtractorConfig& config() const noexcept { return config_; }
+
+  std::int64_t dim() const noexcept;
+
+  /// Feature vector of one sample.
+  std::vector<float> extract(const sim::SnDataset& data, std::int64_t i) const;
+
+  /// Feature matrix over a set of samples (row-major).
+  std::vector<std::vector<float>> extract_all(
+      const sim::SnDataset& data,
+      const std::vector<std::int64_t>& samples) const;
+
+ private:
+  LcFeatureExtractorConfig config_;
+};
+
+}  // namespace sne::baselines

@@ -1,0 +1,197 @@
+#include "baselines/forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::baselines {
+
+RandomForest::RandomForest(const ForestConfig& config) : config_(config) {
+  if (config.num_trees <= 0 || config.max_depth <= 0 ||
+      config.min_samples_leaf <= 0) {
+    throw std::invalid_argument("RandomForest: bad configuration");
+  }
+}
+
+namespace {
+
+double gini_from_counts(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+std::int32_t RandomForest::build_node(
+    Tree& tree, const std::vector<std::vector<float>>& x,
+    const std::vector<int>& y, std::vector<std::int64_t>& rows,
+    std::int64_t begin, std::int64_t end, std::int64_t depth, Rng& rng) {
+  const std::int64_t count = end - begin;
+  double positives = 0.0;
+  for (std::int64_t k = begin; k < end; ++k) {
+    positives += y[static_cast<std::size_t>(rows[static_cast<std::size_t>(k)])];
+  }
+
+  auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.feature = -1;
+    leaf.leaf_value =
+        static_cast<float>(positives / static_cast<double>(count));
+    tree.push_back(leaf);
+    return static_cast<std::int32_t>(tree.size() - 1);
+  };
+
+  if (depth >= config_.max_depth || count < 2 * config_.min_samples_leaf ||
+      positives == 0.0 || positives == static_cast<double>(count)) {
+    return make_leaf();
+  }
+
+  // Feature subsample for this split.
+  auto m = config_.feature_fraction > 0.0
+               ? static_cast<std::int64_t>(
+                     std::ceil(config_.feature_fraction *
+                               static_cast<double>(num_features_)))
+               : static_cast<std::int64_t>(std::ceil(
+                     std::sqrt(static_cast<double>(num_features_))));
+  m = std::clamp<std::int64_t>(m, 1, num_features_);
+  std::vector<std::size_t> feat_perm(
+      static_cast<std::size_t>(num_features_));
+  for (std::size_t f = 0; f < feat_perm.size(); ++f) feat_perm[f] = f;
+  rng.shuffle(feat_perm);
+
+  const double parent_gini = gini_from_counts(positives,
+                                              static_cast<double>(count));
+  double best_gain = 1e-12;
+  std::int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, int>> column(
+      static_cast<std::size_t>(count));
+  for (std::int64_t fi = 0; fi < m; ++fi) {
+    const std::size_t f = feat_perm[static_cast<std::size_t>(fi)];
+    for (std::int64_t k = 0; k < count; ++k) {
+      const auto row =
+          static_cast<std::size_t>(rows[static_cast<std::size_t>(begin + k)]);
+      column[static_cast<std::size_t>(k)] = {x[row][f], y[row]};
+    }
+    std::sort(column.begin(), column.end());
+
+    double left_pos = 0.0;
+    for (std::int64_t k = 0; k + 1 < count; ++k) {
+      left_pos += column[static_cast<std::size_t>(k)].second;
+      const float v = column[static_cast<std::size_t>(k)].first;
+      const float v_next = column[static_cast<std::size_t>(k + 1)].first;
+      if (v == v_next) continue;  // no valid threshold between equal values
+      const std::int64_t left_n = k + 1;
+      const std::int64_t right_n = count - left_n;
+      if (left_n < config_.min_samples_leaf ||
+          right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_pos = positives - left_pos;
+      const double gain =
+          parent_gini -
+          (static_cast<double>(left_n) / count) *
+              gini_from_counts(left_pos, static_cast<double>(left_n)) -
+          (static_cast<double>(right_n) / count) *
+              gini_from_counts(right_pos, static_cast<double>(right_n));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = 0.5f * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition rows in place.
+  std::int64_t mid = begin;
+  for (std::int64_t k = begin; k < end; ++k) {
+    const auto row =
+        static_cast<std::size_t>(rows[static_cast<std::size_t>(k)]);
+    if (x[row][static_cast<std::size_t>(best_feature)] <= best_threshold) {
+      std::swap(rows[static_cast<std::size_t>(k)],
+                rows[static_cast<std::size_t>(mid)]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) return make_leaf();  // degenerate split
+
+  Node split;
+  split.feature = best_feature;
+  split.threshold = best_threshold;
+  tree.push_back(split);
+  const auto index = static_cast<std::int32_t>(tree.size() - 1);
+  const std::int32_t left =
+      build_node(tree, x, y, rows, begin, mid, depth + 1, rng);
+  const std::int32_t right =
+      build_node(tree, x, y, rows, mid, end, depth + 1, rng);
+  tree[static_cast<std::size_t>(index)].left = left;
+  tree[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+void RandomForest::fit(const std::vector<std::vector<float>>& features,
+                       const std::vector<int>& labels) {
+  if (features.empty() || features.size() != labels.size()) {
+    throw std::invalid_argument("RandomForest::fit: bad training data");
+  }
+  num_features_ = static_cast<std::int64_t>(features.front().size());
+  for (const auto& row : features) {
+    if (static_cast<std::int64_t>(row.size()) != num_features_) {
+      throw std::invalid_argument("RandomForest::fit: ragged features");
+    }
+  }
+
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
+  const auto n = static_cast<std::int64_t>(features.size());
+
+  for (std::int64_t t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::int64_t> rows(static_cast<std::size_t>(n));
+    for (auto& r : rows) {
+      r = static_cast<std::int64_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(n)));
+    }
+    Tree tree;
+    tree.reserve(128);
+    build_node(tree, features, labels, rows, 0, n, 0, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict_proba(std::span<const float> features) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  if (static_cast<std::int64_t>(features.size()) != num_features_) {
+    throw std::invalid_argument("RandomForest: feature dim mismatch");
+  }
+  double acc = 0.0;
+  for (const Tree& tree : trees_) {
+    // The root is the first node created by build_node for this tree.
+    std::int32_t node = 0;
+    while (tree[static_cast<std::size_t>(node)].feature >= 0) {
+      const Node& nd = tree[static_cast<std::size_t>(node)];
+      node = features[static_cast<std::size_t>(nd.feature)] <= nd.threshold
+                 ? nd.left
+                 : nd.right;
+    }
+    acc += tree[static_cast<std::size_t>(node)].leaf_value;
+  }
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<float> RandomForest::predict_proba_all(
+    const std::vector<std::vector<float>>& features) const {
+  std::vector<float> out;
+  out.reserve(features.size());
+  for (const auto& row : features) {
+    out.push_back(static_cast<float>(predict_proba(row)));
+  }
+  return out;
+}
+
+}  // namespace sne::baselines

@@ -1,0 +1,44 @@
+#include "baselines/poznanski.h"
+
+#include <cmath>
+
+namespace sne::baselines {
+
+PoznanskiClassifier::PoznanskiClassifier(const PoznanskiConfig& config)
+    : config_(config), grid_(config.grid) {}
+
+double PoznanskiClassifier::score_sample(const sim::SnDataset& data,
+                                         std::int64_t i) const {
+  // One epoch subset: the e-th observation of each band.
+  std::vector<sim::FluxMeasurement> epoch_data;
+  epoch_data.reserve(astro::kNumBands);
+  for (const astro::Band b : astro::kAllBands) {
+    epoch_data.push_back(data.measured_point(i, b, config_.epoch));
+  }
+
+  const double z_known =
+      config_.use_redshift ? data.host(i).photo_z : -1.0;
+  const double log_ia =
+      grid_.log_evidence(true, epoch_data, z_known, config_.z_window);
+  const double log_cc =
+      grid_.log_evidence(false, epoch_data, z_known, config_.z_window);
+
+  // Posterior with equal class priors (the dataset is balanced).
+  const double m = std::max(log_ia, log_cc);
+  const double pia = std::exp(log_ia - m);
+  const double pcc = std::exp(log_cc - m);
+  return pia / (pia + pcc);
+}
+
+std::vector<float> PoznanskiClassifier::score(
+    const sim::SnDataset& data,
+    const std::vector<std::int64_t>& samples) const {
+  std::vector<float> out;
+  out.reserve(samples.size());
+  for (const std::int64_t i : samples) {
+    out.push_back(static_cast<float>(score_sample(data, i)));
+  }
+  return out;
+}
+
+}  // namespace sne::baselines

@@ -1,0 +1,42 @@
+// poznanski.h — re-implementation of Poznanski, Maoz & Gal-Yam (2007),
+// "Bayesian single-epoch photometric classification of supernovae"
+// (ref. [14], the single-epoch comparator of Table 2). Given one epoch of
+// multi-band fluxes, the classifier marginalizes template fits over phase
+// and (optionally) redshift and reports the posterior odds of Ia vs
+// core collapse. The paper's Table 2 contrasts its accuracy with and
+// without a redshift prior — without one, single-epoch colors alone are
+// nearly uninformative (accuracy 0.60 on SNLS), which is precisely the
+// gap the CNN method closes.
+#pragma once
+
+#include <vector>
+
+#include "baselines/template_grid.h"
+#include "sim/dataset_builder.h"
+
+namespace sne::baselines {
+
+struct PoznanskiConfig {
+  bool use_redshift = false;  ///< condition on the host photo-z
+  double z_window = 0.15;     ///< photo-z uncertainty window
+  std::int64_t epoch = 0;     ///< which epoch subset to classify
+  TemplateGridConfig grid;
+};
+
+class PoznanskiClassifier {
+ public:
+  explicit PoznanskiClassifier(const PoznanskiConfig& config = {});
+
+  /// Posterior probability of Ia for one sample's single-epoch fluxes.
+  double score_sample(const sim::SnDataset& data, std::int64_t i) const;
+
+  /// Scores for a set of samples (one float per sample, higher = more Ia).
+  std::vector<float> score(const sim::SnDataset& data,
+                           const std::vector<std::int64_t>& samples) const;
+
+ private:
+  PoznanskiConfig config_;
+  TemplateGrid grid_;
+};
+
+}  // namespace sne::baselines

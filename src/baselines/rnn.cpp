@@ -1,0 +1,127 @@
+#include "baselines/rnn.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "astro/photometry.h"
+
+namespace sne::baselines {
+
+namespace {
+constexpr std::int64_t kBaseDims = 3;  // date, signed-log flux, log error
+}
+
+namespace {
+
+nn::ModulePtr make_recurrent(const CharnockRnnConfig& config, Rng& rng) {
+  const std::int64_t input =
+      kBaseDims + astro::kNumBands + (config.include_redshift ? 1 : 0);
+  if (config.unit == RecurrentUnit::Lstm) {
+    return std::make_unique<nn::Lstm>(input, config.hidden, rng,
+                                      "charnock.lstm");
+  }
+  return std::make_unique<nn::Gru>(input, config.hidden, rng,
+                                   "charnock.gru");
+}
+
+}  // namespace
+
+CharnockRnn::CharnockRnn(const CharnockRnnConfig& config, Rng& rng)
+    : config_(config),
+      recurrent_(make_recurrent(config, rng)),
+      head_(config.hidden, 1, rng, "charnock.head") {
+  if (config.hidden <= 0 || config.epochs_per_band <= 0) {
+    throw std::invalid_argument("CharnockRnn: bad configuration");
+  }
+}
+
+std::int64_t CharnockRnn::input_dim() const noexcept {
+  return kBaseDims + astro::kNumBands + (config_.include_redshift ? 1 : 0);
+}
+
+Tensor CharnockRnn::forward(const Tensor& x) {
+  return head_.forward(recurrent_->forward(x));
+}
+
+Tensor CharnockRnn::backward(const Tensor& grad_output) {
+  return recurrent_->backward(head_.backward(grad_output));
+}
+
+std::vector<nn::Param*> CharnockRnn::params() {
+  std::vector<nn::Param*> out = recurrent_->params();
+  for (nn::Param* p : head_.params()) out.push_back(p);
+  return out;
+}
+
+void CharnockRnn::set_training(bool training) {
+  Module::set_training(training);
+  recurrent_->set_training(training);
+  head_.set_training(training);
+}
+
+std::vector<float> encode_measurement(const sim::FluxMeasurement& m,
+                                      double season_start, double season_days,
+                                      double photo_z, bool include_redshift) {
+  std::vector<float> v;
+  v.reserve(static_cast<std::size_t>(kBaseDims + astro::kNumBands) +
+            (include_redshift ? 1 : 0));
+  v.push_back(static_cast<float>((m.mjd - season_start) / season_days));
+  // Signed-log compresses the 4-decade flux dynamic range and tolerates
+  // the negative fluxes real difference photometry produces.
+  v.push_back(static_cast<float>(astro::signed_log(m.flux) / 3.0));
+  v.push_back(static_cast<float>(std::log10(m.flux_error + 1.0) / 3.0));
+  for (const astro::Band b : astro::kAllBands) {
+    v.push_back(b == m.band ? 1.0f : 0.0f);
+  }
+  if (include_redshift) v.push_back(static_cast<float>(photo_z / 2.0));
+  return v;
+}
+
+nn::LazyDataset make_sequence_dataset(const sim::SnDataset& data,
+                                      std::vector<std::int64_t> samples,
+                                      const CharnockRnnConfig& config) {
+  const auto n = static_cast<std::int64_t>(samples.size());
+  if (n == 0) throw std::invalid_argument("make_sequence_dataset: empty");
+  const std::int64_t steps = astro::kNumBands * config.epochs_per_band;
+  const std::int64_t dims =
+      kBaseDims + astro::kNumBands + (config.include_redshift ? 1 : 0);
+
+  auto generator = [&data, samples = std::move(samples), config, steps,
+                    dims](std::int64_t k) -> nn::Sample {
+    const std::int64_t i = samples.at(static_cast<std::size_t>(k));
+    const double season_start = data.config().schedule.start_mjd;
+    const double season_days = data.config().schedule.season_days;
+    const double z = data.host(i).photo_z;
+
+    // Time-ordered sequence, truncated to the configured epoch count.
+    std::vector<sim::FluxMeasurement> points;
+    for (const astro::Band b : astro::kAllBands) {
+      for (std::int64_t e = 0; e < config.epochs_per_band; ++e) {
+        points.push_back(data.measured_point(i, b, e));
+      }
+    }
+    std::sort(points.begin(), points.end(),
+              [](const sim::FluxMeasurement& a, const sim::FluxMeasurement& b) {
+                return a.mjd < b.mjd;
+              });
+
+    nn::Sample s;
+    s.x = Tensor({steps, dims});
+    for (std::int64_t t = 0;
+         t < std::min<std::int64_t>(steps,
+                                    static_cast<std::int64_t>(points.size()));
+         ++t) {
+      const auto enc =
+          encode_measurement(points[static_cast<std::size_t>(t)],
+                             season_start, season_days, z,
+                             config.include_redshift);
+      std::copy(enc.begin(), enc.end(), s.x.data() + t * dims);
+    }
+    s.y = Tensor({1}, data.is_ia(i) ? 1.0f : 0.0f);
+    return s;
+  };
+  return nn::LazyDataset(n, std::move(generator));
+}
+
+}  // namespace sne::baselines

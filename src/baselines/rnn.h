@@ -1,0 +1,62 @@
+// rnn.h — recurrent photometric classifier in the style of Charnock &
+// Moss (2016), "Deep Recurrent Neural Networks for Supernovae
+// Classification" (ref. [4], the strongest multi-epoch comparator of
+// Table 2). Each measured light-curve point becomes one timestep of
+// (normalized date, signed-log flux, log error, band one-hot[, photo-z]);
+// a GRU consumes the sequence in time order and a linear head maps the
+// final hidden state to the SNIa logit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/nn.h"
+#include "sim/dataset_builder.h"
+
+namespace sne::baselines {
+
+/// Recurrent unit choice; Charnock & Moss evaluated both.
+enum class RecurrentUnit : std::uint8_t { Gru = 0, Lstm = 1 };
+
+struct CharnockRnnConfig {
+  std::int64_t hidden = 32;
+  std::int64_t epochs_per_band = 4;  ///< sequence length = 5 × this
+  bool include_redshift = false;
+  RecurrentUnit unit = RecurrentUnit::Gru;
+  std::uint64_t seed = 99;
+};
+
+/// The GRU classifier network: input [N, T, D] → logits [N, 1].
+class CharnockRnn final : public nn::Module {
+ public:
+  CharnockRnn(const CharnockRnnConfig& config, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Param*> params() override;
+  void set_training(bool training) override;
+
+  std::int64_t input_dim() const noexcept;
+  std::int64_t sequence_length() const noexcept {
+    return astro::kNumBands * config_.epochs_per_band;
+  }
+  const CharnockRnnConfig& config() const noexcept { return config_; }
+
+ private:
+  CharnockRnnConfig config_;
+  nn::ModulePtr recurrent_;  ///< Gru or Lstm, per config
+  nn::Linear head_;
+};
+
+/// Per-timestep encoding of one measurement.
+std::vector<float> encode_measurement(const sim::FluxMeasurement& m,
+                                      double season_start, double season_days,
+                                      double photo_z, bool include_redshift);
+
+/// Lazy dataset of sequences: x = [T, D] (time-ordered measurements),
+/// y = [1] label.
+nn::LazyDataset make_sequence_dataset(const sim::SnDataset& data,
+                                      std::vector<std::int64_t> samples,
+                                      const CharnockRnnConfig& config);
+
+}  // namespace sne::baselines

@@ -1,0 +1,72 @@
+// template_grid.h — shared machinery of the photometric baselines: a grid
+// of candidate light-curve models (type × redshift × peak date × stretch)
+// evaluated against flux measurements by χ², with the overall amplitude
+// profiled out analytically (for a fixed shape m_i the optimum of
+// Σ((f_i − A·m_i)/σ_i)² is A* = Σf·m/σ² / Σm²/σ², subject to A ≥ 0).
+// This is the classical template-fitting engine behind Sullivan-style
+// photometric selection and the Poznanski Bayesian classifier.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "astro/lightcurve.h"
+#include "sim/measurement.h"
+
+namespace sne::baselines {
+
+/// One candidate model on the grid.
+struct GridEntry {
+  astro::SnType type = astro::SnType::Ia;
+  double redshift = 0.5;
+  double peak_mjd = 0.0;
+  double stretch = 1.0;
+};
+
+struct TemplateGridConfig {
+  double z_min = 0.1;
+  double z_max = 2.0;
+  double z_step = 0.1;
+  double peak_mjd_min = -10.0;
+  double peak_mjd_max = 70.0;
+  double peak_step = 4.0;
+  std::vector<double> ia_stretches = {0.8, 1.0, 1.2};
+};
+
+/// Result of fitting one entry.
+struct GridFit {
+  double chi2 = 0.0;
+  double amplitude = 0.0;  ///< profiled flux scale (≥ 0)
+};
+
+class TemplateGrid {
+ public:
+  explicit TemplateGrid(const TemplateGridConfig& config = {});
+
+  const std::vector<GridEntry>& entries() const noexcept { return entries_; }
+
+  /// χ² of the measurements against one entry (amplitude profiled).
+  GridFit fit(const GridEntry& entry,
+              std::span<const sim::FluxMeasurement> data) const;
+
+  /// Minimum χ² over all entries of Ia type (and the matching entry).
+  GridFit best_fit_of_class(bool ia,
+                            std::span<const sim::FluxMeasurement> data,
+                            GridEntry* best_entry = nullptr) const;
+
+  /// Σ over entries of the class of exp(−χ²/2) weighted by the redshift
+  /// prior; optionally restricted to |z − z_known| ≤ z_window (the
+  /// "with redshift" variants). The log of the summed evidence is
+  /// returned (log-sum-exp, stable).
+  double log_evidence(bool ia, std::span<const sim::FluxMeasurement> data,
+                      double z_known = -1.0, double z_window = 0.15) const;
+
+  const astro::Cosmology& cosmology() const noexcept { return cosmology_; }
+
+ private:
+  TemplateGridConfig config_;
+  astro::Cosmology cosmology_;
+  std::vector<GridEntry> entries_;
+};
+
+}  // namespace sne::baselines

@@ -1,0 +1,134 @@
+#include "core/band_cnn.h"
+
+#include <stdexcept>
+
+#include "core/pixel_transform.h"
+
+namespace sne::core {
+
+std::int64_t BandCnn::trunk_output_extent(std::int64_t input_size,
+                                          std::int64_t kernel) {
+  std::int64_t e = input_size;
+  for (int stage = 0; stage < 3; ++stage) {
+    e = e - kernel + 1;  // valid convolution
+    if (e < 2) {
+      throw std::invalid_argument(
+          "BandCnn: input size too small for three conv/pool stages");
+    }
+    e /= 2;  // 2×2 pooling
+  }
+  return e;
+}
+
+BandCnn::BandCnn(const BandCnnConfig& config, Rng& rng) : config_(config) {
+  const std::int64_t out_extent =
+      trunk_output_extent(config.input_size, config.kernel);
+
+  if (config.signed_log) {
+    net_.emplace<DiffSignedLogCrop>(config.input_size);
+  } else {
+    net_.emplace<RawDiffCrop>(config.input_size);
+  }
+
+  std::int64_t in_ch = 1;
+  for (std::size_t stage = 0; stage < config.conv_channels.size(); ++stage) {
+    const std::int64_t out_ch = config.conv_channels[stage];
+    const std::string tag = "conv" + std::to_string(stage + 1);
+    net_.emplace<nn::Conv2d>(in_ch, out_ch, config.kernel, rng, 1, 0,
+                             "bandcnn." + tag);
+    net_.emplace<nn::BatchNorm2d>(out_ch, 0.1f, 1e-5f,
+                                  "bandcnn." + tag + ".bn");
+    net_.emplace<nn::PReLU>(out_ch, 0.25f, "bandcnn." + tag + ".prelu");
+    if (config.pool == PoolKind::Max) {
+      net_.emplace<nn::MaxPool2d>(2);
+    } else {
+      net_.emplace<nn::AvgPool2d>(2);
+    }
+    in_ch = out_ch;
+  }
+
+  net_.emplace<nn::Flatten>();
+  std::int64_t features = in_ch * out_extent * out_extent;
+  for (std::size_t k = 0; k < config.fc_hidden.size(); ++k) {
+    const std::string tag = "fc" + std::to_string(k + 1);
+    net_.emplace<nn::Linear>(features, config.fc_hidden[k], rng,
+                             "bandcnn." + tag);
+    net_.emplace<nn::PReLU>(config.fc_hidden[k], 0.25f,
+                            "bandcnn." + tag + ".prelu");
+    features = config.fc_hidden[k];
+  }
+  auto& head = net_.emplace<nn::Linear>(features, 1, rng, "bandcnn.out");
+  head.bias().value.fill(config.output_bias_init);
+}
+
+Tensor BandCnn::forward(const Tensor& x) { return net_.forward(x); }
+
+Tensor BandCnn::backward(const Tensor& grad_output) {
+  return net_.backward(grad_output);
+}
+
+void BandCnn::set_training(bool training) {
+  Module::set_training(training);
+  net_.set_training(training);
+}
+
+RawDiffCrop::RawDiffCrop(std::int64_t crop_size) : crop_(crop_size) {
+  if (crop_size <= 0) {
+    throw std::invalid_argument("RawDiffCrop: crop_size <= 0");
+  }
+}
+
+Tensor RawDiffCrop::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.extent(1) != 2 || x.extent(2) < crop_ ||
+      x.extent(3) < crop_) {
+    throw std::invalid_argument("RawDiffCrop: bad input " + x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t s = x.extent(2);
+  const std::int64_t w = x.extent(3);
+  const std::int64_t y0 = (s - crop_) / 2;
+  const std::int64_t x0 = (w - crop_) / 2;
+  cached_in_shape_ = x.shape();
+
+  Tensor out({n, 1, crop_, crop_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* ref = x.data() + (i * 2 + 0) * s * w;
+    const float* obs = x.data() + (i * 2 + 1) * s * w;
+    float* dst = out.data() + i * crop_ * crop_;
+    for (std::int64_t yy = 0; yy < crop_; ++yy) {
+      const std::int64_t row = (y0 + yy) * w + x0;
+      for (std::int64_t xx = 0; xx < crop_; ++xx) {
+        dst[yy * crop_ + xx] = obs[row + xx] - ref[row + xx];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor RawDiffCrop::backward(const Tensor& grad_output) {
+  if (cached_in_shape_.empty()) {
+    throw std::logic_error("RawDiffCrop::backward before forward");
+  }
+  const std::int64_t n = cached_in_shape_[0];
+  const std::int64_t s = cached_in_shape_[2];
+  const std::int64_t w = cached_in_shape_[3];
+  const std::int64_t y0 = (s - crop_) / 2;
+  const std::int64_t x0 = (w - crop_) / 2;
+
+  Tensor grad_input(cached_in_shape_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* g_ref = grad_input.data() + (i * 2 + 0) * s * w;
+    float* g_obs = grad_input.data() + (i * 2 + 1) * s * w;
+    const float* gy = grad_output.data() + i * crop_ * crop_;
+    for (std::int64_t yy = 0; yy < crop_; ++yy) {
+      const std::int64_t row = (y0 + yy) * w + x0;
+      for (std::int64_t xx = 0; xx < crop_; ++xx) {
+        g_obs[row + xx] = gy[yy * crop_ + xx];
+        g_ref[row + xx] = -gy[yy * crop_ + xx];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sne::core

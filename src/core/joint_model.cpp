@@ -1,0 +1,113 @@
+#include "core/joint_model.h"
+
+#include <stdexcept>
+
+namespace sne::core {
+
+std::int64_t JointModel::input_dim(std::int64_t stamp_extent) {
+  return astro::kNumBands * 2 * stamp_extent * stamp_extent +
+         astro::kNumBands;
+}
+
+JointModel::JointModel(const JointModelConfig& config, Rng& rng)
+    : config_(config),
+      stamp_(config.cnn.input_size),
+      cnn_(config.cnn, rng),
+      classifier_(config.classifier, rng) {
+  if (config.classifier.input_dim != astro::kNumBands * 2) {
+    throw std::invalid_argument(
+        "JointModel: classifier input_dim must be 10 (5 bands × (mag, "
+        "date))");
+  }
+}
+
+Tensor JointModel::forward(const Tensor& x) {
+  const std::int64_t expected = input_dim(stamp_);
+  if (x.rank() != 2 || x.extent(1) != expected) {
+    throw std::invalid_argument("JointModel::forward: expected [N, " +
+                                std::to_string(expected) + "], got " +
+                                x.shape_string());
+  }
+  cached_x_shape_ = x.shape();
+  const std::int64_t n = x.extent(0);
+  const std::int64_t per_band = 2 * stamp_ * stamp_;
+  const std::int64_t image_block = astro::kNumBands * per_band;
+
+  // Re-pack the 5 band pairs of each sample into one [N·5, 2, S, S] batch:
+  // shared weights across bands fall out of batching them together.
+  Tensor images({n * astro::kNumBands, 2, stamp_, stamp_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = x.data() + i * expected;
+    std::copy(src, src + image_block,
+              images.data() + i * image_block);
+  }
+
+  const Tensor mags = cnn_.forward(images);  // [N·5, 1]
+
+  Tensor features({n, astro::kNumBands * 2});
+  const auto offset = static_cast<float>(config_.features.mag_offset);
+  const auto scale = static_cast<float>(config_.features.mag_scale);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* dates = x.data() + i * expected + image_block;
+    for (std::int64_t b = 0; b < astro::kNumBands; ++b) {
+      features.at(i, 2 * b) =
+          (mags[i * astro::kNumBands + b] - offset) / scale;
+      features.at(i, 2 * b + 1) = dates[b];
+    }
+  }
+  return classifier_.forward(features);
+}
+
+Tensor JointModel::backward(const Tensor& grad_output) {
+  if (cached_x_shape_.empty()) {
+    throw std::logic_error("JointModel::backward before forward");
+  }
+  const std::int64_t n = cached_x_shape_[0];
+  const std::int64_t expected = cached_x_shape_[1];
+  const std::int64_t per_band = 2 * stamp_ * stamp_;
+  const std::int64_t image_block = astro::kNumBands * per_band;
+
+  const Tensor grad_features = classifier_.backward(grad_output);  // [N,10]
+
+  Tensor grad_mags({n * astro::kNumBands, 1});
+  const auto scale = static_cast<float>(config_.features.mag_scale);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t b = 0; b < astro::kNumBands; ++b) {
+      grad_mags[i * astro::kNumBands + b] =
+          grad_features.at(i, 2 * b) / scale;
+    }
+  }
+
+  const Tensor grad_images = cnn_.backward(grad_mags);
+
+  Tensor grad_x(cached_x_shape_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* dst = grad_x.data() + i * expected;
+    std::copy(grad_images.data() + i * image_block,
+              grad_images.data() + (i + 1) * image_block, dst);
+    for (std::int64_t b = 0; b < astro::kNumBands; ++b) {
+      dst[image_block + b] = grad_features.at(i, 2 * b + 1);
+    }
+  }
+  return grad_x;
+}
+
+std::vector<nn::Param*> JointModel::params() {
+  std::vector<nn::Param*> out = cnn_.params();
+  for (nn::Param* p : classifier_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<nn::Param*> JointModel::buffers() {
+  std::vector<nn::Param*> out = cnn_.buffers();
+  for (nn::Param* p : classifier_.buffers()) out.push_back(p);
+  return out;
+}
+
+void JointModel::set_training(bool training) {
+  Module::set_training(training);
+  cnn_.set_training(training);
+  classifier_.set_training(training);
+}
+
+}  // namespace sne::core

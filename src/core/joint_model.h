@@ -1,0 +1,54 @@
+// joint_model.h — the end-to-end image→class network (Fig. 6): five
+// band-wise CNN applications with shared weights feeding the highway
+// classifier. The paper's key training recipe (Fig. 12) initializes this
+// model from the two separately pre-trained components and fine-tunes
+// jointly, which converges faster and to a better optimum than training
+// from scratch.
+//
+// Input layout per sample (one flat vector, so the generic Trainer/Dataset
+// machinery applies):
+//   [ band-major images: 5 × (matched reference, observation) × S × S,
+//     then 5 normalized observation dates ]
+// Output: [N, 1] SNIa logit.
+#pragma once
+
+#include "core/band_cnn.h"
+#include "core/lc_classifier.h"
+#include "core/lc_features.h"
+#include "nn/nn.h"
+
+namespace sne::core {
+
+struct JointModelConfig {
+  BandCnnConfig cnn;                 ///< cnn.input_size = stamp extent S
+  LcClassifierConfig classifier;     ///< classifier.input_dim must be 10
+  FeatureConfig features;            ///< magnitude normalization shared
+};
+
+class JointModel final : public nn::Module {
+ public:
+  JointModel(const JointModelConfig& config, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Param*> params() override;
+  std::vector<nn::Param*> buffers() override;
+  void set_training(bool training) override;
+
+  BandCnn& band_cnn() noexcept { return cnn_; }
+  LcClassifier& classifier() noexcept { return classifier_; }
+  const JointModelConfig& config() const noexcept { return config_; }
+
+  /// Flat input dimensionality for stamp extent S:
+  /// 5·2·S·S images + 5 dates.
+  static std::int64_t input_dim(std::int64_t stamp_extent);
+
+ private:
+  JointModelConfig config_;
+  std::int64_t stamp_;  ///< S
+  BandCnn cnn_;
+  LcClassifier classifier_;
+  Shape cached_x_shape_;
+};
+
+}  // namespace sne::core

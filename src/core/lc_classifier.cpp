@@ -1,0 +1,40 @@
+#include "core/lc_classifier.h"
+
+#include <stdexcept>
+
+namespace sne::core {
+
+LcClassifier::LcClassifier(const LcClassifierConfig& config, Rng& rng)
+    : config_(config) {
+  if (config.input_dim <= 0 || config.hidden_units <= 0 ||
+      config.highway_layers < 0) {
+    throw std::invalid_argument("LcClassifier: bad configuration");
+  }
+  net_.emplace<nn::Linear>(config.input_dim, config.hidden_units, rng,
+                           "lcclf.fc_in");
+  net_.emplace<nn::PReLU>(config.hidden_units, 0.25f, "lcclf.fc_in.prelu");
+  for (std::int64_t k = 0; k < config.highway_layers; ++k) {
+    const std::string tag = "lcclf.hw" + std::to_string(k + 1);
+    if (config.use_highway) {
+      net_.emplace<nn::Highway>(config.hidden_units, rng, -1.0f, tag);
+    } else {
+      net_.emplace<nn::Linear>(config.hidden_units, config.hidden_units, rng,
+                               tag + ".fc");
+      net_.emplace<nn::PReLU>(config.hidden_units, 0.25f, tag + ".prelu");
+    }
+  }
+  net_.emplace<nn::Linear>(config.hidden_units, 1, rng, "lcclf.fc_out");
+}
+
+Tensor LcClassifier::forward(const Tensor& x) { return net_.forward(x); }
+
+Tensor LcClassifier::backward(const Tensor& grad_output) {
+  return net_.backward(grad_output);
+}
+
+void LcClassifier::set_training(bool training) {
+  Module::set_training(training);
+  net_.set_training(training);
+}
+
+}  // namespace sne::core

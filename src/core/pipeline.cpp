@@ -1,0 +1,140 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/model_io.h"
+#include "sim/image_ops.h"
+
+namespace sne::core {
+
+namespace {
+
+Tensor maybe_crop(Tensor stamp, std::int64_t crop) {
+  if (crop <= 0 || crop == stamp.extent(0)) return stamp;
+  return sim::center_crop(stamp, crop);
+}
+
+}  // namespace
+
+std::vector<FluxPairItem> enumerate_flux_pairs(
+    const sim::SnDataset& data, const std::vector<std::int64_t>& samples,
+    double max_mag) {
+  std::vector<FluxPairItem> items;
+  const std::int64_t epochs = data.config().schedule.epochs_per_band;
+  items.reserve(samples.size() *
+                static_cast<std::size_t>(astro::kNumBands * epochs));
+  for (const std::int64_t i : samples) {
+    for (const astro::Band b : astro::kAllBands) {
+      for (std::int64_t e = 0; e < epochs; ++e) {
+        // Clamp the faint limit so flux_from_mag stays representable even
+        // for the "no filtering" default of max_mag.
+        const double limit = std::min(max_mag, 98.0) + 1.0;
+        if (data.true_magnitude(i, b, e, limit) <= max_mag) {
+          items.push_back({i, b, e});
+        }
+      }
+    }
+  }
+  return items;
+}
+
+nn::LazyDataset make_flux_pair_dataset(const sim::SnDataset& data,
+                                       std::vector<FluxPairItem> items,
+                                       std::int64_t crop, double faint_mag) {
+  const auto n = static_cast<std::int64_t>(items.size());
+  if (n == 0) {
+    throw std::invalid_argument("make_flux_pair_dataset: no items");
+  }
+  auto generator = [&data, items = std::move(items), crop,
+                    faint_mag](std::int64_t k) -> nn::Sample {
+    const FluxPairItem& item = items.at(static_cast<std::size_t>(k));
+    Tensor ref = maybe_crop(
+        data.matched_reference_image(item.sample, item.band, item.epoch),
+        crop);
+    Tensor obs = maybe_crop(
+        data.observation_image(item.sample, item.band, item.epoch), crop);
+
+    const std::int64_t c = ref.extent(0);
+    nn::Sample s;
+    s.x = Tensor({2, c, c});
+    std::copy(ref.data(), ref.data() + ref.size(), s.x.data());
+    std::copy(obs.data(), obs.data() + obs.size(), s.x.data() + ref.size());
+    s.y = Tensor({1}, static_cast<float>(data.true_magnitude(
+                          item.sample, item.band, item.epoch, faint_mag)));
+    return s;
+  };
+  return nn::LazyDataset(n, std::move(generator));
+}
+
+nn::LazyDataset make_joint_dataset(const sim::SnDataset& data,
+                                   std::vector<std::int64_t> samples,
+                                   std::int64_t epoch, std::int64_t crop,
+                                   const FeatureConfig& features) {
+  const auto n = static_cast<std::int64_t>(samples.size());
+  if (n == 0) throw std::invalid_argument("make_joint_dataset: no samples");
+  if (crop <= 0) {
+    throw std::invalid_argument(
+        "make_joint_dataset: crop (stamp extent) must be positive");
+  }
+  auto generator = [&data, samples = std::move(samples), epoch, crop,
+                    features](std::int64_t k) -> nn::Sample {
+    const std::int64_t i = samples.at(static_cast<std::size_t>(k));
+    const std::int64_t per_band = 2 * crop * crop;
+    const double season_start = data.config().schedule.start_mjd;
+
+    nn::Sample s;
+    s.x = Tensor({astro::kNumBands * per_band + astro::kNumBands});
+    for (const astro::Band b : astro::kAllBands) {
+      const std::int64_t bi = astro::band_index(b);
+      Tensor ref =
+          maybe_crop(data.matched_reference_image(i, b, epoch), crop);
+      Tensor obs = maybe_crop(data.observation_image(i, b, epoch), crop);
+      float* dst = s.x.data() + bi * per_band;
+      std::copy(ref.data(), ref.data() + ref.size(), dst);
+      std::copy(obs.data(), obs.data() + obs.size(), dst + ref.size());
+
+      const sim::Observation conditions = data.band_epoch(i, b, epoch);
+      s.x[astro::kNumBands * per_band + bi] = static_cast<float>(
+          normalize_date(conditions.mjd, season_start, features));
+    }
+    s.y = Tensor({1}, data.is_ia(i) ? 1.0f : 0.0f);
+    return s;
+  };
+  return nn::LazyDataset(n, std::move(generator));
+}
+
+void init_joint_from_pretrained(JointModel& joint, BandCnn& pretrained_cnn,
+                                LcClassifier& pretrained_classifier) {
+  nn::copy_params(pretrained_cnn, joint.band_cnn());
+  nn::copy_params(pretrained_classifier, joint.classifier());
+}
+
+double calibrate_flux_zero_point(BandCnn& cnn, const nn::Dataset& pairs,
+                                 std::int64_t max_pairs) {
+  if (pairs.size() == 0 || max_pairs <= 0) {
+    throw std::invalid_argument("calibrate_flux_zero_point: no pairs");
+  }
+  const std::int64_t n = std::min(pairs.size(), max_pairs);
+  cnn.set_training(false);
+
+  double residual = 0.0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const nn::Sample s = pairs.get(k);
+    const Tensor pred = cnn.forward(s.x.reshaped(
+        {1, s.x.extent(0), s.x.extent(1), s.x.extent(2)}));
+    residual += static_cast<double>(pred[0]) - s.y[0];
+  }
+  residual /= static_cast<double>(n);
+
+  for (nn::Param* p : cnn.params()) {
+    if (p->name == "bandcnn.out.bias") {
+      p->value[0] -= static_cast<float>(residual);
+      return residual;
+    }
+  }
+  throw std::logic_error(
+      "calibrate_flux_zero_point: output bias parameter not found");
+}
+
+}  // namespace sne::core

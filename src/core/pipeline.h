@@ -1,0 +1,62 @@
+// pipeline.h — glue between the survey simulator and the models: dataset
+// adapters that render (reference, observation) pairs into training
+// tensors, and the pre-train → transplant → fine-tune recipe of the
+// paper's joint model.
+#pragma once
+
+#include <vector>
+
+#include "core/joint_model.h"
+#include "nn/dataset.h"
+#include "sim/dataset_builder.h"
+
+namespace sne::core {
+
+/// One flux-regression example: a (band, epoch) cutout pair of a sample.
+struct FluxPairItem {
+  std::int64_t sample = 0;
+  astro::Band band = astro::Band::g;
+  std::int64_t epoch = 0;
+};
+
+/// All (sample, band, epoch) triples of the given samples — the paper's
+/// "we further divided each subset of a single-epoch observation into 5
+/// pairs of images, each corresponding to a band". Pairs whose true
+/// magnitude is fainter than `max_mag` are dropped: epochs where the SN
+/// is far below the detection limit carry no flux signal to regress
+/// (the paper's schedule keeps its SNe bright across the season).
+std::vector<FluxPairItem> enumerate_flux_pairs(
+    const sim::SnDataset& data, const std::vector<std::int64_t>& samples,
+    double max_mag = 1e9);
+
+/// Lazy dataset of flux-regression pairs: x = [2, C, C] (matched
+/// reference, observation), y = [1] true magnitude (clamped at
+/// `faint_mag`). `crop` trims the rendered 65×65 stamps for storage;
+/// 0 keeps the full stamp. The dataset borrows `data`.
+nn::LazyDataset make_flux_pair_dataset(const sim::SnDataset& data,
+                                       std::vector<FluxPairItem> items,
+                                       std::int64_t crop = 0,
+                                       double faint_mag = 32.0);
+
+/// Lazy dataset for the joint model: x = [5·2·C·C + 5] (band-major image
+/// pairs then normalized dates of epoch-subset `epoch`), y = [1] label.
+nn::LazyDataset make_joint_dataset(const sim::SnDataset& data,
+                                   std::vector<std::int64_t> samples,
+                                   std::int64_t epoch, std::int64_t crop,
+                                   const FeatureConfig& features);
+
+/// Copies pre-trained component weights into a joint model (the paper's
+/// fine-tuning initialization).
+void init_joint_from_pretrained(JointModel& joint, BandCnn& pretrained_cnn,
+                                LcClassifier& pretrained_classifier);
+
+/// Photometric zero-point calibration of a trained flux CNN: measures the
+/// mean magnitude residual on (up to max_pairs of) the given pair dataset
+/// and subtracts it from the network's output bias. A systematic offset
+/// in the CNN's magnitudes would otherwise shift every feature the
+/// transplanted classifier sees — the image-analysis analogue of
+/// calibrating an instrument's zero point. Returns the offset removed.
+double calibrate_flux_zero_point(BandCnn& cnn, const nn::Dataset& pairs,
+                                 std::int64_t max_pairs = 256);
+
+}  // namespace sne::core

@@ -1,0 +1,86 @@
+#include "core/pixel_transform.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::core {
+
+namespace {
+// 1 / ln(10): d/dx [sgn(x)·log10(|x|+1)] = 1 / ((|x|+1)·ln 10).
+constexpr float kInvLn10 = 0.43429448190325176f;
+}  // namespace
+
+DiffSignedLogCrop::DiffSignedLogCrop(std::int64_t crop_size)
+    : crop_(crop_size) {
+  if (crop_size <= 0) {
+    throw std::invalid_argument("DiffSignedLogCrop: crop_size <= 0");
+  }
+}
+
+Tensor DiffSignedLogCrop::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.extent(1) != 2 || x.extent(2) < crop_ ||
+      x.extent(3) < crop_) {
+    throw std::invalid_argument(
+        "DiffSignedLogCrop: expected [N, 2, S>=crop, S>=crop], got " +
+        x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t s = x.extent(2);
+  const std::int64_t y0 = (s - crop_) / 2;
+  const std::int64_t x0 = (x.extent(3) - crop_) / 2;
+
+  cached_in_shape_ = x.shape();
+  cached_diff_crop_ = Tensor({n, 1, crop_, crop_});
+  Tensor out({n, 1, crop_, crop_});
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* ref = x.data() + (i * 2 + 0) * s * x.extent(3);
+    const float* obs = x.data() + (i * 2 + 1) * s * x.extent(3);
+    float* diff = cached_diff_crop_.data() + i * crop_ * crop_;
+    float* dst = out.data() + i * crop_ * crop_;
+    for (std::int64_t yy = 0; yy < crop_; ++yy) {
+      const std::int64_t row = (y0 + yy) * x.extent(3) + x0;
+      for (std::int64_t xx = 0; xx < crop_; ++xx) {
+        const float d = obs[row + xx] - ref[row + xx];
+        diff[yy * crop_ + xx] = d;
+        const float mag = std::log10(std::abs(d) + 1.0f);
+        dst[yy * crop_ + xx] = d < 0.0f ? -mag : mag;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DiffSignedLogCrop::backward(const Tensor& grad_output) {
+  if (cached_diff_crop_.empty()) {
+    throw std::logic_error("DiffSignedLogCrop::backward before forward");
+  }
+  check_same_shape(grad_output, cached_diff_crop_,
+                   "DiffSignedLogCrop::backward");
+  const std::int64_t n = cached_in_shape_[0];
+  const std::int64_t s = cached_in_shape_[2];
+  const std::int64_t w = cached_in_shape_[3];
+  const std::int64_t y0 = (s - crop_) / 2;
+  const std::int64_t x0 = (w - crop_) / 2;
+
+  Tensor grad_input(cached_in_shape_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* g_ref = grad_input.data() + (i * 2 + 0) * s * w;
+    float* g_obs = grad_input.data() + (i * 2 + 1) * s * w;
+    const float* diff = cached_diff_crop_.data() + i * crop_ * crop_;
+    const float* gy = grad_output.data() + i * crop_ * crop_;
+    for (std::int64_t yy = 0; yy < crop_; ++yy) {
+      const std::int64_t row = (y0 + yy) * w + x0;
+      for (std::int64_t xx = 0; xx < crop_; ++xx) {
+        const float d = diff[yy * crop_ + xx];
+        const float g =
+            gy[yy * crop_ + xx] * kInvLn10 / (std::abs(d) + 1.0f);
+        g_obs[row + xx] = g;
+        g_ref[row + xx] = -g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sne::core

@@ -1,0 +1,30 @@
+// pixel_transform.h — the fixed (parameter-free) input stage of the
+// band-wise CNN (Fig. 7): given the (matched-reference, observation) pair,
+// compute the difference image, compress it with the signed logarithm
+// y = sgn(x)·log10(|x| + 1), and center-crop to the network's input size.
+// Implemented as a Module so the joint model can backpropagate through it
+// during fine-tuning.
+#pragma once
+
+#include "nn/module.h"
+
+namespace sne::core {
+
+/// [N, 2, S, S] (channel 0 = matched reference, channel 1 = observation)
+/// → [N, 1, crop, crop].
+class DiffSignedLogCrop final : public nn::Module {
+ public:
+  explicit DiffSignedLogCrop(std::int64_t crop_size);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::int64_t crop_size() const noexcept { return crop_; }
+
+ private:
+  std::int64_t crop_;
+  Tensor cached_diff_crop_;  ///< pre-signed-log cropped difference
+  Shape cached_in_shape_;
+};
+
+}  // namespace sne::core

@@ -1,0 +1,218 @@
+#include "core/sne_pipeline.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/model_io.h"
+#include "sim/image_ops.h"
+
+namespace sne::core {
+
+namespace {
+
+// The config fields that determine the architecture are serialized as a
+// tensor so the save file is self-describing.
+Tensor config_tensor(const SnePipelineConfig& c) {
+  return Tensor({3}, {static_cast<float>(c.stamp_size),
+                      static_cast<float>(c.hidden_units),
+                      static_cast<float>(c.epoch_subset)});
+}
+
+}  // namespace
+
+SnePipeline::SnePipeline(const SnePipelineConfig& config) : config_(config) {
+  if (config.stamp_size < 22 || config.hidden_units <= 0) {
+    throw std::invalid_argument("SnePipeline: bad configuration");
+  }
+  build_models();
+}
+
+void SnePipeline::build_models() {
+  Rng rng(config_.seed);
+  JointModelConfig jc;
+  jc.cnn.input_size = config_.stamp_size;
+  jc.classifier.input_dim = astro::kNumBands * 2;
+  jc.classifier.hidden_units = config_.hidden_units;
+  joint_ = std::make_unique<JointModel>(jc, rng);
+}
+
+SnePipelineReport SnePipeline::train(
+    const sim::SnDataset& data, const std::vector<std::int64_t>& train_samples,
+    const std::vector<std::int64_t>& val_samples) {
+  if (train_samples.empty()) {
+    throw std::invalid_argument("SnePipeline::train: no training samples");
+  }
+  SnePipelineReport report;
+
+  // Stage 1 — pre-train the band-wise flux CNN on image pairs.
+  Rng rng_cnn(config_.seed + 1);
+  BandCnnConfig cnn_cfg = joint_->config().cnn;
+  BandCnn cnn(cnn_cfg, rng_cnn);
+  {
+    auto items =
+        enumerate_flux_pairs(data, train_samples, config_.flux_max_mag);
+    if (static_cast<std::int64_t>(items.size()) > config_.flux_pairs) {
+      items.resize(static_cast<std::size_t>(config_.flux_pairs));
+    }
+    const nn::LazyDataset pairs =
+        make_flux_pair_dataset(data, items, config_.stamp_size);
+    nn::Adam opt(cnn.params(), config_.flux_lr);
+    nn::Trainer trainer(cnn, opt, nn::mse_loss);
+    nn::TrainConfig tc;
+    tc.epochs = config_.flux_epochs;
+    tc.batch_size = 16;
+    tc.shuffle_seed = config_.seed + 2;
+    report.flux_history = trainer.fit(pairs, nullptr, tc);
+    // Photometric zero-point calibration (see calibrate_flux_zero_point).
+    calibrate_flux_zero_point(cnn, pairs);
+  }
+
+  // Stage 2 — pre-train the light-curve classifier on ground-truth
+  // features (the paper trains it on the simulated light curves).
+  Rng rng_clf(config_.seed + 3);
+  LcClassifierConfig clf_cfg = joint_->config().classifier;
+  LcClassifier clf(clf_cfg, rng_clf);
+  {
+    FeatureConfig features;
+    features.epochs = 1;
+    features.noisy = true;  // match the measurement error of CNN estimates
+    const nn::VectorDataset train = nn::materialize(
+        make_lc_feature_dataset(data, train_samples, features));
+    std::optional<nn::VectorDataset> val;
+    if (!val_samples.empty()) {
+      val.emplace(nn::materialize(
+          make_lc_feature_dataset(data, val_samples, features)));
+    }
+    nn::Adam opt(clf.params(), config_.classifier_lr);
+    nn::Trainer trainer(clf, opt, nn::bce_with_logits_loss,
+                        nn::binary_accuracy);
+    nn::TrainConfig tc;
+    tc.epochs = config_.classifier_epochs;
+    tc.batch_size = 64;
+    tc.shuffle_seed = config_.seed + 4;
+    report.classifier_history =
+        trainer.fit(train, val ? &*val : nullptr, tc);
+  }
+
+  // Stage 3 — transplant and fine-tune jointly on images.
+  init_joint_from_pretrained(*joint_, cnn, clf);
+  if (config_.joint_epochs > 0) {
+    const nn::LazyDataset train = make_joint_dataset(
+        data, train_samples, config_.epoch_subset, config_.stamp_size, {});
+    std::optional<nn::LazyDataset> val;
+    if (!val_samples.empty()) {
+      val.emplace(make_joint_dataset(data, val_samples, config_.epoch_subset,
+                                     config_.stamp_size, {}));
+    }
+    nn::Adam opt(joint_->params(), config_.joint_lr);
+    nn::Trainer trainer(*joint_, opt, nn::bce_with_logits_loss,
+                        nn::binary_accuracy);
+    nn::TrainConfig tc;
+    tc.epochs = config_.joint_epochs;
+    tc.batch_size = 16;
+    tc.grad_clip = 5.0f;
+    tc.shuffle_seed = config_.seed + 5;
+    report.joint_history = trainer.fit(train, val ? &*val : nullptr, tc);
+  }
+
+  trained_ = true;
+  return report;
+}
+
+double SnePipeline::score(const sim::SnDataset& data,
+                          std::int64_t sample) const {
+  if (!trained_) throw std::logic_error("SnePipeline: not trained");
+  const nn::LazyDataset one = make_joint_dataset(
+      data, {sample}, config_.epoch_subset, config_.stamp_size, {});
+  const nn::Sample s = one.get(0);
+  joint_->set_training(false);
+  const Tensor logit = joint_->forward(s.x.reshaped({1, s.x.size()}));
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit[0])));
+}
+
+std::vector<float> SnePipeline::score_all(
+    const sim::SnDataset& data,
+    const std::vector<std::int64_t>& samples) const {
+  if (!trained_) throw std::logic_error("SnePipeline: not trained");
+  const nn::LazyDataset set = make_joint_dataset(
+      data, samples, config_.epoch_subset, config_.stamp_size, {});
+  joint_->set_training(false);
+  std::vector<float> out;
+  out.reserve(samples.size());
+  for (std::int64_t k = 0; k < set.size(); ++k) {
+    const nn::Sample s = set.get(k);
+    const Tensor logit = joint_->forward(s.x.reshaped({1, s.x.size()}));
+    out.push_back(
+        static_cast<float>(1.0 / (1.0 + std::exp(-logit[0]))));
+  }
+  return out;
+}
+
+double SnePipeline::estimate_magnitude(const Tensor& pair) const {
+  if (!trained_) throw std::logic_error("SnePipeline: not trained");
+  if (pair.rank() != 3 || pair.extent(0) != 2) {
+    throw std::invalid_argument(
+        "estimate_magnitude: expected [2, S, S] pair, got " +
+        pair.shape_string());
+  }
+  Tensor stamp = pair;
+  if (pair.extent(1) != config_.stamp_size) {
+    // Center-crop each channel to the network's input extent.
+    Tensor cropped({2, config_.stamp_size, config_.stamp_size});
+    const std::int64_t plane = pair.extent(1) * pair.extent(2);
+    for (std::int64_t c = 0; c < 2; ++c) {
+      Tensor channel({pair.extent(1), pair.extent(2)});
+      std::copy(pair.data() + c * plane, pair.data() + (c + 1) * plane,
+                channel.data());
+      const Tensor small = sim::center_crop(channel, config_.stamp_size);
+      std::copy(small.data(), small.data() + small.size(),
+                cropped.data() + c * small.size());
+    }
+    stamp = std::move(cropped);
+  }
+  joint_->set_training(false);
+  const Tensor mags = joint_->band_cnn().forward(
+      stamp.reshaped({1, 2, config_.stamp_size, config_.stamp_size}));
+  return mags[0];
+}
+
+void SnePipeline::save(const std::string& path) const {
+  if (!trained_) throw std::logic_error("SnePipeline::save: not trained");
+  TensorMap state = nn::state_dict(*joint_);
+  state.emplace_back("__pipeline_config__", config_tensor(config_));
+  save_tensor_map(path, state);
+}
+
+SnePipeline SnePipeline::load(const std::string& path) {
+  TensorMap state = load_tensor_map(path);
+  SnePipelineConfig config;
+  bool found = false;
+  for (auto it = state.begin(); it != state.end(); ++it) {
+    if (it->first == "__pipeline_config__") {
+      if (it->second.size() != 3) {
+        throw std::runtime_error("SnePipeline::load: bad config record");
+      }
+      config.stamp_size = static_cast<std::int64_t>(it->second[0]);
+      config.hidden_units = static_cast<std::int64_t>(it->second[1]);
+      config.epoch_subset = static_cast<std::int64_t>(it->second[2]);
+      state.erase(it);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw std::runtime_error("SnePipeline::load: missing config record");
+  }
+  SnePipeline pipeline(config);
+  nn::load_state_dict(*pipeline.joint_, state);
+  pipeline.trained_ = true;
+  return pipeline;
+}
+
+JointModel& SnePipeline::joint_model() {
+  if (!joint_) throw std::logic_error("SnePipeline: no model");
+  return *joint_;
+}
+
+}  // namespace sne::core

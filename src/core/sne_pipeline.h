@@ -1,0 +1,87 @@
+// sne_pipeline.h — the end-to-end facade: one object that owns the
+// paper's full training recipe (pre-train flux CNN → pre-train
+// classifier → transplant → fine-tune joint model) and the resulting
+// artifacts, with save/load for deployment. This is the API a survey
+// pipeline would integrate: feed it a labeled SnDataset once, then hand
+// it single-epoch image sets for scoring forever after.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/joint_model.h"
+#include "core/pipeline.h"
+#include "sim/dataset_builder.h"
+
+namespace sne::core {
+
+/// Configuration of the full recipe.
+struct SnePipelineConfig {
+  std::int64_t stamp_size = 44;        ///< CNN input extent (paper: 60)
+  std::int64_t hidden_units = 100;     ///< classifier width (paper: 100)
+  std::int64_t flux_epochs = 3;        ///< flux-CNN pre-training epochs
+  std::int64_t flux_pairs = 2000;      ///< flux-CNN pre-training pairs cap
+  double flux_max_mag = 26.5;          ///< regression faint cut
+  std::int64_t classifier_epochs = 30;
+  std::int64_t joint_epochs = 3;       ///< fine-tuning epochs
+  std::int64_t epoch_subset = 0;       ///< single-epoch subset index
+  float flux_lr = 2e-3f;
+  float classifier_lr = 3e-3f;
+  float joint_lr = 3e-4f;
+  std::uint64_t seed = 1;
+};
+
+/// Per-stage training diagnostics returned by train().
+struct SnePipelineReport {
+  std::vector<nn::EpochStats> flux_history;
+  std::vector<nn::EpochStats> classifier_history;
+  std::vector<nn::EpochStats> joint_history;
+};
+
+class SnePipeline {
+ public:
+  explicit SnePipeline(const SnePipelineConfig& config = {});
+
+  /// Runs the three-stage recipe on the given training samples of `data`
+  /// (with optional validation samples for the histories). After train()
+  /// the pipeline is ready to score.
+  SnePipelineReport train(const sim::SnDataset& data,
+                          const std::vector<std::int64_t>& train_samples,
+                          const std::vector<std::int64_t>& val_samples = {});
+
+  /// SNIa probability of one sample from its single-epoch images
+  /// (5 matched-reference/observation pairs + dates). Requires train()
+  /// or load().
+  double score(const sim::SnDataset& data, std::int64_t sample) const;
+
+  /// Batch scoring; returns P(SNIa) per sample.
+  std::vector<float> score_all(
+      const sim::SnDataset& data,
+      const std::vector<std::int64_t>& samples) const;
+
+  /// Estimated magnitude of a single (matched reference, observation)
+  /// pair, shape [2, S, S] — the flux-estimation service on its own.
+  double estimate_magnitude(const Tensor& pair) const;
+
+  /// Serializes all weights (+ the config needed to rebuild) to a file.
+  void save(const std::string& path) const;
+
+  /// Restores a pipeline saved with save(). The config travels with the
+  /// file, so the caller needs no prior knowledge of the architecture.
+  static SnePipeline load(const std::string& path);
+
+  bool is_trained() const noexcept { return trained_; }
+  const SnePipelineConfig& config() const noexcept { return config_; }
+  JointModel& joint_model();
+
+ private:
+  void build_models();
+
+  SnePipelineConfig config_;
+  std::unique_ptr<JointModel> joint_;
+  bool trained_ = false;
+};
+
+}  // namespace sne::core

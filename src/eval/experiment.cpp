@@ -1,0 +1,30 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sne::eval {
+
+std::int64_t env_int64(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(("SNE_" + name).c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  return (end == raw || *end != '\0') ? fallback
+                                      : static_cast<std::int64_t>(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(("SNE_" + name).c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return (end == raw || *end != '\0') ? fallback : v;
+}
+
+void print_banner(const std::string& experiment, const std::string& note) {
+  std::printf("=== %s ===\n%s\n\n", experiment.c_str(), note.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace sne::eval

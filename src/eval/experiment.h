@@ -1,0 +1,36 @@
+// experiment.h — shared scaffolding for the bench binaries: environment-
+// variable scale overrides (so every experiment can be run at paper scale
+// on bigger hardware without recompiling) and wall-clock timing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace sne::eval {
+
+/// Integer override from the environment: SNE_<NAME>; falls back to
+/// `fallback` when unset or unparsable.
+std::int64_t env_int64(const std::string& name, std::int64_t fallback);
+
+/// Floating-point override from the environment.
+double env_double(const std::string& name, double fallback);
+
+/// Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the standard bench banner (experiment id + scale note).
+void print_banner(const std::string& experiment, const std::string& note);
+
+}  // namespace sne::eval

@@ -1,0 +1,133 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::eval {
+
+namespace {
+
+void check_pair(std::span<const float> a, std::span<const float> b,
+                const char* where) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument(std::string(where) +
+                                ": size mismatch or empty");
+  }
+}
+
+}  // namespace
+
+double mse(std::span<const float> predicted, std::span<const float> target) {
+  check_pair(predicted, target, "mse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = static_cast<double>(predicted[i]) - target[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double mae(std::span<const float> predicted, std::span<const float> target) {
+  check_pair(predicted, target, "mae");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::abs(static_cast<double>(predicted[i]) - target[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double bias(std::span<const float> predicted, std::span<const float> target) {
+  check_pair(predicted, target, "bias");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += static_cast<double>(predicted[i]) - target[i];
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double pearson(std::span<const float> a, std::span<const float> b) {
+  check_pair(a, b, "pearson");
+  const auto n = static_cast<double>(a.size());
+  double sa = 0.0, sb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sa += a[i];
+    sb += b[i];
+  }
+  const double ma = sa / n;
+  const double mb = sb / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) {
+    throw std::domain_error("pearson: zero variance");
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+double brier_score(std::span<const float> probabilities,
+                   std::span<const float> labels) {
+  check_pair(probabilities, labels, "brier_score");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    const double d = static_cast<double>(probabilities[i]) - labels[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(probabilities.size());
+}
+
+std::vector<ReliabilityPoint> reliability_curve(
+    std::span<const float> probabilities, std::span<const float> labels,
+    std::int64_t bins) {
+  check_pair(probabilities, labels, "reliability_curve");
+  if (bins <= 0) throw std::invalid_argument("reliability_curve: bins <= 0");
+  std::vector<double> sum_p(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> sum_y(static_cast<std::size_t>(bins), 0.0);
+  std::vector<std::int64_t> count(static_cast<std::size_t>(bins), 0);
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = std::clamp(static_cast<double>(probabilities[i]), 0.0,
+                                1.0);
+    auto b = static_cast<std::int64_t>(p * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;
+    sum_p[static_cast<std::size_t>(b)] += p;
+    sum_y[static_cast<std::size_t>(b)] += labels[i];
+    ++count[static_cast<std::size_t>(b)];
+  }
+  std::vector<ReliabilityPoint> curve;
+  for (std::int64_t b = 0; b < bins; ++b) {
+    const auto k = static_cast<std::size_t>(b);
+    if (count[k] == 0) continue;
+    curve.push_back({sum_p[k] / count[k], sum_y[k] / count[k], count[k]});
+  }
+  return curve;
+}
+
+double expected_calibration_error(std::span<const float> probabilities,
+                                  std::span<const float> labels,
+                                  std::int64_t bins) {
+  const auto curve = reliability_curve(probabilities, labels, bins);
+  double acc = 0.0;
+  for (const ReliabilityPoint& p : curve) {
+    acc += std::abs(p.mean_predicted - p.empirical_rate) *
+           static_cast<double>(p.count);
+  }
+  return acc / static_cast<double>(probabilities.size());
+}
+
+MeanStd mean_std(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean_std: empty");
+  const auto n = static_cast<double>(values.size());
+  double s = 0.0;
+  for (const double v : values) s += v;
+  const double mean = s / n;
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  return {mean, std::sqrt(var / n)};
+}
+
+}  // namespace sne::eval

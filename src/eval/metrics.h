@@ -1,0 +1,54 @@
+// metrics.h — regression and summary statistics used by the flux-
+// estimation experiments (Table 1, Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sne::eval {
+
+/// Mean squared error between two equal-length series.
+double mse(std::span<const float> predicted, std::span<const float> target);
+
+/// Mean absolute error (the paper's "mean estimation error of 0.087 light
+/// magnitudes" for the 60×60 flux CNN).
+double mae(std::span<const float> predicted, std::span<const float> target);
+
+/// Mean signed error (bias); negative means predictions are too small.
+double bias(std::span<const float> predicted, std::span<const float> target);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const float> a, std::span<const float> b);
+
+/// Mean and (population) standard deviation of a series.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd mean_std(std::span<const double> values);
+
+/// Brier score of probabilistic predictions against {0,1} labels:
+/// mean((p − y)²). 0 is perfect; 0.25 is an uninformative constant 0.5.
+double brier_score(std::span<const float> probabilities,
+                   std::span<const float> labels);
+
+/// Reliability curve: predictions bucketed into `bins` equal probability
+/// bins; each point is (mean predicted p, empirical positive rate, count).
+/// Empty bins are omitted. A calibrated classifier tracks the diagonal.
+struct ReliabilityPoint {
+  double mean_predicted = 0.0;
+  double empirical_rate = 0.0;
+  std::int64_t count = 0;
+};
+std::vector<ReliabilityPoint> reliability_curve(
+    std::span<const float> probabilities, std::span<const float> labels,
+    std::int64_t bins = 10);
+
+/// Expected calibration error: count-weighted mean |p̂ − rate| over the
+/// reliability curve.
+double expected_calibration_error(std::span<const float> probabilities,
+                                  std::span<const float> labels,
+                                  std::int64_t bins = 10);
+
+}  // namespace sne::eval

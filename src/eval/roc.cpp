@@ -1,0 +1,183 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace sne::eval {
+
+namespace {
+
+void check_inputs(std::span<const float> scores,
+                  std::span<const float> labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("roc: scores/labels size mismatch or empty");
+  }
+  bool has_pos = false;
+  bool has_neg = false;
+  for (const float l : labels) {
+    (l > 0.5f ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument("roc: need both classes present");
+  }
+}
+
+}  // namespace
+
+RocCurve compute_roc(std::span<const float> scores,
+                     std::span<const float> labels) {
+  check_inputs(scores, labels);
+  const std::size_t n = scores.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  double total_pos = 0.0;
+  double total_neg = 0.0;
+  for (const float l : labels) {
+    if (l > 0.5f) {
+      total_pos += 1.0;
+    } else {
+      total_neg += 1.0;
+    }
+  }
+
+  RocCurve curve;
+  curve.points.push_back({0.0, 0.0, scores[order.front()] + 1.0});
+
+  double tp = 0.0;
+  double fp = 0.0;
+  double auc_acc = 0.0;
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  std::size_t k = 0;
+  while (k < n) {
+    // Consume all examples tied at this score together so ties contribute
+    // a diagonal segment (correct trapezoidal AUC under ties).
+    const float cut = scores[order[k]];
+    while (k < n && scores[order[k]] == cut) {
+      if (labels[order[k]] > 0.5f) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+      ++k;
+    }
+    const double fpr = fp / total_neg;
+    const double tpr = tp / total_pos;
+    auc_acc += 0.5 * (fpr - prev_fpr) * (tpr + prev_tpr);
+    curve.points.push_back({fpr, tpr, static_cast<double>(cut)});
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  curve.auc = auc_acc;
+  return curve;
+}
+
+double auc(std::span<const float> scores, std::span<const float> labels) {
+  return compute_roc(scores, labels).auc;
+}
+
+double accuracy_at(std::span<const float> scores,
+                   std::span<const float> labels, double threshold) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("accuracy_at: bad inputs");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] > threshold;
+    const bool truth = labels[i] > 0.5f;
+    if (predicted == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+double best_accuracy(std::span<const float> scores,
+                     std::span<const float> labels) {
+  check_inputs(scores, labels);
+  const RocCurve curve = compute_roc(scores, labels);
+  double total_pos = 0.0;
+  for (const float l : labels) {
+    if (l > 0.5f) total_pos += 1.0;
+  }
+  const double total = static_cast<double>(labels.size());
+  const double total_neg = total - total_pos;
+
+  double best = 0.0;
+  for (const RocPoint& p : curve.points) {
+    const double correct = p.tpr * total_pos + (1.0 - p.fpr) * total_neg;
+    best = std::max(best, correct / total);
+  }
+  return best;
+}
+
+AucInterval bootstrap_auc(std::span<const float> scores,
+                          std::span<const float> labels,
+                          std::int64_t resamples, double confidence,
+                          std::uint64_t seed) {
+  check_inputs(scores, labels);
+  if (resamples < 10 || confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_auc: bad parameters");
+  }
+  std::vector<std::size_t> pos_idx;
+  std::vector<std::size_t> neg_idx;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] > 0.5f ? pos_idx : neg_idx).push_back(i);
+  }
+
+  Rng rng(seed);
+  std::vector<double> replicates;
+  replicates.reserve(static_cast<std::size_t>(resamples));
+  std::vector<float> s_boot;
+  std::vector<float> l_boot;
+  for (std::int64_t r = 0; r < resamples; ++r) {
+    s_boot.clear();
+    l_boot.clear();
+    for (std::size_t k = 0; k < pos_idx.size(); ++k) {
+      const std::size_t pick =
+          pos_idx[static_cast<std::size_t>(rng.uniform_index(pos_idx.size()))];
+      s_boot.push_back(scores[pick]);
+      l_boot.push_back(1.0f);
+    }
+    for (std::size_t k = 0; k < neg_idx.size(); ++k) {
+      const std::size_t pick =
+          neg_idx[static_cast<std::size_t>(rng.uniform_index(neg_idx.size()))];
+      s_boot.push_back(scores[pick]);
+      l_boot.push_back(0.0f);
+    }
+    replicates.push_back(auc(s_boot, l_boot));
+  }
+  std::sort(replicates.begin(), replicates.end());
+
+  const double alpha = 0.5 * (1.0 - confidence);
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(replicates.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(std::floor(pos));
+    const auto hi_idx = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - std::floor(pos);
+    return replicates[lo_idx] * (1.0 - frac) + replicates[hi_idx] * frac;
+  };
+
+  AucInterval out;
+  out.auc = auc(scores, labels);
+  out.lo = quantile(alpha);
+  out.hi = quantile(1.0 - alpha);
+  return out;
+}
+
+double tpr_at_fpr(const RocCurve& curve, double max_fpr) {
+  double best_tpr = 0.0;
+  for (const RocPoint& p : curve.points) {
+    if (p.fpr <= max_fpr) best_tpr = std::max(best_tpr, p.tpr);
+  }
+  return best_tpr;
+}
+
+}  // namespace sne::eval

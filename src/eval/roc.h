@@ -1,0 +1,61 @@
+// roc.h — receiver-operating-characteristic analysis. Every classification
+// result in the paper (Figs. 9, 10, 11 and Table 2) is reported as a ROC
+// curve or its AUC; the Poznanski baseline rows report accuracy instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sne::eval {
+
+struct RocPoint {
+  double fpr = 0.0;       ///< false positive rate
+  double tpr = 0.0;       ///< true positive rate
+  double threshold = 0.0; ///< score cut producing this point
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< monotone in fpr, from (0,0) to (1,1)
+  double auc = 0.0;              ///< trapezoidal area under the curve
+};
+
+/// Computes the full ROC curve. `labels` are {0, 1}; higher score must
+/// mean "more positive". Both spans must be the same non-zero length and
+/// contain at least one example of each class.
+RocCurve compute_roc(std::span<const float> scores,
+                     std::span<const float> labels);
+
+/// AUC only (same preconditions); equivalent to the Mann–Whitney U
+/// statistic with tie correction.
+double auc(std::span<const float> scores, std::span<const float> labels);
+
+/// Classification accuracy at a fixed score threshold.
+double accuracy_at(std::span<const float> scores,
+                   std::span<const float> labels, double threshold);
+
+/// Accuracy at the best possible threshold (what "accuracy" means in the
+/// Poznanski2007 rows of Table 2, which tuned their cut).
+double best_accuracy(std::span<const float> scores,
+                     std::span<const float> labels);
+
+/// TPR at the largest threshold whose FPR does not exceed `max_fpr`
+/// (the TPR@FPR operating-point metric of the bogus-rejection literature).
+double tpr_at_fpr(const RocCurve& curve, double max_fpr);
+
+/// Bootstrap confidence interval for the AUC: `resamples` stratified
+/// bootstrap replicates (positives and negatives resampled separately so
+/// every replicate has both classes), percentile interval at the given
+/// confidence level. Deterministic in `seed`.
+struct AucInterval {
+  double auc = 0.0;  ///< point estimate on the full sample
+  double lo = 0.0;
+  double hi = 1.0;
+};
+AucInterval bootstrap_auc(std::span<const float> scores,
+                          std::span<const float> labels,
+                          std::int64_t resamples = 200,
+                          double confidence = 0.95,
+                          std::uint64_t seed = 17);
+
+}  // namespace sne::eval

@@ -1,0 +1,144 @@
+#include "nn/activation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::nn {
+
+PReLU::PReLU(std::int64_t channels, float init_slope, std::string name)
+    : channels_(channels),
+      slope_(name + ".slope", Tensor({channels}, init_slope)) {
+  if (channels <= 0) {
+    throw std::invalid_argument("PReLU: channels must be positive");
+  }
+}
+
+Tensor PReLU::forward(const Tensor& x) {
+  if (x.rank() < 2 || x.extent(1) != channels_) {
+    throw std::invalid_argument("PReLU: axis-1 extent must be " +
+                                std::to_string(channels_) + ", got " +
+                                x.shape_string());
+  }
+  cached_input_ = x;
+  const std::int64_t n = x.extent(0);
+  const std::int64_t spatial = x.size() / (n * channels_);
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float a = slope_.value[c];
+      const float* src = x.data() + (i * channels_ + c) * spatial;
+      float* dst = y.data() + (i * channels_ + c) * spatial;
+      for (std::int64_t p = 0; p < spatial; ++p) {
+        dst[p] = src[p] > 0.0f ? src[p] : a * src[p];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor PReLU::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("PReLU::backward before forward");
+  }
+  check_same_shape(grad_output, cached_input_, "PReLU::backward");
+  const std::int64_t n = cached_input_.extent(0);
+  const std::int64_t spatial = cached_input_.size() / (n * channels_);
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float a = slope_.value[c];
+      const float* xin = cached_input_.data() + (i * channels_ + c) * spatial;
+      const float* gy = grad_output.data() + (i * channels_ + c) * spatial;
+      float* gx = grad_input.data() + (i * channels_ + c) * spatial;
+      double da = 0.0;
+      for (std::int64_t p = 0; p < spatial; ++p) {
+        if (xin[p] > 0.0f) {
+          gx[p] = gy[p];
+        } else {
+          gx[p] = a * gy[p];
+          da += static_cast<double>(gy[p]) * xin[p];
+        }
+      }
+      slope_.grad[c] += static_cast<float>(da);
+    }
+  }
+  return grad_input;
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("ReLU::backward first");
+  check_same_shape(grad_output, cached_input_, "ReLU::backward");
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+  }
+  return grad_input;
+}
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error("Sigmoid::backward before forward");
+  }
+  check_same_shape(grad_output, cached_output_, "Sigmoid::backward");
+  Tensor grad_input(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.size(); ++i) {
+    const float s = cached_output_[i];
+    grad_input[i] = grad_output[i] * s * (1.0f - s);
+  }
+  return grad_input;
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error("Tanh::backward before forward");
+  }
+  check_same_shape(grad_output, cached_output_, "Tanh::backward");
+  Tensor grad_input(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.size(); ++i) {
+    const float t = cached_output_[i];
+    grad_input[i] = grad_output[i] * (1.0f - t * t);
+  }
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  if (x.rank() < 2) {
+    throw std::invalid_argument("Flatten: rank must be >= 2");
+  }
+  cached_shape_ = x.shape();
+  return x.reshaped({x.extent(0), -1});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_shape_.empty()) {
+    throw std::logic_error("Flatten::backward before forward");
+  }
+  return grad_output.reshaped(cached_shape_);
+}
+
+}  // namespace sne::nn

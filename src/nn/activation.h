@@ -1,0 +1,69 @@
+// activation.h — elementwise activations and shape adapters. PReLU (He et
+// al.) is the activation the paper uses in every convolution module; the
+// sigmoid closes the classifier head.
+#pragma once
+
+#include "nn/module.h"
+
+namespace sne::nn {
+
+/// Parametric ReLU with one learnable slope per channel:
+/// y = x (x > 0), y = a_c · x (x ≤ 0). Accepts [N, C] or [N, C, H, W].
+/// `channels` must match axis 1 of the input.
+class PReLU final : public Module {
+ public:
+  explicit PReLU(std::int64_t channels, float init_slope = 0.25f,
+                 std::string name = "prelu");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&slope_}; }
+
+ private:
+  std::int64_t channels_;
+  Param slope_;  // [C]
+  Tensor cached_input_;
+};
+
+/// Plain ReLU (used by ablation variants).
+class ReLU final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Elementwise logistic sigmoid.
+class Sigmoid final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Elementwise tanh.
+class Tanh final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Collapses [N, C, H, W] (or any rank ≥ 2) to [N, C·H·W]; the adapter
+/// between the convolutional trunk and the fully connected head.
+class Flatten final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace sne::nn

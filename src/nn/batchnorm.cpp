@@ -1,0 +1,157 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::nn {
+
+BatchNormBase::BatchNormBase(std::int64_t channels, float momentum, float eps,
+                             std::string name)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name + ".gamma", Tensor({channels}, 1.0f)),
+      beta_(name + ".beta", Tensor({channels})),
+      running_mean_(name + ".running_mean", Tensor({channels})),
+      running_var_(name + ".running_var", Tensor({channels}, 1.0f)) {
+  if (channels <= 0) {
+    throw std::invalid_argument("BatchNorm: channels must be positive");
+  }
+}
+
+void BatchNorm1d::check_input(const Tensor& x) const {
+  if (x.rank() != 2 || x.extent(1) != channels_) {
+    throw std::invalid_argument("BatchNorm1d: expected [N, " +
+                                std::to_string(channels_) + "], got " +
+                                x.shape_string());
+  }
+}
+
+void BatchNorm2d::check_input(const Tensor& x) const {
+  if (x.rank() != 4 || x.extent(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected [N, " +
+                                std::to_string(channels_) + ", H, W], got " +
+                                x.shape_string());
+  }
+}
+
+Tensor BatchNormBase::forward(const Tensor& x) {
+  check_input(x);
+  const std::int64_t n = x.extent(0);
+  const std::int64_t spatial =
+      x.rank() == 4 ? x.extent(2) * x.extent(3) : 1;
+  const std::int64_t per_channel = n * spatial;
+  const std::int64_t chw = channels_ * spatial;
+
+  cached_per_channel_ = per_channel;
+  cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  cached_xhat_ = Tensor(x.shape());
+  Tensor y(x.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    float mean;
+    float var;
+    if (training_) {
+      double s = 0.0;
+      double s2 = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* base = x.data() + i * chw + c * spatial;
+        for (std::int64_t p = 0; p < spatial; ++p) {
+          const double v = base[p];
+          s += v;
+          s2 += v * v;
+        }
+      }
+      mean = static_cast<float>(s / static_cast<double>(per_channel));
+      var = static_cast<float>(s2 / static_cast<double>(per_channel)) -
+            mean * mean;
+      if (var < 0.0f) var = 0.0f;  // numerical guard
+      running_mean_.value[c] =
+          (1.0f - momentum_) * running_mean_.value[c] + momentum_ * mean;
+      // Unbiased variance for the running estimate, as in common practice.
+      const float unbiased =
+          per_channel > 1
+              ? var * static_cast<float>(per_channel) /
+                    static_cast<float>(per_channel - 1)
+              : var;
+      running_var_.value[c] =
+          (1.0f - momentum_) * running_var_.value[c] + momentum_ * unbiased;
+    } else {
+      mean = running_mean_.value[c];
+      var = running_var_.value[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = x.data() + i * chw + c * spatial;
+      float* xh = cached_xhat_.data() + i * chw + c * spatial;
+      float* dst = y.data() + i * chw + c * spatial;
+      for (std::int64_t p = 0; p < spatial; ++p) {
+        const float xhat = (src[p] - mean) * inv_std;
+        xh[p] = xhat;
+        dst[p] = g * xhat + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNormBase::backward(const Tensor& grad_output) {
+  if (cached_xhat_.empty()) {
+    throw std::logic_error("BatchNorm::backward before forward");
+  }
+  check_same_shape(grad_output, cached_xhat_, "BatchNorm::backward");
+  const std::int64_t n = grad_output.extent(0);
+  const std::int64_t spatial =
+      grad_output.rank() == 4 ? grad_output.extent(2) * grad_output.extent(3)
+                              : 1;
+  const std::int64_t chw = channels_ * spatial;
+  const auto m = static_cast<float>(cached_per_channel_);
+
+  Tensor grad_input(grad_output.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float g = gamma_.value[c];
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
+
+    double sum_gy = 0.0;
+    double sum_gy_xhat = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* gy = grad_output.data() + i * chw + c * spatial;
+      const float* xh = cached_xhat_.data() + i * chw + c * spatial;
+      for (std::int64_t p = 0; p < spatial; ++p) {
+        sum_gy += gy[p];
+        sum_gy_xhat += static_cast<double>(gy[p]) * xh[p];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_gy);
+
+    if (training_) {
+      const auto mean_gy = static_cast<float>(sum_gy) / m;
+      const auto mean_gy_xhat = static_cast<float>(sum_gy_xhat) / m;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* gy = grad_output.data() + i * chw + c * spatial;
+        const float* xh = cached_xhat_.data() + i * chw + c * spatial;
+        float* gx = grad_input.data() + i * chw + c * spatial;
+        for (std::int64_t p = 0; p < spatial; ++p) {
+          gx[p] = g * inv_std * (gy[p] - mean_gy - xh[p] * mean_gy_xhat);
+        }
+      }
+    } else {
+      // Inference mode treats mean/var as constants.
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* gy = grad_output.data() + i * chw + c * spatial;
+        float* gx = grad_input.data() + i * chw + c * spatial;
+        for (std::int64_t p = 0; p < spatial; ++p) {
+          gx[p] = g * inv_std * gy[p];
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sne::nn

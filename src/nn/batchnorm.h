@@ -1,0 +1,68 @@
+// batchnorm.h — batch normalization (Ioffe & Szegedy 2015, ref. [5] of the
+// paper). Fig. 7's convolution modules interleave 5×5 conv → batch norm →
+// PReLU → max-pool; BatchNorm2d normalizes per channel over (N, H, W),
+// BatchNorm1d per feature over N.
+#pragma once
+
+#include "nn/module.h"
+
+namespace sne::nn {
+
+/// Shared implementation: normalizes over all axes except the channel axis.
+class BatchNormBase : public Module {
+ public:
+  BatchNormBase(std::int64_t channels, float momentum, float eps,
+                std::string name);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Param*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+
+  std::int64_t channels() const noexcept { return channels_; }
+
+ protected:
+  /// Number of elements sharing channel statistics (N or N·H·W), and the
+  /// per-element channel stride layout: rank must be 2 ([N, C]) or
+  /// 4 ([N, C, H, W]).
+  virtual void check_input(const Tensor& x) const = 0;
+
+  std::int64_t channels_;
+  float momentum_;
+  float eps_;
+  Param gamma_;
+  Param beta_;
+  Param running_mean_;
+  Param running_var_;
+
+  // Forward caches for backward.
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  std::int64_t cached_per_channel_ = 0;
+};
+
+/// Batch norm over [N, C] inputs.
+class BatchNorm1d final : public BatchNormBase {
+ public:
+  explicit BatchNorm1d(std::int64_t features, float momentum = 0.1f,
+                       float eps = 1e-5f, std::string name = "bn1d")
+      : BatchNormBase(features, momentum, eps, std::move(name)) {}
+
+ private:
+  void check_input(const Tensor& x) const override;
+};
+
+/// Batch norm over [N, C, H, W] inputs (per-channel statistics).
+class BatchNorm2d final : public BatchNormBase {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f, std::string name = "bn2d")
+      : BatchNormBase(channels, momentum, eps, std::move(name)) {}
+
+ private:
+  void check_input(const Tensor& x) const override;
+};
+
+}  // namespace sne::nn

@@ -1,0 +1,113 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+
+namespace sne::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, Rng& rng, std::int64_t stride,
+               std::int64_t pad, std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(name + ".weight",
+              Tensor({out_channels, in_channels * kernel * kernel})),
+      bias_(name + ".bias", Tensor({out_channels})) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+      pad < 0) {
+    throw std::invalid_argument("Conv2d: invalid configuration");
+  }
+  const auto fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float bound = std::sqrt(6.0f / fan_in);
+  weight_.value = Tensor::rand_uniform(weight_.value.shape(), rng, -bound,
+                                       bound);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.extent(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: expected [N, " +
+                                std::to_string(in_channels_) +
+                                ", H, W], got " + x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t h = x.extent(2);
+  const std::int64_t w = x.extent(3);
+  const std::int64_t out_h = conv_out_extent(h, kernel_, pad_, stride_);
+  const std::int64_t out_w = conv_out_extent(w, kernel_, pad_, stride_);
+  if (out_h <= 0 || out_w <= 0) {
+    throw std::invalid_argument("Conv2d::forward: kernel larger than input");
+  }
+  const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::int64_t out_hw = out_h * out_w;
+
+  cached_input_ = x;
+  cached_columns_ = Tensor({n, col_rows, out_hw});
+  Tensor y({n, out_channels_, out_h, out_w});
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* cols = cached_columns_.data() + i * col_rows * out_hw;
+    im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_,
+           kernel_, pad_, stride_, cols);
+    float* yi = y.data() + i * out_channels_ * out_hw;
+    // y_i[Cout, H'W'] = W[Cout, col_rows] · cols[col_rows, H'W']
+    sgemm(out_channels_, out_hw, col_rows, 1.0f, weight_.value.data(), cols,
+          0.0f, yi);
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float b = bias_.value[c];
+      float* plane = yi + c * out_hw;
+      for (std::int64_t p = 0; p < out_hw; ++p) plane[p] += b;
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2d::backward before forward");
+  }
+  const std::int64_t n = cached_input_.extent(0);
+  const std::int64_t h = cached_input_.extent(2);
+  const std::int64_t w = cached_input_.extent(3);
+  const std::int64_t out_h = conv_out_extent(h, kernel_, pad_, stride_);
+  const std::int64_t out_w = conv_out_extent(w, kernel_, pad_, stride_);
+  const std::int64_t out_hw = out_h * out_w;
+  const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  if (grad_output.rank() != 4 || grad_output.extent(0) != n ||
+      grad_output.extent(1) != out_channels_ ||
+      grad_output.extent(2) != out_h || grad_output.extent(3) != out_w) {
+    throw std::invalid_argument("Conv2d::backward: bad grad shape " +
+                                grad_output.shape_string());
+  }
+
+  Tensor grad_input(cached_input_.shape());
+  Tensor grad_cols({col_rows, out_hw});
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* gy = grad_output.data() + i * out_channels_ * out_hw;
+    const float* cols = cached_columns_.data() + i * col_rows * out_hw;
+    // dW[Cout, col_rows] += gy[Cout, H'W'] · colsᵀ
+    sgemm_bt(out_channels_, col_rows, out_hw, 1.0f, gy, cols, 1.0f,
+             weight_.grad.data());
+    // db[Cout] += per-channel sums of gy
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float* plane = gy + c * out_hw;
+      double s = 0.0;
+      for (std::int64_t p = 0; p < out_hw; ++p) s += plane[p];
+      bias_.grad[c] += static_cast<float>(s);
+    }
+    // dcols[col_rows, H'W'] = Wᵀ · gy, then scatter back with col2im.
+    sgemm_at(col_rows, out_hw, out_channels_, 1.0f, weight_.value.data(), gy,
+             0.0f, grad_cols.data());
+    col2im(grad_cols.data(), in_channels_, h, w, kernel_, kernel_, pad_,
+           stride_, grad_input.data() + i * in_channels_ * h * w);
+  }
+  return grad_input;
+}
+
+}  // namespace sne::nn

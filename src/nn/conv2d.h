@@ -1,0 +1,39 @@
+// conv2d.h — 2-d convolution implemented as im2col + GEMM, the standard
+// lowering on CPU. This is the workhorse of the paper's band-wise CNN
+// (three 5×5 convolution stages, Fig. 7).
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace sne::nn {
+
+/// 2-d convolution: input [N, Cin, H, W] → output [N, Cout, H', W'] with
+/// H' = (H + 2·pad − k)/stride + 1 (and likewise W').
+class Conv2d final : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, Rng& rng, std::int64_t stride = 1,
+         std::int64_t pad = 0, std::string name = "conv");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  std::int64_t in_channels() const noexcept { return in_channels_; }
+  std::int64_t out_channels() const noexcept { return out_channels_; }
+  std::int64_t kernel() const noexcept { return kernel_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Param weight_;  // [Cout, Cin·k·k]
+  Param bias_;    // [Cout]
+  Tensor cached_input_;
+  Tensor cached_columns_;  // im2col of the whole batch: [N, Cin·k·k, H'·W']
+};
+
+}  // namespace sne::nn

@@ -1,0 +1,77 @@
+#include "nn/dataset.h"
+
+#include <stdexcept>
+
+namespace sne::nn {
+
+VectorDataset materialize(const Dataset& dataset) {
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(dataset.size()));
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    samples.push_back(dataset.get(i));
+  }
+  return VectorDataset(std::move(samples));
+}
+
+Sample make_batch(const Dataset& dataset,
+                  const std::vector<std::int64_t>& indices, std::size_t first,
+                  std::size_t count) {
+  if (count == 0 || first + count > indices.size()) {
+    throw std::invalid_argument("make_batch: bad range");
+  }
+  Sample proto = dataset.get(indices[first]);
+
+  Shape x_shape = proto.x.shape();
+  Shape y_shape = proto.y.shape();
+  x_shape.insert(x_shape.begin(), static_cast<std::int64_t>(count));
+  y_shape.insert(y_shape.begin(), static_cast<std::int64_t>(count));
+
+  Sample batch{Tensor(std::move(x_shape)), Tensor(std::move(y_shape))};
+  const std::int64_t x_stride = proto.x.size();
+  const std::int64_t y_stride = proto.y.size();
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const Sample s =
+        k == 0 ? std::move(proto) : dataset.get(indices[first + k]);
+    if (s.x.size() != x_stride || s.y.size() != y_stride) {
+      throw std::runtime_error("make_batch: ragged sample shapes");
+    }
+    std::copy(s.x.data(), s.x.data() + x_stride,
+              batch.x.data() + static_cast<std::int64_t>(k) * x_stride);
+    std::copy(s.y.data(), s.y.data() + y_stride,
+              batch.y.data() + static_cast<std::int64_t>(k) * y_stride);
+  }
+  return batch;
+}
+
+SplitIndices split_indices(std::int64_t n, double train_fraction,
+                           double val_fraction, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("split_indices: empty dataset");
+  if (train_fraction < 0 || val_fraction < 0 ||
+      train_fraction + val_fraction > 1.0) {
+    throw std::invalid_argument("split_indices: bad fractions");
+  }
+  std::vector<std::size_t> perm(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(n) * train_fraction);
+  const auto n_val =
+      static_cast<std::size_t>(static_cast<double>(n) * val_fraction);
+
+  SplitIndices out;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const auto idx = static_cast<std::int64_t>(perm[i]);
+    if (i < n_train) {
+      out.train.push_back(idx);
+    } else if (i < n_train + n_val) {
+      out.val.push_back(idx);
+    } else {
+      out.test.push_back(idx);
+    }
+  }
+  return out;
+}
+
+}  // namespace sne::nn

@@ -1,0 +1,101 @@
+// dataset.h — supervised dataset abstraction and batching. Datasets are
+// index-addressable and stateless so that the simulator can render samples
+// lazily (images are regenerated on demand from compact parameters instead
+// of being held in memory).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace sne::nn {
+
+/// One supervised example.
+struct Sample {
+  Tensor x;
+  Tensor y;
+};
+
+/// Index-addressable dataset. get(i) must be deterministic in i.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::int64_t size() const = 0;
+  virtual Sample get(std::int64_t index) const = 0;
+};
+
+/// In-memory dataset over pre-materialized samples.
+class VectorDataset final : public Dataset {
+ public:
+  explicit VectorDataset(std::vector<Sample> samples)
+      : samples_(std::move(samples)) {}
+
+  std::int64_t size() const override {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  Sample get(std::int64_t index) const override {
+    return samples_.at(static_cast<std::size_t>(index));
+  }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Dataset computed on the fly from a generator function.
+class LazyDataset final : public Dataset {
+ public:
+  LazyDataset(std::int64_t n, std::function<Sample(std::int64_t)> generator)
+      : n_(n), generator_(std::move(generator)) {}
+
+  std::int64_t size() const override { return n_; }
+  Sample get(std::int64_t index) const override { return generator_(index); }
+
+ private:
+  std::int64_t n_;
+  std::function<Sample(std::int64_t)> generator_;
+};
+
+/// View of a subset of another dataset (used for train/val/test splits).
+class SubsetDataset final : public Dataset {
+ public:
+  SubsetDataset(const Dataset& base, std::vector<std::int64_t> indices)
+      : base_(&base), indices_(std::move(indices)) {}
+
+  std::int64_t size() const override {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+  Sample get(std::int64_t index) const override {
+    return base_->get(indices_.at(static_cast<std::size_t>(index)));
+  }
+
+ private:
+  const Dataset* base_;
+  std::vector<std::int64_t> indices_;
+};
+
+/// Evaluates every sample of a dataset once and stores the results in
+/// memory. Worth it for small-footprint samples (feature vectors, flux
+/// sequences) that are consumed over many epochs; image datasets should
+/// stay lazy.
+VectorDataset materialize(const Dataset& dataset);
+
+/// Stacks samples dataset[indices[first..first+count)] into batch tensors:
+/// x gains a leading batch axis, y likewise.
+Sample make_batch(const Dataset& dataset,
+                  const std::vector<std::int64_t>& indices, std::size_t first,
+                  std::size_t count);
+
+/// Deterministic shuffled index split into train/val/test by fractions
+/// (paper: 80/10/10). Fractions must sum to ≤ 1; remainder goes to test.
+struct SplitIndices {
+  std::vector<std::int64_t> train;
+  std::vector<std::int64_t> val;
+  std::vector<std::int64_t> test;
+};
+SplitIndices split_indices(std::int64_t n, double train_fraction,
+                           double val_fraction, Rng& rng);
+
+}  // namespace sne::nn

@@ -1,0 +1,38 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace sne::nn {
+
+Dropout::Dropout(float probability, std::uint64_t seed)
+    : p_(probability), rng_(seed) {
+  if (probability < 0.0f || probability >= 1.0f) {
+    throw std::invalid_argument("Dropout: probability must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!training_ || p_ == 0.0f) {
+    cached_mask_ = Tensor();  // identity; backward passes grads through
+    return x;
+  }
+  const float keep_scale = 1.0f / (1.0f - p_);
+  cached_mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    cached_mask_[i] = m;
+    y[i] = x[i] * m;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (cached_mask_.empty()) return grad_output;  // identity pass
+  check_same_shape(grad_output, cached_mask_, "Dropout::backward");
+  Tensor grad_input = grad_output;
+  grad_input *= cached_mask_;
+  return grad_input;
+}
+
+}  // namespace sne::nn

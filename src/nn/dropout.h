@@ -1,0 +1,30 @@
+// dropout.h — inverted dropout. Not part of the paper's architecture
+// (batch norm does the regularization there), but standard equipment for
+// a training library of this era and used by the regularization ablation.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace sne::nn {
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1−p); inference is the
+/// identity. The mask sequence is driven by an internal seeded RNG, so
+/// training remains reproducible.
+class Dropout final : public Module {
+ public:
+  explicit Dropout(float probability, std::uint64_t seed = 77);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  float probability() const noexcept { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor cached_mask_;  ///< scale factors applied in the last forward
+};
+
+}  // namespace sne::nn

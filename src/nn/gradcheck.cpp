@@ -1,0 +1,87 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace sne::nn {
+
+namespace {
+
+double probe_dot(const Tensor& output, const Tensor& probe) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < output.size(); ++i) {
+    s += static_cast<double>(output[i]) * probe[i];
+  }
+  return s;
+}
+
+void update_worst(GradCheckResult& result, float analytic, float numeric,
+                  const std::string& where, float tolerance) {
+  const float abs_err = std::abs(analytic - numeric);
+  const float denom = std::max({std::abs(analytic), std::abs(numeric), 1.0f});
+  const float rel_err = abs_err / denom;
+  if (rel_err > result.max_rel_error) {
+    result.max_rel_error = rel_err;
+    result.worst_param = where;
+  }
+  result.max_abs_error = std::max(result.max_abs_error, abs_err);
+  if (rel_err > tolerance) result.passed = false;
+}
+
+}  // namespace
+
+GradCheckResult check_gradients(Module& module, const Tensor& x, Rng& rng,
+                                float eps, float tolerance) {
+  GradCheckResult result;
+
+  // Fix training mode off so stochastic-statistics layers (batch norm)
+  // still participate, but with batch statistics recomputed identically
+  // across the perturbed evaluations. We keep training mode ON because
+  // inference-mode batch norm has a simpler (diagonal) Jacobian that would
+  // not exercise the interesting code path.
+  module.set_training(true);
+
+  Tensor base_out = module.forward(x);
+  Tensor probe = Tensor::randn(base_out.shape(), rng);
+
+  // Analytic gradients.
+  module.zero_grad();
+  Tensor grad_in = module.backward(probe);
+
+  // A fresh forward for every perturbation: f(θ+ε) and f(θ−ε).
+  auto scalar_at = [&](void) -> double {
+    return probe_dot(module.forward(x), probe);
+  };
+
+  // Input gradient.
+  Tensor x_mut = x;
+  for (std::int64_t i = 0; i < x_mut.size(); ++i) {
+    const float saved = x_mut[i];
+    x_mut[i] = saved + eps;
+    const double up = probe_dot(module.forward(x_mut), probe);
+    x_mut[i] = saved - eps;
+    const double down = probe_dot(module.forward(x_mut), probe);
+    x_mut[i] = saved;
+    const auto numeric = static_cast<float>((up - down) / (2.0 * eps));
+    update_worst(result, grad_in[i], numeric, "<input>", tolerance);
+  }
+
+  // Parameter gradients.
+  for (Param* p : module.params()) {
+    for (std::int64_t i = 0; i < p->value.size(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double up = scalar_at();
+      p->value[i] = saved - eps;
+      const double down = scalar_at();
+      p->value[i] = saved;
+      const auto numeric = static_cast<float>((up - down) / (2.0 * eps));
+      update_worst(result, p->grad[i], numeric, p->name, tolerance);
+    }
+  }
+
+  // Leave the module caches consistent with the unperturbed input.
+  module.forward(x);
+  return result;
+}
+
+}  // namespace sne::nn

@@ -1,0 +1,28 @@
+// gradcheck.h — finite-difference gradient verification. Every layer's
+// hand-written backward pass is validated against central differences in
+// the test suite; this is the safety net that lets the library skip a
+// general autograd.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/module.h"
+
+namespace sne::nn {
+
+struct GradCheckResult {
+  bool passed = true;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  std::string worst_param;  ///< "<input>" for the input gradient
+};
+
+/// Checks d(sum of outputs·probe)/d(input and params) of `module` at input
+/// `x` against central finite differences with step `eps`.
+/// A random probe vector converts the vector-valued output into a scalar so
+/// a single backward pass covers the full Jacobian action.
+GradCheckResult check_gradients(Module& module, const Tensor& x, Rng& rng,
+                                float eps = 1e-3f, float tolerance = 2e-2f);
+
+}  // namespace sne::nn

@@ -1,0 +1,49 @@
+// gru.h — gated recurrent unit over flux time series. This powers the
+// re-implemented Charnock & Moss (2016) baseline, which classifies
+// supernovae from multi-epoch photometry with a recurrent network; it is
+// the strongest multi-epoch comparator row of the paper's Table 2.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace sne::nn {
+
+/// GRU processing a batch of sequences [N, T, D] and returning the final
+/// hidden state [N, H]. Backward implements full backpropagation through
+/// time and is finite-difference checked in tests.
+///
+///   z_t = σ(W_z·x_t + U_z·h_{t−1} + b_z)
+///   r_t = σ(W_r·x_t + U_r·h_{t−1} + b_r)
+///   ñ_t = tanh(W_n·x_t + U_n·(r_t ⊙ h_{t−1}) + b_n)
+///   h_t = (1 − z_t) ⊙ ñ_t + z_t ⊙ h_{t−1}
+class Gru final : public Module {
+ public:
+  Gru(std::int64_t input_size, std::int64_t hidden_size, Rng& rng,
+      std::string name = "gru");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+
+  std::int64_t hidden_size() const noexcept { return hidden_; }
+
+ private:
+  /// y[N,H] (+)= x[N,D] · Wᵀ; W is [H, D].
+  static void affine(const Tensor& x, const Param& w, Tensor& y);
+
+  std::int64_t input_;
+  std::int64_t hidden_;
+  Param wz_, uz_, bz_;
+  Param wr_, ur_, br_;
+  Param wn_, un_, bn_;
+
+  // Per-timestep caches (index 0..T-1).
+  std::vector<Tensor> cached_x_;       // [N, D]
+  std::vector<Tensor> cached_h_prev_;  // [N, H]
+  std::vector<Tensor> cached_z_;
+  std::vector<Tensor> cached_r_;
+  std::vector<Tensor> cached_n_;
+};
+
+}  // namespace sne::nn

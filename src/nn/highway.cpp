@@ -1,0 +1,65 @@
+#include "nn/highway.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::nn {
+
+Highway::Highway(std::int64_t features, Rng& rng, float gate_bias_init,
+                 std::string name)
+    : transform_(features, features, rng, name + ".transform"),
+      gate_(features, features, rng, name + ".gate") {
+  gate_.bias().value.fill(gate_bias_init);
+}
+
+Tensor Highway::forward(const Tensor& x) {
+  cached_input_ = x;
+
+  Tensor h = transform_.forward(x);
+  for (std::int64_t i = 0; i < h.size(); ++i) h[i] = std::tanh(h[i]);
+  cached_h_ = h;
+
+  Tensor t = gate_.forward(x);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = 1.0f / (1.0f + std::exp(-t[i]));
+  }
+  cached_t_ = t;
+
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    y[i] = t[i] * h[i] + (1.0f - t[i]) * x[i];
+  }
+  return y;
+}
+
+Tensor Highway::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Highway::backward before forward");
+  }
+  check_same_shape(grad_output, cached_input_, "Highway::backward");
+
+  // Pre-activation gradients for the two branches.
+  Tensor grad_h_pre(grad_output.shape());
+  Tensor grad_t_pre(grad_output.shape());
+  Tensor grad_x(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.size(); ++i) {
+    const float gy = grad_output[i];
+    const float h = cached_h_[i];
+    const float t = cached_t_[i];
+    const float x = cached_input_[i];
+    grad_h_pre[i] = gy * t * (1.0f - h * h);          // through tanh
+    grad_t_pre[i] = gy * (h - x) * t * (1.0f - t);    // through sigmoid
+    grad_x[i] = gy * (1.0f - t);                      // carry gate
+  }
+  grad_x += transform_.backward(grad_h_pre);
+  grad_x += gate_.backward(grad_t_pre);
+  return grad_x;
+}
+
+std::vector<Param*> Highway::params() {
+  std::vector<Param*> out = transform_.params();
+  for (Param* p : gate_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace sne::nn

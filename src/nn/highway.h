@@ -1,0 +1,33 @@
+// highway.h — highway network layer (Srivastava et al. 2015, ref. [17]).
+// The paper's light-curve classifier is FC → 2 highway layers → FC; the
+// gated shortcut lets the shallow network behave near-identity early in
+// training, which is what makes the joint fine-tuning stable.
+#pragma once
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace sne::nn {
+
+/// y = t ⊙ g(W_h·x + b_h) + (1 − t) ⊙ x,  t = σ(W_t·x + b_t)
+/// with g = tanh. Input and output are both [N, features]. The transform
+/// gate bias starts negative (default −1) so the layer initially passes
+/// its input through, as recommended by the original paper.
+class Highway final : public Module {
+ public:
+  Highway(std::int64_t features, Rng& rng, float gate_bias_init = -1.0f,
+          std::string name = "highway");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+
+ private:
+  Linear transform_;  // W_h, b_h
+  Linear gate_;       // W_t, b_t
+  Tensor cached_input_;
+  Tensor cached_h_;  // tanh(W_h x + b_h)
+  Tensor cached_t_;  // σ(W_t x + b_t)
+};
+
+}  // namespace sne::nn

@@ -1,0 +1,35 @@
+// linear.h — fully connected layer, y = x·Wᵀ + b.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace sne::nn {
+
+/// Fully connected layer over the last axis: input [N, in_features] →
+/// output [N, out_features]. Weights use Kaiming-uniform initialization
+/// (fan-in), matching the PReLU activations used throughout the paper's
+/// networks.
+class Linear final : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         std::string name = "linear");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  std::int64_t in_features() const noexcept { return in_; }
+  std::int64_t out_features() const noexcept { return out_; }
+  Param& weight() noexcept { return weight_; }
+  Param& bias() noexcept { return bias_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_input_;
+};
+
+}  // namespace sne::nn

@@ -1,0 +1,60 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::nn {
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  check_same_shape(prediction, target, "mse_loss");
+  if (prediction.size() == 0) {
+    throw std::invalid_argument("mse_loss: empty batch");
+  }
+  const auto n = static_cast<float>(prediction.size());
+  LossResult result;
+  result.grad = Tensor(prediction.shape());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < prediction.size(); ++i) {
+    const float d = prediction[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    result.grad[i] = 2.0f * d / n;
+  }
+  result.value = static_cast<float>(acc / n);
+  return result;
+}
+
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target) {
+  check_same_shape(logits, target, "bce_with_logits_loss");
+  if (logits.size() == 0) {
+    throw std::invalid_argument("bce_with_logits_loss: empty batch");
+  }
+  const auto n = static_cast<float>(logits.size());
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    const float x = logits[i];
+    const float t = target[i];
+    const float abs_x = std::abs(x);
+    acc += static_cast<double>(std::max(x, 0.0f)) - x * t +
+           std::log1p(std::exp(-abs_x));
+    const float sigma = 1.0f / (1.0f + std::exp(-x));
+    result.grad[i] = (sigma - t) / n;
+  }
+  result.value = static_cast<float>(acc / n);
+  return result;
+}
+
+float binary_accuracy(const Tensor& logits, const Tensor& target) {
+  check_same_shape(logits, target, "binary_accuracy");
+  if (logits.size() == 0) return 0.0f;
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    const bool predicted = logits[i] > 0.0f;
+    const bool truth = target[i] > 0.5f;
+    if (predicted == truth) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(logits.size());
+}
+
+}  // namespace sne::nn

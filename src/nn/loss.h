@@ -1,0 +1,28 @@
+// loss.h — training objectives. The flux network minimizes mean squared
+// error on stellar magnitudes; the classifiers minimize binary cross
+// entropy on logits (numerically stable log-sum-exp form).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sne::nn {
+
+/// Value and input-gradient of a loss evaluated on a batch.
+struct LossResult {
+  float value = 0.0f;  ///< mean loss over the batch
+  Tensor grad;         ///< d(value)/d(prediction), same shape as prediction
+};
+
+/// Mean squared error: value = mean((pred − target)²).
+LossResult mse_loss(const Tensor& prediction, const Tensor& target);
+
+/// Binary cross entropy on raw logits with targets in {0, 1}:
+/// value = mean(softplus(logit) − target·logit), computed in the
+/// overflow-safe form max(x,0) − x·t + log(1 + exp(−|x|)).
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target);
+
+/// Fraction of correct binary predictions at threshold 0.5 on logits
+/// (i.e. logit > 0 ⇔ predict class 1).
+float binary_accuracy(const Tensor& logits, const Tensor& target);
+
+}  // namespace sne::nn

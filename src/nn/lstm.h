@@ -1,0 +1,52 @@
+// lstm.h — long short-term memory over flux sequences. Charnock & Moss
+// (2016) evaluated both LSTM and GRU photometric classifiers; the GRU
+// lives in gru.h, this is the LSTM, so the baseline can be run with the
+// authors' preferred unit and the two can be ablated against each other.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace sne::nn {
+
+/// LSTM processing [N, T, D] and returning the final hidden state [N, H].
+/// Backward implements full BPTT (finite-difference checked in tests).
+///
+///   i_t = σ(W_i·x_t + U_i·h_{t−1} + b_i)      input gate
+///   f_t = σ(W_f·x_t + U_f·h_{t−1} + b_f)      forget gate
+///   o_t = σ(W_o·x_t + U_o·h_{t−1} + b_o)      output gate
+///   g_t = tanh(W_g·x_t + U_g·h_{t−1} + b_g)   candidate
+///   c_t = f_t ⊙ c_{t−1} + i_t ⊙ g_t
+///   h_t = o_t ⊙ tanh(c_t)
+///
+/// The forget-gate bias starts at +1 (Jozefowicz et al. 2015) so early
+/// training does not erase the cell state.
+class Lstm final : public Module {
+ public:
+  Lstm(std::int64_t input_size, std::int64_t hidden_size, Rng& rng,
+       std::string name = "lstm");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+
+  std::int64_t hidden_size() const noexcept { return hidden_; }
+
+ private:
+  std::int64_t input_;
+  std::int64_t hidden_;
+  // Gate parameters, order: input, forget, output, candidate.
+  Param wi_, ui_, bi_;
+  Param wf_, uf_, bf_;
+  Param wo_, uo_, bo_;
+  Param wg_, ug_, bg_;
+
+  // Per-timestep caches.
+  std::vector<Tensor> cached_x_;
+  std::vector<Tensor> cached_h_prev_;
+  std::vector<Tensor> cached_c_prev_;
+  std::vector<Tensor> cached_i_, cached_f_, cached_o_, cached_g_;
+  std::vector<Tensor> cached_c_;  ///< post-update cell state
+};
+
+}  // namespace sne::nn

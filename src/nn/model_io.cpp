@@ -1,0 +1,82 @@
+#include "nn/model_io.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sne::nn {
+
+TensorMap state_dict(Module& module) {
+  TensorMap map;
+  for (Param* p : module.params()) map.emplace_back(p->name, p->value);
+  for (Param* p : module.buffers()) map.emplace_back(p->name, p->value);
+  return map;
+}
+
+void load_state_dict(Module& module, const TensorMap& state, bool strict) {
+  std::unordered_map<std::string, const Tensor*> lookup;
+  lookup.reserve(state.size());
+  for (const auto& [name, tensor] : state) {
+    if (!lookup.emplace(name, &tensor).second) {
+      throw std::runtime_error("load_state_dict: duplicate name " + name);
+    }
+  }
+
+  std::size_t consumed = 0;
+  auto apply = [&](Param* p) {
+    const auto it = lookup.find(p->name);
+    if (it == lookup.end()) {
+      if (strict) {
+        throw std::runtime_error("load_state_dict: missing tensor " + p->name);
+      }
+      return;
+    }
+    if (it->second->shape() != p->value.shape()) {
+      throw std::runtime_error("load_state_dict: shape mismatch for " +
+                               p->name + ": " + it->second->shape_string() +
+                               " vs " + p->value.shape_string());
+    }
+    p->value = *it->second;
+    ++consumed;
+  };
+  for (Param* p : module.params()) apply(p);
+  for (Param* p : module.buffers()) apply(p);
+
+  if (strict && consumed != state.size()) {
+    throw std::runtime_error(
+        "load_state_dict: snapshot has unused tensors (architecture "
+        "mismatch)");
+  }
+}
+
+void save_model(const std::string& path, Module& module) {
+  save_tensor_map(path, state_dict(module));
+}
+
+void load_model(const std::string& path, Module& module, bool strict) {
+  load_state_dict(module, load_tensor_map(path), strict);
+}
+
+void copy_params(Module& src, Module& dst) {
+  const auto src_params = src.params();
+  const auto dst_params = dst.params();
+  const auto src_buffers = src.buffers();
+  const auto dst_buffers = dst.buffers();
+  if (src_params.size() != dst_params.size() ||
+      src_buffers.size() != dst_buffers.size()) {
+    throw std::runtime_error("copy_params: architecture mismatch");
+  }
+  auto copy_all = [](const std::vector<Param*>& from,
+                     const std::vector<Param*>& to) {
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      if (from[i]->value.shape() != to[i]->value.shape()) {
+        throw std::runtime_error("copy_params: shape mismatch at " +
+                                 from[i]->name);
+      }
+      to[i]->value = from[i]->value;
+    }
+  };
+  copy_all(src_params, dst_params);
+  copy_all(src_buffers, dst_buffers);
+}
+
+}  // namespace sne::nn

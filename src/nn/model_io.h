@@ -1,0 +1,32 @@
+// model_io.h — save/load of module parameters and buffers. The paper's
+// training recipe pre-trains the band-wise CNN and the light-curve
+// classifier separately, then stitches the snapshots into the joint model
+// for fine-tuning; these helpers implement that hand-off.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/serialize.h"
+
+namespace sne::nn {
+
+/// Snapshot of all parameters and buffers, keyed by Param::name.
+TensorMap state_dict(Module& module);
+
+/// Loads a snapshot produced by state_dict. Matching is by name; shapes
+/// must agree. With strict=true every snapshot entry must be consumed and
+/// every module tensor must be found, otherwise std::runtime_error.
+void load_state_dict(Module& module, const TensorMap& state,
+                     bool strict = true);
+
+/// File-based convenience wrappers.
+void save_model(const std::string& path, Module& module);
+void load_model(const std::string& path, Module& module, bool strict = true);
+
+/// Copies parameters from `src` to `dst` positionally (same architecture
+/// assumed); used to transplant pre-trained weights into submodules whose
+/// serialized names differ. Shapes must match pairwise.
+void copy_params(Module& src, Module& dst);
+
+}  // namespace sne::nn

@@ -1,0 +1,15 @@
+#include "nn/module.h"
+
+namespace sne::nn {
+
+void Module::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+std::int64_t Module::num_params() {
+  std::int64_t n = 0;
+  for (Param* p : params()) n += p->value.size();
+  return n;
+}
+
+}  // namespace sne::nn

@@ -1,0 +1,71 @@
+// module.h — the layer abstraction of the from-scratch deep-learning
+// library. Modules own their parameters and the activation caches needed
+// for the explicit backward pass. There is no tape autograd: backward() of
+// each layer is hand-derived and validated against finite differences in
+// tests/nn_gradcheck_test.cpp. This keeps the hot path allocation-light and
+// the execution order deterministic (a test invariant on this project).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sne::nn {
+
+/// A learnable parameter: value and accumulated gradient, plus the name
+/// under which it is serialized.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+/// Base class for all layers.
+///
+/// Contract:
+///  - forward(x) returns the layer output and caches whatever backward needs;
+///  - backward(gy) consumes the gradient w.r.t. the *last* forward output,
+///    accumulates parameter gradients into Param::grad, and returns the
+///    gradient w.r.t. the last forward input;
+///  - backward without a preceding forward is a programming error and throws.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters of this module (non-owning views into members).
+  /// Default: none.
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Persistent non-learnable state (e.g. batch-norm running statistics)
+  /// that must survive save/load. Default: none.
+  virtual std::vector<Param*> buffers() { return {}; }
+
+  /// Switches between training mode (batch statistics, dropout active) and
+  /// inference mode. Default: store the flag.
+  virtual void set_training(bool training) { training_ = training; }
+  bool is_training() const noexcept { return training_; }
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Total number of scalar learnable parameters.
+  std::int64_t num_params();
+
+ protected:
+  bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace sne::nn

@@ -1,0 +1,83 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sne::nn {
+
+float Optimizer::clip_grad_norm(float max_norm) {
+  double total = 0.0;
+  for (Param* p : params_) {
+    const float n = p->grad.l2_norm();
+    total += static_cast<double>(n) * n;
+  }
+  const auto norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Param* p : params_) p->grad *= scale;
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (lr <= 0.0f) throw std::invalid_argument("Sgd: lr must be positive");
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    Tensor& vel = velocity_[k];
+    for (std::int64_t i = 0; i < p.value.size(); ++i) {
+      const float g = p.grad[i] + weight_decay_ * p.value[i];
+      vel[i] = momentum_ * vel[i] + g;
+      p.value[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  if (lr <= 0.0f) throw std::invalid_argument("Adam: lr must be positive");
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::int64_t i = 0; i < p.value.size(); ++i) {
+      const float g = p.grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      p.value[i] -=
+          lr_ * (m_hat / (std::sqrt(v_hat) + eps_) +
+                 weight_decay_ * p.value[i]);
+    }
+  }
+}
+
+}  // namespace sne::nn

@@ -1,0 +1,73 @@
+// optimizer.h — first-order optimizers over a parameter set. Adam is the
+// default trainer used for all of the paper's networks; SGD with momentum
+// exists for the convergence-comparison ablation.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sne::nn {
+
+/// Common interface: step() applies accumulated gradients, then the caller
+/// zeroes them (Trainer does both).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Param* p : params_) p->grad.zero();
+  }
+
+  /// Global L2 gradient-norm clipping; returns the pre-clip norm. A no-op
+  /// when the norm is already below `max_norm`.
+  float clip_grad_norm(float max_norm);
+
+  void set_learning_rate(float lr) noexcept { lr_ = lr; }
+  float learning_rate() const noexcept { return lr_; }
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_ = 1e-3f;
+};
+
+/// Stochastic gradient descent with classical momentum and optional
+/// decoupled weight decay.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction and optional decoupled
+/// weight decay (AdamW-style).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace sne::nn

@@ -1,0 +1,46 @@
+// sequential.h — ordered container of modules; forward runs them in order,
+// backward in reverse. All of the paper's networks are expressed as
+// Sequential stacks (plus the Highway and Gru composite modules).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sne::nn {
+
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference to the added layer for optional
+  /// further configuration. Takes ownership.
+  template <typename M>
+  M& add(std::unique_ptr<M> layer) {
+    M& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  /// Constructs a layer in place.
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    return add(std::make_unique<M>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::vector<Param*> buffers() override;
+  void set_training(bool training) override;
+
+  std::size_t size() const noexcept { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+}  // namespace sne::nn

@@ -1,0 +1,184 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace sne::nn {
+
+Trainer::Trainer(Module& model, Optimizer& optimizer, LossFn loss,
+                 MetricFn metric)
+    : model_(model),
+      optimizer_(optimizer),
+      loss_(std::move(loss)),
+      metric_(std::move(metric)) {
+  if (!loss_) throw std::invalid_argument("Trainer: loss function required");
+}
+
+float Trainer::train_batch(const Sample& batch, float grad_clip) {
+  model_.set_training(true);
+  optimizer_.zero_grad();
+  const Tensor prediction = model_.forward(batch.x);
+  const LossResult loss = loss_(prediction, batch.y);
+  model_.backward(loss.grad);
+  if (grad_clip > 0.0f) optimizer_.clip_grad_norm(grad_clip);
+  optimizer_.step();
+  return loss.value;
+}
+
+std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
+                                     const TrainConfig& config) {
+  if (train.size() == 0) throw std::invalid_argument("fit: empty train set");
+  if (config.epochs <= 0 || config.batch_size <= 0) {
+    throw std::invalid_argument("fit: epochs and batch_size must be positive");
+  }
+
+  Rng shuffle_rng(config.shuffle_seed);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(train.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config.epochs));
+
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    {
+      std::vector<std::size_t> perm(order.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      shuffle_rng.shuffle(perm);
+      std::vector<std::int64_t> shuffled(order.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        shuffled[i] = static_cast<std::int64_t>(perm[i]);
+      }
+      order = std::move(shuffled);
+    }
+
+    model_.set_training(true);
+    double loss_sum = 0.0;
+    double metric_sum = 0.0;
+    std::int64_t seen = 0;
+
+    for (std::size_t first = 0; first < order.size();
+         first += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t count = std::min(
+          static_cast<std::size_t>(config.batch_size), order.size() - first);
+      const Sample batch = make_batch(train, order, first, count);
+
+      optimizer_.zero_grad();
+      const Tensor prediction = model_.forward(batch.x);
+      const LossResult loss = loss_(prediction, batch.y);
+      model_.backward(loss.grad);
+      if (config.grad_clip > 0.0f) {
+        optimizer_.clip_grad_norm(config.grad_clip);
+      }
+      optimizer_.step();
+
+      loss_sum += static_cast<double>(loss.value) * static_cast<double>(count);
+      if (metric_) {
+        metric_sum += static_cast<double>(metric_(prediction, batch.y)) *
+                      static_cast<double>(count);
+      }
+      seen += static_cast<std::int64_t>(count);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = static_cast<float>(loss_sum / seen);
+    stats.train_metric =
+        metric_ ? static_cast<float>(metric_sum / seen)
+                : std::numeric_limits<float>::quiet_NaN();
+    if (val != nullptr && val->size() > 0) {
+      const EvalStats v = evaluate(*val);
+      stats.val_loss = v.loss;
+      stats.val_metric = v.metric;
+    } else {
+      stats.val_loss = std::numeric_limits<float>::quiet_NaN();
+      stats.val_metric = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (config.verbose) {
+      std::printf("epoch %3lld  train_loss %.5f  val_loss %.5f\n",
+                  static_cast<long long>(epoch), stats.train_loss,
+                  stats.val_loss);
+      std::fflush(stdout);
+    }
+    if (config.lr_decay != 1.0f) {
+      optimizer_.set_learning_rate(optimizer_.learning_rate() *
+                                   config.lr_decay);
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+EvalStats Trainer::evaluate(const Dataset& data, std::int64_t batch_size) {
+  if (data.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  const bool was_training = model_.is_training();
+  model_.set_training(false);
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(data.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+
+  double loss_sum = 0.0;
+  double metric_sum = 0.0;
+  std::int64_t seen = 0;
+  for (std::size_t first = 0; first < order.size();
+       first += static_cast<std::size_t>(batch_size)) {
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(batch_size), order.size() - first);
+    const Sample batch = make_batch(data, order, first, count);
+    const Tensor prediction = model_.forward(batch.x);
+    const LossResult loss = loss_(prediction, batch.y);
+    loss_sum += static_cast<double>(loss.value) * static_cast<double>(count);
+    if (metric_) {
+      metric_sum += static_cast<double>(metric_(prediction, batch.y)) *
+                    static_cast<double>(count);
+    }
+    seen += static_cast<std::int64_t>(count);
+  }
+  model_.set_training(was_training);
+
+  EvalStats out;
+  out.loss = static_cast<float>(loss_sum / seen);
+  out.metric = metric_ ? static_cast<float>(metric_sum / seen)
+                       : std::numeric_limits<float>::quiet_NaN();
+  return out;
+}
+
+Tensor Trainer::predict(const Dataset& data, std::int64_t batch_size) {
+  if (data.size() == 0) throw std::invalid_argument("predict: empty dataset");
+  const bool was_training = model_.is_training();
+  model_.set_training(false);
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(data.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+
+  Tensor out;
+  std::int64_t row_size = 0;
+  std::int64_t written = 0;
+  for (std::size_t first = 0; first < order.size();
+       first += static_cast<std::size_t>(batch_size)) {
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(batch_size), order.size() - first);
+    const Sample batch = make_batch(data, order, first, count);
+    const Tensor prediction = model_.forward(batch.x);
+    if (out.empty()) {
+      row_size = prediction.size() / prediction.extent(0);
+      Shape shape = prediction.shape();
+      shape[0] = data.size();
+      out = Tensor(std::move(shape));
+    }
+    std::copy(prediction.data(), prediction.data() + prediction.size(),
+              out.data() + written * row_size);
+    written += static_cast<std::int64_t>(count);
+  }
+  model_.set_training(was_training);
+  return out;
+}
+
+}  // namespace sne::nn

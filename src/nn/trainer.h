@@ -1,0 +1,81 @@
+// trainer.h — generic mini-batch training loop shared by the flux CNN,
+// the light-curve classifier, the joint model and the GRU baseline. The
+// loop is deliberately plain: shuffle, batch, forward, loss, backward,
+// clip, step — with per-epoch train/validation statistics collected for
+// the convergence figures (Fig. 12).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace sne::nn {
+
+/// Loss adapter: maps (prediction, target) to value + gradient.
+using LossFn = std::function<LossResult(const Tensor&, const Tensor&)>;
+
+/// Optional scalar metric (e.g. binary accuracy) computed alongside loss.
+using MetricFn = std::function<float(const Tensor&, const Tensor&)>;
+
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  float grad_clip = 0.0f;   ///< 0 disables clipping
+  float lr_decay = 1.0f;    ///< learning rate ×= lr_decay after each epoch
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;     ///< print one line per epoch to stdout
+};
+
+/// Per-epoch statistics; validation fields are NaN when no validation set
+/// was supplied.
+struct EpochStats {
+  std::int64_t epoch = 0;
+  float train_loss = 0.0f;
+  float val_loss = 0.0f;
+  float train_metric = 0.0f;
+  float val_metric = 0.0f;
+};
+
+/// Aggregate result of evaluate(): mean loss (and metric) over a dataset.
+struct EvalStats {
+  float loss = 0.0f;
+  float metric = 0.0f;
+};
+
+class Trainer {
+ public:
+  /// The trainer borrows the model and optimizer; both must outlive it.
+  Trainer(Module& model, Optimizer& optimizer, LossFn loss,
+          MetricFn metric = nullptr);
+
+  /// Runs config.epochs passes over `train`; when `val` is non-null the
+  /// model is evaluated on it (in inference mode) after every epoch.
+  std::vector<EpochStats> fit(const Dataset& train, const Dataset* val,
+                              const TrainConfig& config);
+
+  /// Single gradient pass over one batch; returns the batch loss. Exposed
+  /// for fine-grained loops (fine-tuning schedules).
+  float train_batch(const Sample& batch, float grad_clip = 0.0f);
+
+  /// Mean loss/metric over a dataset in inference mode. Restores training
+  /// mode afterwards if it was set.
+  EvalStats evaluate(const Dataset& data, std::int64_t batch_size = 64);
+
+  /// Model predictions over a dataset in inference mode, one row per
+  /// sample, concatenated along axis 0.
+  Tensor predict(const Dataset& data, std::int64_t batch_size = 64);
+
+ private:
+  Module& model_;
+  Optimizer& optimizer_;
+  LossFn loss_;
+  MetricFn metric_;
+};
+
+}  // namespace sne::nn

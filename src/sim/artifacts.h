@@ -1,0 +1,50 @@
+// artifacts.h — bogus-detection artifacts. The paper's related-work
+// section describes step (1) of the survey pipeline: 99.9 % of raw
+// difference-image detections are "bogus" — cosmic-ray hits, subtraction
+// residuals from imperfect kernel matching or misregistration, detector
+// defects — and machine-learned real/bogus classifiers (Bailey 2007,
+// Brink 2013, Morii 2016) filter them before any supernova typing
+// happens. This module synthesizes those artifact classes so the
+// real/bogus stage can be built and evaluated end-to-end.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/dataset.h"
+#include "sim/dataset_builder.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace sne::sim {
+
+enum class ArtifactKind : std::uint8_t {
+  CosmicRay = 0,   ///< sharp linear streak, no PSF
+  Dipole = 1,      ///< positive/negative pair from misregistration
+  HotPixel = 2,    ///< single saturated pixel
+  BadColumn = 3,   ///< detector column offset
+};
+
+inline constexpr std::array<ArtifactKind, 4> kAllArtifactKinds = {
+    ArtifactKind::CosmicRay, ArtifactKind::Dipole, ArtifactKind::HotPixel,
+    ArtifactKind::BadColumn};
+
+/// Adds one artifact of the given kind onto a (difference) stamp, with
+/// amplitude comparable to a real transient so the classifier cannot
+/// separate classes on total flux alone.
+void inject_artifact(Tensor& stamp, ArtifactKind kind, double amplitude,
+                     Rng& rng);
+
+/// Builds a balanced real/bogus dataset from a survey dataset:
+///  label 1 ("real"): difference stamp of a detectable SN epoch
+///    (true magnitude ≤ max_real_mag);
+///  label 0 ("bogus"): difference stamp of a *supernova-free* epoch
+///    (pre-explosion or faded) with a random artifact injected.
+/// x = [1, crop, crop] signed-log difference pixels; deterministic in
+/// (data, seed).
+nn::LazyDataset make_real_bogus_dataset(const SnDataset& data,
+                                        std::vector<std::int64_t> samples,
+                                        std::int64_t crop,
+                                        double max_real_mag = 25.0,
+                                        std::uint64_t seed = 4242);
+
+}  // namespace sne::sim

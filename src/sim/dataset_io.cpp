@@ -1,0 +1,236 @@
+#include "sim/dataset_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sne::sim {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is) throw std::runtime_error("dataset stream truncated (u64)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void write_f64(std::ostream& os, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(os, bits);
+}
+
+double read_f64(std::istream& is) {
+  const std::uint64_t bits = read_u64(is);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void write_i64(std::ostream& os, std::int64_t v) {
+  write_u64(os, static_cast<std::uint64_t>(v));
+}
+
+std::int64_t read_i64(std::istream& is) {
+  return static_cast<std::int64_t>(read_u64(is));
+}
+
+void write_observation(std::ostream& os, const Observation& o) {
+  write_i64(os, astro::band_index(o.band));
+  write_f64(os, o.mjd);
+  write_f64(os, o.seeing_fwhm_px);
+  write_f64(os, o.transparency);
+  write_f64(os, o.sky_scale);
+}
+
+Observation read_observation(std::istream& is) {
+  Observation o;
+  const std::int64_t band = read_i64(is);
+  if (band < 0 || band >= astro::kNumBands) {
+    throw std::runtime_error("dataset stream: bad band index");
+  }
+  o.band = astro::kAllBands[static_cast<std::size_t>(band)];
+  o.mjd = read_f64(is);
+  o.seeing_fwhm_px = read_f64(is);
+  o.transparency = read_f64(is);
+  o.sky_scale = read_f64(is);
+  return o;
+}
+
+void write_config(std::ostream& os, const SnDataset::Config& c) {
+  write_i64(os, c.num_samples);
+  write_f64(os, c.p_ia);
+  write_u64(os, c.seed);
+  write_i64(os, c.catalog.count);
+  write_u64(os, c.catalog.seed);
+  write_f64(os, c.catalog.ra_center_deg);
+  write_f64(os, c.catalog.dec_center_deg);
+  write_f64(os, c.catalog.field_extent_deg);
+  write_f64(os, c.catalog.z_min);
+  write_f64(os, c.catalog.z_max);
+  write_f64(os, c.catalog.z_gamma_shape);
+  write_f64(os, c.catalog.z_gamma_scale);
+  write_f64(os, c.schedule.start_mjd);
+  write_f64(os, c.schedule.season_days);
+  write_i64(os, c.schedule.epochs_per_band);
+  write_i64(os, c.schedule.max_bands_per_day);
+  write_f64(os, c.schedule.mean_seeing_fwhm_px);
+  write_f64(os, c.schedule.seeing_log_sigma);
+  write_f64(os, c.schedule.min_transparency);
+  write_i64(os, c.renderer.stamp_size);
+  write_f64(os, c.renderer.noise.sky_level);
+  write_f64(os, c.renderer.noise.gain);
+  write_f64(os, c.renderer.noise.read_noise);
+  write_f64(os, c.renderer.reference_noise_scale);
+  write_f64(os, c.renderer.pointing_jitter_px);
+  write_f64(os, c.peak_margin_lo);
+  write_f64(os, c.peak_margin_hi);
+}
+
+SnDataset::Config read_config(std::istream& is) {
+  SnDataset::Config c;
+  c.num_samples = read_i64(is);
+  c.p_ia = read_f64(is);
+  c.seed = read_u64(is);
+  c.catalog.count = read_i64(is);
+  c.catalog.seed = read_u64(is);
+  c.catalog.ra_center_deg = read_f64(is);
+  c.catalog.dec_center_deg = read_f64(is);
+  c.catalog.field_extent_deg = read_f64(is);
+  c.catalog.z_min = read_f64(is);
+  c.catalog.z_max = read_f64(is);
+  c.catalog.z_gamma_shape = read_f64(is);
+  c.catalog.z_gamma_scale = read_f64(is);
+  c.schedule.start_mjd = read_f64(is);
+  c.schedule.season_days = read_f64(is);
+  c.schedule.epochs_per_band = read_i64(is);
+  c.schedule.max_bands_per_day = read_i64(is);
+  c.schedule.mean_seeing_fwhm_px = read_f64(is);
+  c.schedule.seeing_log_sigma = read_f64(is);
+  c.schedule.min_transparency = read_f64(is);
+  c.renderer.stamp_size = read_i64(is);
+  c.renderer.noise.sky_level = read_f64(is);
+  c.renderer.noise.gain = read_f64(is);
+  c.renderer.noise.read_noise = read_f64(is);
+  c.renderer.reference_noise_scale = read_f64(is);
+  c.renderer.pointing_jitter_px = read_f64(is);
+  c.peak_margin_lo = read_f64(is);
+  c.peak_margin_hi = read_f64(is);
+  return c;
+}
+
+void write_spec(std::ostream& os, const SampleSpec& s) {
+  write_i64(os, s.galaxy_index);
+  write_i64(os, static_cast<std::int64_t>(s.sn.type));
+  write_f64(os, s.sn.redshift);
+  write_f64(os, s.sn.stretch);
+  write_f64(os, s.sn.color);
+  write_f64(os, s.sn.peak_mjd);
+  write_f64(os, s.sn.peak_abs_mag);
+  write_f64(os, s.offset.dy);
+  write_f64(os, s.offset.dx);
+  write_u64(os, s.noise_seed);
+  write_u64(os, s.schedule.observations.size());
+  for (const Observation& o : s.schedule.observations) {
+    write_observation(os, o);
+  }
+  for (const Observation& o : s.schedule.references) {
+    write_observation(os, o);
+  }
+}
+
+SampleSpec read_spec(std::istream& is) {
+  SampleSpec s;
+  s.galaxy_index = read_i64(is);
+  const std::int64_t type = read_i64(is);
+  if (type < 0 || type >= static_cast<std::int64_t>(astro::kAllSnTypes.size())) {
+    throw std::runtime_error("dataset stream: bad SN type");
+  }
+  s.sn.type = astro::kAllSnTypes[static_cast<std::size_t>(type)];
+  s.sn.redshift = read_f64(is);
+  s.sn.stretch = read_f64(is);
+  s.sn.color = read_f64(is);
+  s.sn.peak_mjd = read_f64(is);
+  s.sn.peak_abs_mag = read_f64(is);
+  s.offset.dy = read_f64(is);
+  s.offset.dx = read_f64(is);
+  s.noise_seed = read_u64(is);
+  const std::uint64_t n_obs = read_u64(is);
+  if (n_obs > 10000) {
+    throw std::runtime_error("dataset stream: implausible observation count");
+  }
+  s.schedule.observations.reserve(n_obs);
+  for (std::uint64_t k = 0; k < n_obs; ++k) {
+    s.schedule.observations.push_back(read_observation(is));
+  }
+  for (auto& ref : s.schedule.references) ref = read_observation(is);
+  return s;
+}
+
+}  // namespace
+
+void write_dataset(std::ostream& os, const SnDataset& data) {
+  os.write(kMagic, 4);
+  write_u64(os, kVersion);
+  write_config(os, data.config());
+  write_u64(os, static_cast<std::uint64_t>(data.size()));
+  for (std::int64_t i = 0; i < data.size(); ++i) {
+    write_spec(os, data.spec(i));
+  }
+  if (!os) throw std::runtime_error("write_dataset: stream failure");
+}
+
+SnDataset read_dataset(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("read_dataset: bad magic");
+  }
+  if (read_u64(is) != kVersion) {
+    throw std::runtime_error("read_dataset: unsupported version");
+  }
+  const SnDataset::Config config = read_config(is);
+  const std::uint64_t count = read_u64(is);
+  if (count == 0 || count > 10'000'000) {
+    throw std::runtime_error("read_dataset: implausible sample count");
+  }
+  std::vector<SampleSpec> specs;
+  specs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    specs.push_back(read_spec(is));
+  }
+  return SnDataset::from_parts(config, std::move(specs));
+}
+
+void save_dataset(const std::string& path, const SnDataset& data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_dataset: cannot open " + path);
+  write_dataset(os, data);
+}
+
+SnDataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_dataset: cannot open " + path);
+  return read_dataset(is);
+}
+
+}  // namespace sne::sim

@@ -1,0 +1,25 @@
+// dataset_io.h — persistence for SnDataset sample specs. A dataset is
+// fully determined by its Config plus the sampled SampleSpecs (images
+// re-render deterministically from those), so the on-disk format stores
+// exactly that: a labeled survey season in a few hundred bytes per
+// supernova. Lets a trained pipeline be validated later against the
+// *identical* dataset without re-running the sampler.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/dataset_builder.h"
+
+namespace sne::sim {
+
+/// Binary format: magic "SNDS", version, config, catalog seed info,
+/// spec records. Throws std::runtime_error on malformed streams.
+void write_dataset(std::ostream& os, const SnDataset& data);
+SnDataset read_dataset(std::istream& is);
+
+/// File wrappers.
+void save_dataset(const std::string& path, const SnDataset& data);
+SnDataset load_dataset(const std::string& path);
+
+}  // namespace sne::sim

@@ -1,0 +1,54 @@
+#include "sim/difference.h"
+
+#include <cmath>
+
+#include "sim/image_ops.h"
+#include "sim/psf.h"
+
+namespace sne::sim {
+
+Tensor match_reference(const Tensor& reference,
+                       const Observation& obs_conditions,
+                       const Observation& ref_conditions) {
+  const GaussianPsf obs_psf(obs_conditions.seeing_fwhm_px);
+  const GaussianPsf ref_psf(ref_conditions.seeing_fwhm_px);
+
+  // Photometric scaling: the reference was taken at (near-)unit
+  // transparency; rescale it to the observation's throughput so the galaxy
+  // cancels in the subtraction.
+  const double flux_ratio =
+      obs_conditions.transparency / ref_conditions.transparency;
+
+  Tensor matched = ref_psf.sigma() <= obs_psf.sigma()
+                       ? gaussian_blur(reference,
+                                       ref_psf.matching_sigma(obs_psf))
+                       : reference;
+  matched *= static_cast<float>(flux_ratio);
+  return matched;
+}
+
+Tensor psf_matched_difference(const Tensor& observation,
+                              const Tensor& reference,
+                              const Observation& obs_conditions,
+                              const Observation& ref_conditions) {
+  check_same_shape(observation, reference, "psf_matched_difference");
+
+  const GaussianPsf obs_psf(obs_conditions.seeing_fwhm_px);
+  const GaussianPsf ref_psf(ref_conditions.seeing_fwhm_px);
+
+  if (ref_psf.sigma() <= obs_psf.sigma()) {
+    return subtract(observation,
+                    match_reference(reference, obs_conditions,
+                                    ref_conditions));
+  }
+  // Rare direction: degrade the observation to the reference's PSF.
+  const double flux_ratio =
+      obs_conditions.transparency / ref_conditions.transparency;
+  Tensor matched_obs =
+      gaussian_blur(observation, obs_psf.matching_sigma(ref_psf));
+  Tensor scaled_ref = reference;
+  scaled_ref *= static_cast<float>(flux_ratio);
+  return subtract(matched_obs, scaled_ref);
+}
+
+}  // namespace sne::sim

@@ -1,0 +1,37 @@
+// difference.h — difference imaging. Step (2) of the paper's detection
+// pipeline: "transient object candidates are detected by subtracting the
+// obtained image from a reference image convoluted with an appropriately
+// optimized filter to match the image quality." For Gaussian PSFs the
+// optimal matching kernel is itself a Gaussian with σ² = σ_obs² − σ_ref²;
+// references are scheduled with better seeing than any epoch, so the match
+// direction is fixed.
+#pragma once
+
+#include "sim/scheduler.h"
+#include "tensor/tensor.h"
+
+namespace sne::sim {
+
+/// PSF-matched difference: blurs `reference` to the observation's seeing
+/// (quadrature kernel, scaled by the transparency ratio) and subtracts it
+/// from `observation`. When the observation seeing is (unusually) better
+/// than the reference's, the observation is blurred instead — the
+/// difference then has the reference's PSF; either way the SN survives as
+/// a point source.
+Tensor psf_matched_difference(const Tensor& observation,
+                              const Tensor& reference,
+                              const Observation& obs_conditions,
+                              const Observation& ref_conditions);
+
+/// The reference convolved/scaled to the observation's image quality —
+/// the "(reference) convoluted with an appropriately optimized filter" of
+/// the paper's pipeline. This is what the CNN receives as the first image
+/// of its (reference, observation) input pair. When the observation's
+/// seeing is better than the reference's (no valid blur direction), the
+/// reference is only photometrically scaled; the residual PSF mismatch is
+/// a realistic pipeline imperfection the network must tolerate.
+Tensor match_reference(const Tensor& reference,
+                       const Observation& obs_conditions,
+                       const Observation& ref_conditions);
+
+}  // namespace sne::sim

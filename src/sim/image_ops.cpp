@@ -1,0 +1,124 @@
+#include "sim/image_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sne::sim {
+
+namespace {
+
+void check_stamp(const Tensor& image, const char* where) {
+  if (image.rank() != 2) {
+    throw std::invalid_argument(std::string(where) +
+                                ": expected rank-2 stamp, got " +
+                                image.shape_string());
+  }
+}
+
+}  // namespace
+
+Tensor center_crop(const Tensor& image, std::int64_t size) {
+  check_stamp(image, "center_crop");
+  const std::int64_t h = image.extent(0);
+  const std::int64_t w = image.extent(1);
+  if (size <= 0 || size > h || size > w) {
+    throw std::invalid_argument("center_crop: bad crop size");
+  }
+  const std::int64_t y0 = (h - size) / 2;
+  const std::int64_t x0 = (w - size) / 2;
+  Tensor out({size, size});
+  for (std::int64_t y = 0; y < size; ++y) {
+    const float* src = image.data() + (y0 + y) * w + x0;
+    std::copy(src, src + size, out.data() + y * size);
+  }
+  return out;
+}
+
+Tensor gaussian_blur(const Tensor& image, double sigma) {
+  check_stamp(image, "gaussian_blur");
+  if (sigma < 0.0) throw std::invalid_argument("gaussian_blur: sigma < 0");
+  if (sigma < 1e-6) return image;
+
+  const auto radius = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(4.0 * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double norm = 0.0;
+  for (std::int64_t k = -radius; k <= radius; ++k) {
+    const double v = std::exp(-0.5 * (k * k) / (sigma * sigma));
+    kernel[static_cast<std::size_t>(k + radius)] = static_cast<float>(v);
+    norm += v;
+  }
+  for (auto& v : kernel) v = static_cast<float>(v / norm);
+
+  const std::int64_t h = image.extent(0);
+  const std::int64_t w = image.extent(1);
+
+  // Horizontal pass.
+  Tensor tmp({h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    const float* src = image.data() + y * w;
+    float* dst = tmp.data() + y * w;
+    for (std::int64_t x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      const std::int64_t k_lo = std::max<std::int64_t>(-radius, -x);
+      const std::int64_t k_hi = std::min<std::int64_t>(radius, w - 1 - x);
+      for (std::int64_t k = k_lo; k <= k_hi; ++k) {
+        acc += src[x + k] * kernel[static_cast<std::size_t>(k + radius)];
+      }
+      dst[x] = acc;
+    }
+  }
+  // Vertical pass.
+  Tensor out({h, w});
+  for (std::int64_t x = 0; x < w; ++x) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      float acc = 0.0f;
+      const std::int64_t k_lo = std::max<std::int64_t>(-radius, -y);
+      const std::int64_t k_hi = std::min<std::int64_t>(radius, h - 1 - y);
+      for (std::int64_t k = k_lo; k <= k_hi; ++k) {
+        acc += tmp[(y + k) * w + x] *
+               kernel[static_cast<std::size_t>(k + radius)];
+      }
+      out[y * w + x] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor subtract(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+double aperture_sum(const Tensor& image, double cy, double cx, double r) {
+  check_stamp(image, "aperture_sum");
+  if (r <= 0.0) throw std::invalid_argument("aperture_sum: radius <= 0");
+  const std::int64_t h = image.extent(0);
+  const std::int64_t w = image.extent(1);
+  const auto y_lo = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(std::floor(cy - r)));
+  const auto y_hi = std::min<std::int64_t>(
+      h - 1, static_cast<std::int64_t>(std::ceil(cy + r)));
+  const auto x_lo = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(std::floor(cx - r)));
+  const auto x_hi = std::min<std::int64_t>(
+      w - 1, static_cast<std::int64_t>(std::ceil(cx + r)));
+
+  double sum = 0.0;
+  const double r2 = r * r;
+  for (std::int64_t y = y_lo; y <= y_hi; ++y) {
+    for (std::int64_t x = x_lo; x <= x_hi; ++x) {
+      const double dy = static_cast<double>(y) - cy;
+      const double dx = static_cast<double>(x) - cx;
+      if (dy * dy + dx * dx <= r2) {
+        sum += image[y * w + x];
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace sne::sim

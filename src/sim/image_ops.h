@@ -1,0 +1,28 @@
+// image_ops.h — primitive operations on 2-d image stamps. Stamps are
+// rank-2 Tensors indexed (y, x); the survey pipeline works on 65×65
+// cutouts, cropped to smaller sizes for the CNN input-size sweep
+// (Table 1 of the paper).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sne::sim {
+
+/// Centered crop of a square region of extent `size`; when the margins are
+/// odd the extra row/column is dropped at the bottom/right (deterministic).
+/// `size` must not exceed either input extent.
+Tensor center_crop(const Tensor& image, std::int64_t size);
+
+/// Separable Gaussian blur with standard deviation `sigma` pixels; kernel
+/// truncated at ±4σ and renormalized, edges handled by zero padding
+/// (stamps are sky-dominated at the borders, so this matches the data).
+Tensor gaussian_blur(const Tensor& image, double sigma);
+
+/// Elementwise a − b (shapes must match): the raw difference image.
+Tensor subtract(const Tensor& a, const Tensor& b);
+
+/// Sum of pixel values inside a circular aperture of radius `r` centered
+/// at (cy, cx) (pixel centers, fractional allowed).
+double aperture_sum(const Tensor& image, double cy, double cx, double r);
+
+}  // namespace sne::sim

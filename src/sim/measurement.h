@@ -1,0 +1,38 @@
+// measurement.h — classical forced photometry on difference images, and a
+// fast noisy-flux sampler. These model the "precise and complex flux
+// measurements" of the photometric pipelines the paper compares against:
+// the multi-epoch baselines (template fits, Lochner-style features, the
+// GRU) consume fluxes measured this way, while the paper's CNN replaces
+// the measurement step entirely.
+#pragma once
+
+#include "astro/lightcurve.h"
+#include "sim/noise.h"
+#include "sim/scheduler.h"
+#include "tensor/tensor.h"
+
+namespace sne::sim {
+
+/// One photometric point of a light curve.
+struct FluxMeasurement {
+  astro::Band band = astro::Band::g;
+  double mjd = 0.0;
+  double flux = 0.0;       ///< measured flux, zero-point 27 units
+  double flux_error = 0.0; ///< 1σ uncertainty
+};
+
+/// PSF-weighted (optimal for a known Gaussian PSF) point-source flux on a
+/// difference image at the known SN position: the matched-filter estimate
+/// Σ w·d / Σ w² with w the unit PSF.
+double psf_weighted_flux(const Tensor& difference, double cy, double cx,
+                         double psf_sigma);
+
+/// Samples a realistic noisy measurement of the light curve at one epoch
+/// without rendering images: true flux + N(0, σ) with σ from the noise
+/// model (sky-dominated + source shot noise). Faster path used by the
+/// feature-level experiments (Figs. 9–10, Table 2 baselines).
+FluxMeasurement sample_measurement(const astro::LightCurve& lc,
+                                   const Observation& obs,
+                                   const NoiseModel& noise, Rng& rng);
+
+}  // namespace sne::sim

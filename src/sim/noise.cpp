@@ -1,0 +1,40 @@
+#include "sim/noise.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sne::sim {
+
+Tensor apply_noise(const Tensor& source, const NoiseModel& model, Rng& rng) {
+  if (model.gain <= 0.0 || model.sky_level < 0.0 || model.read_noise < 0.0) {
+    throw std::invalid_argument("apply_noise: bad noise model");
+  }
+  Tensor out(source.shape());
+  const double inv_gain = 1.0 / model.gain;
+  for (std::int64_t i = 0; i < source.size(); ++i) {
+    const double electrons =
+        std::max(0.0, static_cast<double>(source[i])) * model.gain +
+        model.sky_level;
+    double counts = static_cast<double>(rng.poisson(electrons));
+    counts += rng.normal(0.0, model.read_noise);
+    out[i] = static_cast<float>((counts - model.sky_level) * inv_gain);
+  }
+  return out;
+}
+
+double point_source_flux_sigma(const NoiseModel& model, double psf_sigma,
+                               double source_flux) {
+  if (psf_sigma <= 0.0) {
+    throw std::invalid_argument("point_source_flux_sigma: sigma <= 0");
+  }
+  // Optimal (PSF-weighted) photometry on a Gaussian PSF has an effective
+  // background area of 4πσ² pixels.
+  const double n_eff = 4.0 * std::numbers::pi * psf_sigma * psf_sigma;
+  const double sky_var =
+      (model.sky_level + model.read_noise * model.read_noise) * n_eff;
+  const double source_var = std::max(0.0, source_flux) * model.gain;
+  return std::sqrt(sky_var + source_var) / model.gain;
+}
+
+}  // namespace sne::sim

@@ -1,0 +1,58 @@
+#include "sim/pgm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sne::sim {
+
+std::string encode_pgm(const Tensor& stamp, double stretch, double clip) {
+  if (stamp.rank() != 2) {
+    throw std::invalid_argument("encode_pgm: expected rank-2 stamp");
+  }
+  if (stretch <= 0.0 || clip <= 0.0) {
+    throw std::invalid_argument("encode_pgm: stretch and clip must be > 0");
+  }
+  const std::int64_t h = stamp.extent(0);
+  const std::int64_t w = stamp.extent(1);
+
+  // Robust scale from the interquartile range (σ ≈ IQR / 1.349).
+  std::vector<float> sorted(stamp.data(), stamp.data() + stamp.size());
+  std::sort(sorted.begin(), sorted.end());
+  const auto q = [&](double f) {
+    return sorted[static_cast<std::size_t>(
+        f * static_cast<double>(sorted.size() - 1))];
+  };
+  const double median = q(0.5);
+  double sigma = (q(0.75) - q(0.25)) / 1.349;
+  if (sigma <= 0.0) sigma = 1.0;  // constant image: render flat gray
+
+  std::ostringstream os;
+  os << "P5\n" << w << ' ' << h << "\n255\n";
+  const double lo = -clip;
+  const double hi = stretch;
+  for (std::int64_t i = 0; i < stamp.size(); ++i) {
+    const double z = (static_cast<double>(stamp[i]) - median) / sigma;
+    // asinh stretch compresses the bright tail, linear near zero.
+    const double t =
+        (std::asinh(std::clamp(z, lo, hi)) - std::asinh(lo)) /
+        (std::asinh(hi) - std::asinh(lo));
+    os.put(static_cast<char>(
+        std::clamp(static_cast<int>(t * 255.0 + 0.5), 0, 255)));
+  }
+  return os.str();
+}
+
+void write_pgm(const std::string& path, const Tensor& stamp, double stretch,
+               double clip) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_pgm: cannot open " + path);
+  const std::string bytes = encode_pgm(stamp, stretch, clip);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("write_pgm: write failed");
+}
+
+}  // namespace sne::sim

@@ -1,0 +1,24 @@
+// pgm.h — portable-graymap export of image stamps, so humans can look at
+// what the simulator renders and what difference imaging leaves behind
+// (any image viewer opens .pgm). Values are robustly stretched with an
+// asinh-like mapping, the standard choice for astronomical display.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace sne::sim {
+
+/// Writes a rank-2 stamp as an 8-bit binary PGM. The display stretch maps
+/// [−clip·σ, +stretch·σ] (σ = robust scatter via the interquartile range)
+/// through an asinh curve; pure noise renders mid-gray, sources bright,
+/// negative subtraction residuals dark.
+void write_pgm(const std::string& path, const Tensor& stamp,
+               double stretch = 12.0, double clip = 3.0);
+
+/// In-memory variant (for tests); returns the PGM bytes.
+std::string encode_pgm(const Tensor& stamp, double stretch = 12.0,
+                       double clip = 3.0);
+
+}  // namespace sne::sim

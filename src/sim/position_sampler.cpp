@@ -1,0 +1,38 @@
+#include "sim/position_sampler.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sne::sim {
+
+double SnOffset::radius() const { return std::sqrt(dy * dy + dx * dx); }
+
+SnOffset sample_sn_offset(const SersicProfile& host, Rng& rng, double max_re) {
+  if (max_re <= 0.0) {
+    throw std::invalid_argument("sample_sn_offset: max_re <= 0");
+  }
+  // Exponential radial CDF truncated at max_re·r_e: invert by rejection on
+  // the closed form (cheap, a couple of iterations on average).
+  const double scale = host.half_light_radius / 1.678;  // exp. disk r_e ratio
+  const double r_max = max_re * host.half_light_radius;
+  double r = -scale * std::log(1.0 - rng.uniform());
+  while (r > r_max) {
+    r = -scale * std::log(1.0 - rng.uniform());
+  }
+
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  // Coordinates in the host's major/minor frame; minor axis compressed by
+  // the axis ratio, then rotated by the position angle.
+  const double u = r * std::cos(theta);
+  const double v = r * std::sin(theta) * host.axis_ratio;
+  const double cos_pa = std::cos(host.position_angle);
+  const double sin_pa = std::sin(host.position_angle);
+
+  SnOffset offset;
+  offset.dx = u * cos_pa - v * sin_pa;
+  offset.dy = u * sin_pa + v * cos_pa;
+  return offset;
+}
+
+}  // namespace sne::sim

@@ -1,0 +1,28 @@
+// position_sampler.h — supernova placement within the host. The paper
+// samples the SN position "randomly from an ellipsoidal region fitted to
+// the host galaxy" (its Fig. 4 shows the resulting distribution around
+// hosts). We draw from the host's elliptical light distribution: uniform
+// angle, radius from a light-weighted profile truncated at a few r_e.
+#pragma once
+
+#include "sim/sersic.h"
+#include "tensor/rng.h"
+
+namespace sne::sim {
+
+/// Offset of the supernova from the host center, stamp pixels.
+struct SnOffset {
+  double dy = 0.0;
+  double dx = 0.0;
+
+  double radius() const;
+};
+
+/// Samples an offset inside the host ellipse: the radial coordinate
+/// follows the projected light profile (approximated by an exponential
+/// with scale r_e/1.68) truncated at `max_re` half-light radii, and the
+/// ellipse geometry (axis ratio + position angle) matches the host.
+SnOffset sample_sn_offset(const SersicProfile& host, Rng& rng,
+                          double max_re = 3.0);
+
+}  // namespace sne::sim

@@ -1,0 +1,61 @@
+// renderer.h — produces the 65×65 survey cutouts. A reference stamp is
+// the host galaxy under reference conditions (deep stack: good seeing,
+// reduced noise); an observation stamp is the host plus the PSF-shaped
+// supernova under that epoch's seeing/transparency, with full pixel noise.
+// The supernova's flux enters in observed (zero-point 27) units before the
+// transparency factor, exactly how the light-curve model reports it.
+#pragma once
+
+#include "sim/galaxy_catalog.h"
+#include "sim/noise.h"
+#include "sim/position_sampler.h"
+#include "sim/scheduler.h"
+#include "tensor/tensor.h"
+
+namespace sne::sim {
+
+/// Stamp extent used by the paper ("a 65×65 region is cropped").
+inline constexpr std::int64_t kStampSize = 65;
+
+struct RendererConfig {
+  std::int64_t stamp_size = kStampSize;
+  NoiseModel noise;
+  /// Reference stacks average many exposures; their pixel noise is
+  /// suppressed by this factor (≈ sqrt of the number of stacked frames).
+  double reference_noise_scale = 0.35;
+  /// Sub-pixel dither of the host center between epochs (pointing jitter).
+  double pointing_jitter_px = 0.3;
+};
+
+class ImageRenderer {
+ public:
+  explicit ImageRenderer(const RendererConfig& config = {});
+
+  /// Noiseless host image under the given conditions (galaxy convolved
+  /// with the epoch PSF), centered at (cy, cx).
+  Tensor render_host(const Galaxy& galaxy, const Observation& conditions,
+                     double cy, double cx) const;
+
+  /// Reference stamp: host + suppressed noise, reference conditions.
+  Tensor render_reference(const Galaxy& galaxy, const Observation& reference,
+                          Rng& rng) const;
+
+  /// Observation stamp: host + supernova point source (flux in zero-point
+  /// units, scaled by the epoch transparency) + full noise.
+  /// `sn_offset` is relative to the host center.
+  Tensor render_observation(const Galaxy& galaxy,
+                            const Observation& conditions, double sn_flux,
+                            const SnOffset& sn_offset, Rng& rng) const;
+
+  const RendererConfig& config() const noexcept { return config_; }
+
+  /// Host center in stamp coordinates (the stamp is centered on the host).
+  double center() const noexcept {
+    return 0.5 * static_cast<double>(config_.stamp_size - 1);
+  }
+
+ private:
+  RendererConfig config_;
+};
+
+}  // namespace sne::sim

@@ -1,0 +1,193 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace sne {
+
+namespace {
+
+// Block sizes tuned for a ~32 KiB L1 / 256 KiB L2 single-core target.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+// Inner kernel: C[mb×nb] += A[mb×k_len] · B[k_len×nb], with B rows
+// contiguous so the compiler can vectorize the n loop.
+void gemm_block(std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                const float* a, std::int64_t lda, const float* b,
+                std::int64_t ldb, float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < mb; ++i) {
+    float* ci = c + i * ldc;
+    std::int64_t p = 0;
+    // Unroll the reduction by 4: each step streams 4 rows of B through the
+    // vectorized n loop with a single pass over C.
+    for (; p + 4 <= kb; p += 4) {
+      const float a0 = a[i * lda + p + 0];
+      const float a1 = a[i * lda + p + 1];
+      const float a2 = a[i * lda + p + 2];
+      const float a3 = a[i * lda + p + 3];
+      const float* b0 = b + (p + 0) * ldb;
+      const float* b1 = b + (p + 1) * ldb;
+      const float* b2 = b + (p + 2) * ldb;
+      const float* b3 = b + (p + 3) * ldb;
+      for (std::int64_t j = 0; j < nb; ++j) {
+        ci[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; p < kb; ++p) {
+      const float ap = a[i * lda + p];
+      const float* bp = b + p * ldb;
+      for (std::int64_t j = 0; j < nb; ++j) ci[j] += ap * bp[j];
+    }
+  }
+}
+
+void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+    return;
+  }
+  for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+}
+
+}  // namespace
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  // alpha is folded into a scaled copy of the A panel so the inner kernel
+  // stays a pure FMA loop.
+  std::vector<float> a_panel;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t mb = std::min(kBlockM, m - i0);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::int64_t kb = std::min(kBlockK, k - p0);
+      a_panel.assign(static_cast<std::size_t>(mb * kb), 0.0f);
+      for (std::int64_t i = 0; i < mb; ++i) {
+        const float* src = a + (i0 + i) * k + p0;
+        float* dst = a_panel.data() + i * kb;
+        for (std::int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
+      }
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t nb = std::min(kBlockN, n - j0);
+        gemm_block(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
+                   c + i0 * n + j0, n);
+      }
+    }
+  }
+}
+
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  // A is stored k×m; transpose blocks of A into a row-major panel, then
+  // reuse the same inner kernel.
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  std::vector<float> a_panel;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t mb = std::min(kBlockM, m - i0);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::int64_t kb = std::min(kBlockK, k - p0);
+      a_panel.assign(static_cast<std::size_t>(mb * kb), 0.0f);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float* src = a + (p0 + p) * m + i0;
+        for (std::int64_t i = 0; i < mb; ++i) {
+          a_panel[static_cast<std::size_t>(i * kb + p)] = alpha * src[i];
+        }
+      }
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t nb = std::min(kBlockN, n - j0);
+        gemm_block(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
+                   c + i0 * n + j0, n);
+      }
+    }
+  }
+}
+
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  // B is stored n×k; with B transposed both operands stream along k, so a
+  // dot-product kernel is the cache-friendly choice.
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      double acc0 = 0.0, acc1 = 0.0;
+      std::int64_t p = 0;
+      for (; p + 2 <= k; p += 2) {
+        acc0 += static_cast<double>(ai[p]) * bj[p];
+        acc1 += static_cast<double>(ai[p + 1]) * bj[p + 1];
+      }
+      if (p < k) acc0 += static_cast<double>(ai[p]) * bj[p];
+      c[i * n + j] += alpha * static_cast<float>(acc0 + acc1);
+    }
+  }
+}
+
+void im2col(const float* image, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t pad, std::int64_t stride, float* columns) {
+  const std::int64_t out_h = conv_out_extent(height, kh, pad, stride);
+  const std::int64_t out_w = conv_out_extent(width, kw, pad, stride);
+  const std::int64_t out_hw = out_h * out_w;
+
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* img_c = image + c * height * width;
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      for (std::int64_t kx = 0; kx < kw; ++kx) {
+        float* col_row = columns + ((c * kh + ky) * kw + kx) * out_hw;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          float* dst = col_row + oy * out_w;
+          if (iy < 0 || iy >= height) {
+            std::fill(dst, dst + out_w, 0.0f);
+            continue;
+          }
+          const float* src_row = img_c + iy * width;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            dst[ox] = (ix >= 0 && ix < width) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t pad, std::int64_t stride, float* image) {
+  const std::int64_t out_h = conv_out_extent(height, kh, pad, stride);
+  const std::int64_t out_w = conv_out_extent(width, kw, pad, stride);
+  const std::int64_t out_hw = out_h * out_w;
+
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* img_c = image + c * height * width;
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      for (std::int64_t kx = 0; kx < kw; ++kx) {
+        const float* col_row = columns + ((c * kh + ky) * kw + kx) * out_hw;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= height) continue;
+          const float* src = col_row + oy * out_w;
+          float* dst_row = img_c + iy * width;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            if (ix >= 0 && ix < width) dst_row[ix] += src[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sne

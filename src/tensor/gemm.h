@@ -1,0 +1,46 @@
+// gemm.h — single-precision matrix multiply kernels and the im2col/col2im
+// lowering used by the convolution layers. These are the hot loops of the
+// whole training pipeline; everything else in the nn library reduces to
+// calls into this file.
+#pragma once
+
+#include <cstdint>
+
+namespace sne {
+
+/// C[m×n] = alpha * A[m×k] · B[k×n] + beta * C.
+/// Row-major, contiguous. Cache-blocked with an unrolled inner kernel;
+/// single-threaded by design (the target machine exposes one core, and
+/// determinism of accumulation order is a test invariant).
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c);
+
+/// C[m×n] = alpha * Aᵀ (A is k×m) · B[k×n] + beta * C.
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// C[m×n] = alpha * A[m×k] · Bᵀ (B is n×k) + beta * C.
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// Lowers one image (C×H×W, row-major) into a column matrix of shape
+/// [C·kh·kw] × [out_h·out_w] for convolution-as-GEMM. `pad` is zero padding
+/// applied on all sides, `stride` the convolution stride.
+void im2col(const float* image, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t pad, std::int64_t stride, float* columns);
+
+/// Adjoint of im2col: scatters a column matrix back into (and accumulates
+/// onto) an image buffer. Used for the convolution input gradient.
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t pad, std::int64_t stride, float* image);
+
+/// Output spatial extent of a convolution along one axis.
+constexpr std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
+                                       std::int64_t pad,
+                                       std::int64_t stride) noexcept {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace sne

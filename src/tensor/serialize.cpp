@@ -1,0 +1,123 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace sne {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'E', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is) throw std::runtime_error("tensor stream truncated (u64)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_u64(os, static_cast<std::uint64_t>(t.rank()));
+  for (std::int64_t a = 0; a < t.rank(); ++a) {
+    write_u64(os, static_cast<std::uint64_t>(t.extent(a)));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!os) throw std::runtime_error("write_tensor: stream failure");
+}
+
+Tensor read_tensor(std::istream& is) {
+  const std::uint64_t rank = read_u64(is);
+  if (rank > 8) throw std::runtime_error("read_tensor: implausible rank");
+  Shape shape;
+  shape.reserve(rank);
+  std::uint64_t numel = 1;
+  for (std::uint64_t a = 0; a < rank; ++a) {
+    const std::uint64_t e = read_u64(is);
+    if (e == 0 || e > std::numeric_limits<std::int64_t>::max() ||
+        numel > (1ULL << 40) / (e ? e : 1)) {
+      throw std::runtime_error("read_tensor: implausible extent");
+    }
+    numel *= e;
+    shape.push_back(static_cast<std::int64_t>(e));
+  }
+  if (rank == 0) {
+    return Tensor();
+  }
+  Tensor t(std::move(shape));
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("read_tensor: stream truncated (data)");
+  return t;
+}
+
+void write_tensor_map(std::ostream& os, const TensorMap& map) {
+  os.write(kMagic, 4);
+  write_u64(os, kVersion);
+  write_u64(os, map.size());
+  for (const auto& [name, tensor] : map) {
+    write_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_tensor(os, tensor);
+  }
+  if (!os) throw std::runtime_error("write_tensor_map: stream failure");
+}
+
+TensorMap read_tensor_map(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("read_tensor_map: bad magic");
+  }
+  const std::uint64_t version = read_u64(is);
+  if (version != kVersion) {
+    throw std::runtime_error("read_tensor_map: unsupported version");
+  }
+  const std::uint64_t count = read_u64(is);
+  if (count > 1'000'000) {
+    throw std::runtime_error("read_tensor_map: implausible entry count");
+  }
+  TensorMap map;
+  map.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = read_u64(is);
+    if (len > 4096) throw std::runtime_error("read_tensor_map: name too long");
+    std::string name(len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(len));
+    if (!is) throw std::runtime_error("read_tensor_map: truncated name");
+    map.emplace_back(std::move(name), read_tensor(is));
+  }
+  return map;
+}
+
+void save_tensor_map(const std::string& path, const TensorMap& map) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_tensor_map: cannot open " + path);
+  write_tensor_map(os, map);
+}
+
+TensorMap load_tensor_map(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_tensor_map: cannot open " + path);
+  return read_tensor_map(is);
+}
+
+}  // namespace sne

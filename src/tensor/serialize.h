@@ -1,0 +1,35 @@
+// serialize.h — minimal binary serialization for tensors and named tensor
+// maps. Used by nn::save_model / nn::load_model so that pre-trained
+// component networks (the band-wise CNN and the light-curve classifier)
+// can be stitched into the joint model for fine-tuning, exactly as the
+// paper's training recipe requires.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sne {
+
+/// Writes a tensor: rank, extents (int64 little-endian), then raw float32.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Reads a tensor written by write_tensor. Throws std::runtime_error on a
+/// malformed or truncated stream.
+Tensor read_tensor(std::istream& is);
+
+/// Named collection of tensors (parameter snapshot of a network).
+using TensorMap = std::vector<std::pair<std::string, Tensor>>;
+
+/// File format: magic "SNET", version, count, then (name, tensor) records.
+void write_tensor_map(std::ostream& os, const TensorMap& map);
+TensorMap read_tensor_map(std::istream& is);
+
+/// Convenience wrappers over std::fstream; throw on I/O failure.
+void save_tensor_map(const std::string& path, const TensorMap& map);
+TensorMap load_tensor_map(const std::string& path);
+
+}  // namespace sne

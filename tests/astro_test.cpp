@@ -1,0 +1,298 @@
+// astro_test.cpp — photometry conversions, cosmological distances,
+// light-curve template physics, and population priors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "astro/cosmology.h"
+#include "astro/lightcurve.h"
+#include "astro/photometry.h"
+#include "astro/priors.h"
+
+namespace sne::astro {
+namespace {
+
+TEST(Photometry, MagFluxRoundTrip) {
+  for (const double mag : {18.0, 22.5, 27.0, 31.0}) {
+    EXPECT_NEAR(mag_from_flux(flux_from_mag(mag)), mag, 1e-12);
+  }
+}
+
+TEST(Photometry, ZeroPointConvention) {
+  // mag = 27 ⇔ flux = 1 (the paper's zero point).
+  EXPECT_NEAR(flux_from_mag(27.0), 1.0, 1e-12);
+  EXPECT_NEAR(mag_from_flux(1.0), 27.0, 1e-12);
+  // 2.5 mag brighter = ×10 flux.
+  EXPECT_NEAR(flux_from_mag(24.5), 10.0, 1e-10);
+}
+
+TEST(Photometry, MagRejectsNonPositiveFlux) {
+  EXPECT_THROW(mag_from_flux(0.0), std::domain_error);
+  EXPECT_THROW(mag_from_flux(-3.0), std::domain_error);
+}
+
+TEST(Photometry, SignedLogOddAndInvertible) {
+  for (const double x : {-500.0, -1.0, -0.1, 0.0, 0.1, 1.0, 500.0}) {
+    EXPECT_NEAR(signed_log(-x), -signed_log(x), 1e-12);
+    EXPECT_NEAR(signed_log_inverse(signed_log(x)), x,
+                1e-9 * std::max(1.0, std::abs(x)));
+  }
+  EXPECT_EQ(signed_log(0.0), 0.0);
+  EXPECT_NEAR(signed_log(9.0), 1.0, 1e-12);
+}
+
+TEST(Photometry, SignedLogMonotone) {
+  double prev = signed_log(-100.0);
+  for (double x = -99.0; x <= 100.0; x += 1.0) {
+    const double cur = signed_log(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Cosmology, KnownDistanceModuli) {
+  const Cosmology cosmo;  // H0=70, Om=0.3
+  // Reference values from standard astropy FlatLambdaCDM(H0=70, Om0=0.3).
+  EXPECT_NEAR(cosmo.distance_modulus(0.1), 38.31, 0.05);
+  EXPECT_NEAR(cosmo.distance_modulus(0.5), 42.27, 0.05);
+  EXPECT_NEAR(cosmo.distance_modulus(1.0), 44.10, 0.05);
+  EXPECT_NEAR(cosmo.distance_modulus(2.0), 45.95, 0.05);
+}
+
+TEST(Cosmology, DistancesMonotoneInRedshift) {
+  const Cosmology cosmo;
+  double prev = 0.0;
+  for (double z = 0.05; z <= 2.0; z += 0.05) {
+    const double d = cosmo.luminosity_distance_mpc(z);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Cosmology, RejectsBadInputs) {
+  EXPECT_THROW(Cosmology(-70.0, 0.3), std::invalid_argument);
+  EXPECT_THROW(Cosmology(70.0, 1.5), std::invalid_argument);
+  const Cosmology cosmo;
+  EXPECT_THROW(cosmo.comoving_distance_mpc(-0.1), std::domain_error);
+}
+
+// ---- light-curve templates ----
+
+class TemplatePeak : public ::testing::TestWithParam<SnType> {};
+
+TEST_P(TemplatePeak, NormalizedAtPeakRestB) {
+  const SnType type = GetParam();
+  const double peak = template_relative_flux(type, 0.0, 440.0);
+  EXPECT_NEAR(peak, 1.0, 0.05);
+  // Away from peak the template is fainter (long after, much fainter).
+  EXPECT_LT(template_relative_flux(type, 150.0, 440.0), peak);
+}
+
+TEST_P(TemplatePeak, ZeroBeforeExplosion) {
+  EXPECT_EQ(template_relative_flux(GetParam(), -60.0, 440.0), 0.0);
+}
+
+TEST_P(TemplatePeak, NonNegativeEverywhere) {
+  for (double p = -40.0; p < 200.0; p += 3.0) {
+    for (double wl = 150.0; wl <= 1000.0; wl += 100.0) {
+      EXPECT_GE(template_relative_flux(GetParam(), p, wl), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, TemplatePeak,
+                         ::testing::ValuesIn(kAllSnTypes),
+                         [](const auto& info) {
+                           return std::string(sn_type_name(info.param));
+                         });
+
+TEST(Templates, IaDeclinesFasterThanIIn) {
+  const double ia_30 = template_relative_flux(SnType::Ia, 30.0, 440.0);
+  const double iin_30 = template_relative_flux(SnType::IIn, 30.0, 440.0);
+  EXPECT_LT(ia_30, iin_30);
+}
+
+TEST(Templates, IaSecondaryBumpOnlyRedward) {
+  // The NIR secondary maximum: in z band the +25 d flux should exceed a
+  // smooth Bazin decline; compare to the blue band's ratio.
+  const double z_ratio = template_relative_flux(SnType::Ia, 25.0, 900.0) /
+                         template_relative_flux(SnType::Ia, 10.0, 900.0);
+  const double g_ratio = template_relative_flux(SnType::Ia, 25.0, 450.0) /
+                         template_relative_flux(SnType::Ia, 10.0, 450.0);
+  EXPECT_GT(z_ratio, g_ratio);
+}
+
+TEST(Templates, IaUvSuppressed) {
+  // Rest-frame 200 nm (observer g at z ≈ 1.4) is strongly suppressed.
+  const double uv = template_relative_flux(SnType::Ia, 0.0, 200.0);
+  const double optical = template_relative_flux(SnType::Ia, 0.0, 440.0);
+  EXPECT_LT(uv, 0.05 * optical);
+}
+
+TEST(Templates, IIPHasPlateau) {
+  // Flux at +30 d and +70 d should be within ~0.4 mag of each other
+  // (the plateau), then drop steeply by +120 d.
+  const double f30 = template_relative_flux(SnType::IIP, 30.0, 620.0);
+  const double f70 = template_relative_flux(SnType::IIP, 70.0, 620.0);
+  const double f120 = template_relative_flux(SnType::IIP, 120.0, 620.0);
+  EXPECT_LT(std::abs(-2.5 * std::log10(f70 / f30)), 0.45);
+  EXPECT_GT(-2.5 * std::log10(f120 / f70), 1.0);
+}
+
+TEST(Templates, IILLinearDecline) {
+  // Magnitude decline should be ~0.045 mag/day after peak.
+  const double f0 = template_relative_flux(SnType::IIL, 10.0, 620.0);
+  const double f1 = template_relative_flux(SnType::IIL, 11.0, 620.0);
+  EXPECT_NEAR(-2.5 * std::log10(f1 / f0), 0.045, 1e-3);
+}
+
+TEST(ColorLaw, NormalizedAtRestB) {
+  EXPECT_NEAR(color_law(440.0), 0.0, 1e-12);
+  EXPECT_GT(color_law(370.0), 0.0);   // UV: positive (redder = fainter)
+  EXPECT_LT(color_law(800.0), 0.0);   // NIR: negative
+}
+
+// ---- observer-frame light curves ----
+
+TEST(LightCurve, PeakApparentMagnitudeMatchesDistanceModulus) {
+  const Cosmology cosmo;
+  SnParams p;
+  p.type = SnType::Ia;
+  p.redshift = 0.5;
+  p.peak_mjd = 30.0;
+  p.peak_abs_mag = -19.3;
+  p.color = 0.0;
+  const LightCurve lc(p, cosmo);
+  // Observer r band at z = 0.5 is rest ~413 nm ≈ rest B: the apparent
+  // peak magnitude should be close to M + μ.
+  const double expected = -19.3 + cosmo.distance_modulus(0.5);
+  const double peak_date = lc.peak_mjd_in_band(Band::r);
+  EXPECT_NEAR(lc.magnitude(Band::r, peak_date), expected, 0.3);
+}
+
+TEST(LightCurve, TimeDilationStretchesObservedCurve) {
+  const Cosmology cosmo;
+  SnParams lo = {SnType::Ia, 0.2, 1.0, 0.0, 0.0, -19.3};
+  SnParams hi = {SnType::Ia, 1.2, 1.0, 0.0, 0.0, -19.3};
+  const LightCurve lc_lo(lo, cosmo);
+  const LightCurve lc_hi(hi, cosmo);
+  // Normalized decline after 20 observer days is slower at high z.
+  const double drop_lo =
+      lc_lo.flux(Band::i, 20.0) / lc_lo.flux(Band::i, 0.0);
+  const double drop_hi =
+      lc_hi.flux(Band::i, 20.0) / lc_hi.flux(Band::i, 0.0);
+  EXPECT_LT(drop_lo, drop_hi);
+}
+
+TEST(LightCurve, StretchSlowsIaDecline) {
+  const Cosmology cosmo;
+  SnParams narrow = {SnType::Ia, 0.5, 0.8, 0.0, 0.0, -19.3};
+  SnParams wide = {SnType::Ia, 0.5, 1.3, 0.0, 0.0, -19.3};
+  const LightCurve lc_n(narrow, cosmo);
+  const LightCurve lc_w(wide, cosmo);
+  const double r_n = lc_n.flux(Band::r, 25.0) / lc_n.flux(Band::r, 0.0);
+  const double r_w = lc_w.flux(Band::r, 25.0) / lc_w.flux(Band::r, 0.0);
+  EXPECT_LT(r_n, r_w);
+}
+
+TEST(LightCurve, PositiveColorDimsBlueBands) {
+  const Cosmology cosmo;
+  SnParams neutral = {SnType::Ia, 0.3, 1.0, 0.0, 10.0, -19.3};
+  SnParams red = {SnType::Ia, 0.3, 1.0, 0.3, 10.0, -19.3};
+  const LightCurve lc_neutral(neutral, cosmo);
+  const LightCurve lc_red(red, cosmo);
+  // g band (rest ~369 nm at z=0.3): red SN is fainter.
+  EXPECT_LT(lc_red.flux(Band::g, 10.0), lc_neutral.flux(Band::g, 10.0));
+  // y band (rest ~769 nm): color law is negative, so red SN is brighter.
+  EXPECT_GT(lc_red.flux(Band::y, 10.0), lc_neutral.flux(Band::y, 10.0));
+}
+
+TEST(LightCurve, MagnitudeClampsAtFaintLimit) {
+  const Cosmology cosmo;
+  SnParams p = {SnType::Ia, 0.5, 1.0, 0.0, 100.0, -19.3};
+  const LightCurve lc(p, cosmo);
+  // Long before explosion: flux 0 → clamped magnitude.
+  EXPECT_DOUBLE_EQ(lc.magnitude(Band::g, 0.0, 35.0), 35.0);
+  EXPECT_EQ(lc.flux(Band::g, 0.0), 0.0);
+}
+
+TEST(LightCurve, RejectsBadParams) {
+  const Cosmology cosmo;
+  SnParams p;
+  p.redshift = 0.0;
+  EXPECT_THROW(LightCurve(p, cosmo), std::invalid_argument);
+  p.redshift = 0.5;
+  p.stretch = 0.0;
+  EXPECT_THROW(LightCurve(p, cosmo), std::invalid_argument);
+}
+
+// ---- priors ----
+
+TEST(Priors, IaParametersWithinPhysicalRanges) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const SnParams p = sample_sn_params(SnType::Ia, 0.6, 0.0, 60.0, rng);
+    EXPECT_GE(p.stretch, 0.6);
+    EXPECT_LE(p.stretch, 1.4);
+    EXPECT_GE(p.color, -0.3);
+    EXPECT_LE(p.color, 0.5);
+    EXPECT_GE(p.peak_mjd, 0.0);
+    EXPECT_LE(p.peak_mjd, 60.0);
+    EXPECT_NEAR(p.peak_abs_mag, -19.3, 2.0);
+  }
+}
+
+TEST(Priors, IaScatterIsSmall) {
+  Rng rng(2);
+  double s = 0.0, s2 = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const SnParams p = sample_sn_params(SnType::Ia, 0.6, 0.0, 60.0, rng);
+    s += p.peak_abs_mag;
+    s2 += p.peak_abs_mag * p.peak_abs_mag;
+  }
+  const double mean = s / n;
+  const double sd = std::sqrt(s2 / n - mean * mean);
+  EXPECT_NEAR(mean, -19.36, 0.1);
+  // Tripp-corrected scatter: α·σ_x1 ⊕ β·σ_c ⊕ σ_int ≈ 0.36 mag.
+  EXPECT_LT(sd, 0.6);
+  EXPECT_GT(sd, 0.15);
+}
+
+TEST(Priors, CoreCollapseFainterThanIaOnAverage) {
+  Rng rng(3);
+  double ia = 0.0, cc = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ia += sample_sn_params(SnType::Ia, 0.6, 0.0, 60.0, rng).peak_abs_mag;
+    cc += sample_sn_params(SnType::IIP, 0.6, 0.0, 60.0, rng).peak_abs_mag;
+  }
+  EXPECT_LT(ia / n, cc / n);  // more negative = brighter
+}
+
+TEST(Priors, TypeSamplerBalanced) {
+  Rng rng(4);
+  int n_ia = 0;
+  const int n = 10000;
+  std::array<int, 6> counts{};
+  for (int i = 0; i < n; ++i) {
+    const SnType t = sample_sn_type(rng, 0.5);
+    if (is_type_ia(t)) ++n_ia;
+    ++counts[static_cast<std::size_t>(t)];
+  }
+  EXPECT_NEAR(static_cast<double>(n_ia) / n, 0.5, 0.02);
+  // The five CC types should be roughly uniform among non-Ia draws.
+  for (const SnType t : kNonIaTypes) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(t)] / (n * 0.5), 0.2, 0.03);
+  }
+}
+
+TEST(Priors, NonIaHasNoStretchOrColor) {
+  Rng rng(5);
+  const SnParams p = sample_sn_params(SnType::Ib, 0.4, 0.0, 60.0, rng);
+  EXPECT_EQ(p.stretch, 1.0);
+  EXPECT_EQ(p.color, 0.0);
+}
+
+}  // namespace
+}  // namespace sne::astro

@@ -1,0 +1,246 @@
+// eval_test.cpp — ROC/AUC machinery, regression metrics, and the table
+// emitters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/roc.h"
+#include "eval/tables.h"
+#include "tensor/rng.h"
+
+namespace sne::eval {
+namespace {
+
+TEST(Roc, PerfectClassifier) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<float> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 1.0);
+  EXPECT_DOUBLE_EQ(best_accuracy(scores, labels), 1.0);
+}
+
+TEST(Roc, AntiPerfectClassifier) {
+  const std::vector<float> scores{0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<float> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.0);
+}
+
+TEST(Roc, AllTiedScoresGiveHalf) {
+  const std::vector<float> scores{0.5f, 0.5f, 0.5f, 0.5f};
+  const std::vector<float> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.5);
+}
+
+TEST(Roc, KnownHandComputedCase) {
+  // scores: pos {3, 1}, neg {2, 0} → pairs: (3>2),(3>0),(1<2),(1>0) = 3/4.
+  const std::vector<float> scores{3, 1, 2, 0};
+  const std::vector<float> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.75);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(static_cast<float>(rng.uniform()));
+    labels.push_back(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(auc(scores, labels), 0.5, 0.03);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+  Rng rng(2);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 500; ++i) {
+    const bool pos = rng.bernoulli(0.5);
+    scores.push_back(static_cast<float>(rng.normal(pos ? 1.0 : 0.0, 1.0)));
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  const RocCurve curve = compute_roc(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.points.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().tpr, 1.0);
+  for (std::size_t k = 1; k < curve.points.size(); ++k) {
+    EXPECT_GE(curve.points[k].fpr, curve.points[k - 1].fpr);
+    EXPECT_GE(curve.points[k].tpr, curve.points[k - 1].tpr);
+  }
+  EXPECT_GT(curve.auc, 0.5);
+  EXPECT_LT(curve.auc, 1.0);
+}
+
+TEST(Roc, AucInvariantUnderMonotoneTransform) {
+  Rng rng(3);
+  std::vector<float> scores, transformed, labels;
+  for (int i = 0; i < 300; ++i) {
+    const bool pos = rng.bernoulli(0.4);
+    const float s = static_cast<float>(rng.normal(pos ? 0.5 : 0.0, 1.0));
+    scores.push_back(s);
+    transformed.push_back(std::tanh(s) * 100.0f);
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(auc(scores, labels), auc(transformed, labels), 1e-9);
+}
+
+TEST(Roc, RejectsDegenerateInputs) {
+  EXPECT_THROW(auc({}, {}), std::invalid_argument);
+  const std::vector<float> s{1.0f, 2.0f};
+  const std::vector<float> one_class{1.0f, 1.0f};
+  EXPECT_THROW(auc(s, one_class), std::invalid_argument);
+}
+
+TEST(Roc, AccuracyAtThreshold) {
+  const std::vector<float> scores{0.9f, 0.4f, 0.6f, 0.1f};
+  const std::vector<float> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(accuracy_at(scores, labels, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(accuracy_at(scores, labels, 0.05), 0.5);
+}
+
+TEST(Roc, TprAtFprOperatingPoint) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.7f, 0.6f, 0.5f, 0.4f};
+  const std::vector<float> labels{1, 1, 0, 1, 0, 0};
+  const RocCurve curve = compute_roc(scores, labels);
+  EXPECT_NEAR(tpr_at_fpr(curve, 0.0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(tpr_at_fpr(curve, 1.0), 1.0, 1e-9);
+}
+
+TEST(Metrics, MseMaeBias) {
+  const std::vector<float> pred{1.0f, 2.0f, 3.0f};
+  const std::vector<float> target{1.0f, 1.0f, 5.0f};
+  EXPECT_NEAR(mse(pred, target), (0.0 + 1.0 + 4.0) / 3.0, 1e-9);
+  EXPECT_NEAR(mae(pred, target), (0.0 + 1.0 + 2.0) / 3.0, 1e-9);
+  EXPECT_NEAR(bias(pred, target), (0.0 + 1.0 - 2.0) / 3.0, 1e-9);
+}
+
+TEST(Metrics, PearsonPerfectAndInverse) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{2, 4, 6, 8};
+  const std::vector<float> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-9);
+}
+
+TEST(Metrics, MeanStd) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const MeanStd ms = mean_std(v);
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 2.0);
+}
+
+TEST(BootstrapAuc, IntervalContainsPointEstimate) {
+  Rng rng(5);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool pos = rng.bernoulli(0.5);
+    scores.push_back(static_cast<float>(rng.normal(pos ? 1.0 : 0.0, 1.0)));
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  const AucInterval ci = bootstrap_auc(scores, labels, 100);
+  EXPECT_LE(ci.lo, ci.auc);
+  EXPECT_GE(ci.hi, ci.auc);
+  EXPECT_GT(ci.hi - ci.lo, 0.0);
+  EXPECT_LT(ci.hi - ci.lo, 0.2);  // 400 samples: reasonably tight
+}
+
+TEST(BootstrapAuc, PerfectScoresHaveDegenerateInterval) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<float> labels{1, 1, 0, 0};
+  const AucInterval ci = bootstrap_auc(scores, labels, 50);
+  EXPECT_DOUBLE_EQ(ci.auc, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(BootstrapAuc, DeterministicInSeed) {
+  Rng rng(6);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 100; ++i) {
+    const bool pos = i % 2 == 0;
+    scores.push_back(static_cast<float>(rng.normal(pos ? 0.5 : 0.0, 1.0)));
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  const AucInterval a = bootstrap_auc(scores, labels, 50, 0.95, 3);
+  const AucInterval b = bootstrap_auc(scores, labels, 50, 0.95, 3);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapAuc, RejectsBadParameters) {
+  const std::vector<float> s{1.0f, 0.0f};
+  const std::vector<float> y{1.0f, 0.0f};
+  EXPECT_THROW(bootstrap_auc(s, y, 5), std::invalid_argument);
+  EXPECT_THROW(bootstrap_auc(s, y, 100, 1.5), std::invalid_argument);
+}
+
+TEST(Calibration, BrierScoreKnownCases) {
+  const std::vector<float> perfect{1.0f, 0.0f, 1.0f};
+  const std::vector<float> labels{1, 0, 1};
+  EXPECT_DOUBLE_EQ(brier_score(perfect, labels), 0.0);
+  const std::vector<float> coin{0.5f, 0.5f, 0.5f};
+  EXPECT_DOUBLE_EQ(brier_score(coin, labels), 0.25);
+}
+
+TEST(Calibration, ReliabilityOfCalibratedScores) {
+  // Scores drawn so P(y=1 | p) = p: the curve should hug the diagonal.
+  Rng rng(9);
+  std::vector<float> p, y;
+  for (int i = 0; i < 20000; ++i) {
+    const float prob = static_cast<float>(rng.uniform());
+    p.push_back(prob);
+    y.push_back(rng.bernoulli(prob) ? 1.0f : 0.0f);
+  }
+  for (const ReliabilityPoint& point : reliability_curve(p, y, 10)) {
+    EXPECT_NEAR(point.empirical_rate, point.mean_predicted, 0.05);
+  }
+  EXPECT_LT(expected_calibration_error(p, y, 10), 0.03);
+}
+
+TEST(Calibration, MiscalibratedScoresShowLargeEce) {
+  // Constant 0.9 predictions on balanced labels: ECE ≈ |0.9 − 0.5|.
+  std::vector<float> p(1000, 0.9f);
+  std::vector<float> y;
+  for (int i = 0; i < 1000; ++i) y.push_back(i % 2 == 0 ? 1.0f : 0.0f);
+  EXPECT_NEAR(expected_calibration_error(p, y, 10), 0.4, 1e-6);
+}
+
+TEST(Calibration, EmptyBinsOmitted) {
+  const std::vector<float> p{0.05f, 0.95f};
+  const std::vector<float> y{0.0f, 1.0f};
+  const auto curve = reliability_curve(p, y, 10);
+  EXPECT_EQ(curve.size(), 2u);
+}
+
+TEST(Tables, AlignedRendering) {
+  TextTable t({"name", "auc"});
+  t.add_row({"proposed", "0.958"});
+  t.add_row({"poznanski-no-z", "0.60"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("proposed"), std::string::npos);
+  EXPECT_NE(s.find("0.958"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Tables, MarkdownAndCsv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+  EXPECT_NE(t.to_markdown().find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Tables, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Tables, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pm(1.5, 0.25, 2), "1.50 ± 0.25");
+}
+
+TEST(Tables, SeriesTsv) {
+  EXPECT_EQ(series_to_tsv({1.0, 2.0}, {3.0, 4.0}), "1\t3\n2\t4\n");
+  EXPECT_THROW(series_to_tsv({1.0}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sne::eval

@@ -1,0 +1,285 @@
+// nn_training_test.cpp — optimizers, the Trainer loop, datasets/batching,
+// and model serialization: does the library actually learn?
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/nn.h"
+
+namespace sne::nn {
+namespace {
+
+// y = 2x₀ − 3x₁ + 1 regression data.
+VectorDataset make_linear_data(std::int64_t n, Rng& rng) {
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto x0 = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto x1 = static_cast<float>(rng.uniform(-1.0, 1.0));
+    samples.push_back(
+        {Tensor({2}, {x0, x1}), Tensor({1}, 2.0f * x0 - 3.0f * x1 + 1.0f)});
+  }
+  return VectorDataset(std::move(samples));
+}
+
+// XOR-ish two-moon data (linearly inseparable).
+VectorDataset make_xor_data(std::int64_t n, Rng& rng) {
+  std::vector<Sample> samples;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool a = rng.bernoulli(0.5);
+    const bool b = rng.bernoulli(0.5);
+    const auto x0 = static_cast<float>(a ? 1 : -1) +
+                    static_cast<float>(rng.normal(0.0, 0.1));
+    const auto x1 = static_cast<float>(b ? 1 : -1) +
+                    static_cast<float>(rng.normal(0.0, 0.1));
+    samples.push_back(
+        {Tensor({2}, {x0, x1}), Tensor({1}, (a != b) ? 1.0f : 0.0f)});
+  }
+  return VectorDataset(std::move(samples));
+}
+
+TEST(Optimizer, SgdConvergesOnLinearRegression) {
+  Rng rng(1);
+  Linear model(2, 1, rng);
+  Sgd opt(model.params(), 0.1f);
+  Trainer trainer(model, opt, mse_loss);
+  const VectorDataset data = make_linear_data(256, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.batch_size = 32;
+  const auto history = trainer.fit(data, nullptr, cfg);
+  EXPECT_LT(history.back().train_loss, 1e-3f);
+  // The true coefficients should be recovered.
+  EXPECT_NEAR(model.weight().value[0], 2.0f, 0.05f);
+  EXPECT_NEAR(model.weight().value[1], -3.0f, 0.05f);
+  EXPECT_NEAR(model.bias().value[0], 1.0f, 0.05f);
+}
+
+TEST(Optimizer, AdamConvergesFasterThanSgdHere) {
+  Rng rng(2);
+  const VectorDataset data = make_linear_data(256, rng);
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 32;
+
+  Rng init_a(3);
+  Linear model_adam(2, 1, init_a);
+  Adam adam(model_adam.params(), 0.05f);
+  Trainer trainer_adam(model_adam, adam, mse_loss);
+  const float adam_loss = trainer_adam.fit(data, nullptr, cfg).back().train_loss;
+
+  Rng init_b(3);
+  Linear model_sgd(2, 1, init_b);
+  Sgd sgd(model_sgd.params(), 0.005f, 0.0f);
+  Trainer trainer_sgd(model_sgd, sgd, mse_loss);
+  const float sgd_loss = trainer_sgd.fit(data, nullptr, cfg).back().train_loss;
+
+  EXPECT_LT(adam_loss, sgd_loss);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Rng rng(4);
+  Linear model(4, 1, rng);
+  Adam opt(model.params(), 0.05f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  // No data signal: gradients zero, only decay acts.
+  const float before = model.weight().value.l2_norm();
+  for (int i = 0; i < 20; ++i) {
+    opt.zero_grad();
+    opt.step();
+  }
+  EXPECT_LT(model.weight().value.l2_norm(), before);
+}
+
+TEST(Optimizer, GradClipBoundsNorm) {
+  Rng rng(5);
+  Linear model(8, 8, rng);
+  Adam opt(model.params(), 0.01f);
+  model.forward(Tensor::randn({4, 8}, rng) * 100.0f);
+  model.backward(Tensor::randn({4, 8}, rng) * 100.0f);
+  const float pre = opt.clip_grad_norm(1.0f);
+  EXPECT_GT(pre, 1.0f);
+  double norm2 = 0.0;
+  for (Param* p : model.params()) {
+    const float n = p->grad.l2_norm();
+    norm2 += static_cast<double>(n) * n;
+  }
+  EXPECT_NEAR(std::sqrt(norm2), 1.0, 1e-3);
+}
+
+TEST(Trainer, MlpSolvesXor) {
+  Rng rng(6);
+  Sequential model;
+  model.emplace<Linear>(2, 16, rng);
+  model.emplace<Tanh>();
+  model.emplace<Linear>(16, 1, rng);
+  Adam opt(model.params(), 0.02f);
+  Trainer trainer(model, opt, bce_with_logits_loss, binary_accuracy);
+
+  const VectorDataset train = make_xor_data(400, rng);
+  const VectorDataset test = make_xor_data(200, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.batch_size = 32;
+  trainer.fit(train, nullptr, cfg);
+  const EvalStats stats = trainer.evaluate(test);
+  EXPECT_GT(stats.metric, 0.95f);
+}
+
+TEST(Trainer, ValidationStatsPopulated) {
+  Rng rng(7);
+  Linear model(2, 1, rng);
+  Adam opt(model.params(), 0.05f);
+  Trainer trainer(model, opt, mse_loss);
+  const VectorDataset train = make_linear_data(64, rng);
+  const VectorDataset val = make_linear_data(32, rng);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  const auto history = trainer.fit(train, &val, cfg);
+  ASSERT_EQ(history.size(), 3u);
+  for (const EpochStats& e : history) {
+    EXPECT_FALSE(std::isnan(e.val_loss));
+  }
+  // Without a metric function, metric is NaN by contract.
+  EXPECT_TRUE(std::isnan(history.back().train_metric));
+}
+
+TEST(Trainer, PredictMatchesManualForward) {
+  Rng rng(8);
+  Linear model(3, 2, rng);
+  Adam opt(model.params(), 0.01f);
+  Trainer trainer(model, opt, mse_loss);
+
+  std::vector<Sample> samples;
+  for (int i = 0; i < 5; ++i) {
+    samples.push_back({Tensor::randn({3}, rng), Tensor({2})});
+  }
+  VectorDataset data(samples);
+  const Tensor pred = trainer.predict(data, 2);  // exercises partial batches
+  ASSERT_EQ(pred.shape(), (Shape{5, 2}));
+
+  model.set_training(false);
+  for (int i = 0; i < 5; ++i) {
+    const Tensor y = model.forward(samples[static_cast<std::size_t>(i)]
+                                       .x.reshaped({1, 3}));
+    EXPECT_NEAR(pred.at(i, 0), y.at(0, 0), 1e-5f);
+    EXPECT_NEAR(pred.at(i, 1), y.at(0, 1), 1e-5f);
+  }
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  auto run = []() {
+    Rng rng(9);
+    Sequential model;
+    model.emplace<Linear>(2, 8, rng);
+    model.emplace<Tanh>();
+    model.emplace<Linear>(8, 1, rng);
+    Adam opt(model.params(), 0.01f);
+    Trainer trainer(model, opt, mse_loss);
+    Rng data_rng(10);
+    const VectorDataset data = make_linear_data(64, data_rng);
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.shuffle_seed = 11;
+    return trainer.fit(data, nullptr, cfg).back().train_loss;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Dataset, MakeBatchStacksSamples) {
+  std::vector<Sample> samples;
+  samples.push_back({Tensor({2}, {1, 2}), Tensor({1}, {0.0f})});
+  samples.push_back({Tensor({2}, {3, 4}), Tensor({1}, {1.0f})});
+  VectorDataset data(samples);
+  const Sample batch = make_batch(data, {0, 1}, 0, 2);
+  EXPECT_EQ(batch.x.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(batch.x.at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(batch.y.at(1, 0), 1.0f);
+}
+
+TEST(Dataset, SplitFractionsAndDisjointness) {
+  Rng rng(12);
+  const SplitIndices split = split_indices(1000, 0.8, 0.1, rng);
+  EXPECT_EQ(split.train.size(), 800u);
+  EXPECT_EQ(split.val.size(), 100u);
+  EXPECT_EQ(split.test.size(), 100u);
+  std::vector<bool> seen(1000, false);
+  for (const auto& group : {split.train, split.val, split.test}) {
+    for (const std::int64_t i : group) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+      seen[static_cast<std::size_t>(i)] = true;
+    }
+  }
+}
+
+TEST(Dataset, LazyDatasetCallsGenerator) {
+  LazyDataset data(3, [](std::int64_t i) {
+    return Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
+  });
+  EXPECT_EQ(data.size(), 3);
+  EXPECT_FLOAT_EQ(data.get(2).x[0], 2.0f);
+}
+
+TEST(Dataset, SubsetRemaps) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 5; ++i) {
+    samples.push_back({Tensor({1}, static_cast<float>(i)), Tensor({1})});
+  }
+  VectorDataset base(samples);
+  SubsetDataset subset(base, {4, 0});
+  EXPECT_EQ(subset.size(), 2);
+  EXPECT_FLOAT_EQ(subset.get(0).x[0], 4.0f);
+  EXPECT_FLOAT_EQ(subset.get(1).x[0], 0.0f);
+}
+
+TEST(ModelIo, SaveLoadRoundTrip) {
+  Rng rng(13);
+  Sequential a;
+  a.emplace<Linear>(3, 4, rng, "l1");
+  a.emplace<BatchNorm1d>(4, 0.1f, 1e-5f, "bn");
+  a.emplace<Linear>(4, 1, rng, "l2");
+  // Push the batch-norm buffers away from defaults.
+  a.forward(Tensor::randn({16, 3}, rng, 5.0f, 2.0f));
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sne_model_io_test.bin")
+          .string();
+  save_model(path, a);
+
+  Rng rng2(99);
+  Sequential b;
+  b.emplace<Linear>(3, 4, rng2, "l1");
+  b.emplace<BatchNorm1d>(4, 0.1f, 1e-5f, "bn");
+  b.emplace<Linear>(4, 1, rng2, "l2");
+  load_model(path, b);
+  std::remove(path.c_str());
+
+  b.set_training(false);
+  a.set_training(false);
+  Rng rng3(14);
+  const Tensor x = Tensor::randn({2, 3}, rng3);
+  EXPECT_TRUE(a.forward(x).allclose(b.forward(x), 1e-6f));
+}
+
+TEST(ModelIo, StrictLoadRejectsArchMismatch) {
+  Rng rng(15);
+  Linear a(3, 4, rng, "layer");
+  Linear b(3, 5, rng, "layer");  // different width
+  const TensorMap snapshot = state_dict(a);
+  EXPECT_THROW(load_state_dict(b, snapshot), std::runtime_error);
+}
+
+TEST(ModelIo, CopyParamsTransplants) {
+  Rng rng(16);
+  Linear a(3, 2, rng, "src");
+  Linear b(3, 2, rng, "dst");
+  copy_params(a, b);
+  EXPECT_TRUE(a.weight().value.equals(b.weight().value));
+  EXPECT_TRUE(a.bias().value.equals(b.bias().value));
+}
+
+}  // namespace
+}  // namespace sne::nn

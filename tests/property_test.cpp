@@ -1,0 +1,274 @@
+// property_test.cpp — parameterized property sweeps over the invariants
+// the rest of the system silently relies on: conservation laws in the
+// simulator, equivalences between independent implementations, and
+// structural guarantees of the numerical code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "astro/lightcurve.h"
+#include "tensor/gemm.h"
+#include "astro/photometry.h"
+#include "baselines/template_grid.h"
+#include "eval/roc.h"
+#include "nn/nn.h"
+#include "sim/image_ops.h"
+#include "sim/sersic.h"
+
+namespace sne {
+namespace {
+
+// ---- conv-as-gemm equals direct convolution ----
+
+struct ConvCase {
+  int in_ch, out_ch, kernel, size, pad, stride;
+};
+
+class ConvEquivalence : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvEquivalence, MatchesDirectConvolution) {
+  const ConvCase c = GetParam();
+  Rng rng(c.size * 100 + c.kernel);
+  nn::Conv2d conv(c.in_ch, c.out_ch, c.kernel, rng, c.stride, c.pad);
+  const Tensor x = Tensor::randn({2, c.in_ch, c.size, c.size}, rng);
+  const Tensor y = conv.forward(x);
+
+  // Direct (quadruple-loop) convolution against the same weights.
+  const Tensor& w = conv.params()[0]->value;  // [out, in·k·k]
+  const Tensor& b = conv.params()[1]->value;
+  const std::int64_t out_extent =
+      sne::conv_out_extent(c.size, c.kernel, c.pad, c.stride);
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t oc = 0; oc < c.out_ch; ++oc) {
+      for (std::int64_t oy = 0; oy < out_extent; ++oy) {
+        for (std::int64_t ox = 0; ox < out_extent; ++ox) {
+          double acc = b[oc];
+          for (std::int64_t ic = 0; ic < c.in_ch; ++ic) {
+            for (std::int64_t ky = 0; ky < c.kernel; ++ky) {
+              for (std::int64_t kx = 0; kx < c.kernel; ++kx) {
+                const std::int64_t iy = oy * c.stride + ky - c.pad;
+                const std::int64_t ix = ox * c.stride + kx - c.pad;
+                if (iy < 0 || iy >= c.size || ix < 0 || ix >= c.size) {
+                  continue;
+                }
+                acc += static_cast<double>(x.at(n, ic, iy, ix)) *
+                       w.at(oc, (ic * c.kernel + ky) * c.kernel + kx);
+              }
+            }
+          }
+          EXPECT_NEAR(y.at(n, oc, oy, ox), acc, 2e-3)
+              << "at n=" << n << " oc=" << oc << " oy=" << oy << " ox=" << ox;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvEquivalence,
+    ::testing::Values(ConvCase{1, 1, 3, 6, 0, 1}, ConvCase{2, 3, 3, 7, 1, 1},
+                      ConvCase{3, 2, 5, 9, 0, 1},
+                      ConvCase{1, 4, 3, 8, 1, 2}));
+
+// ---- AUC equals the Mann–Whitney U statistic ----
+
+class AucEqualsU : public ::testing::TestWithParam<int> {};
+
+TEST_P(AucEqualsU, OnRandomScores) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool pos = rng.bernoulli(0.4);
+    // Coarse quantization creates plenty of ties — the hard case.
+    scores.push_back(
+        std::round(static_cast<float>(rng.normal(pos ? 0.6 : 0.0, 1.0)) *
+                   4.0f) /
+        4.0f);
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  const double roc_auc = eval::auc(scores, labels);
+
+  // U statistic: pairwise wins + half-ties.
+  double wins = 0.0;
+  double pairs = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] < 0.5f) continue;
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] > 0.5f) continue;
+      pairs += 1.0;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(roc_auc, wins / pairs, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucEqualsU, ::testing::Range(1, 8));
+
+// ---- Sérsic half-light property ----
+
+class SersicHalfLight : public ::testing::TestWithParam<double> {};
+
+TEST_P(SersicHalfLight, HalfTheFluxInsideRe) {
+  sim::SersicProfile p;
+  p.sersic_n = GetParam();
+  p.half_light_radius = 5.0;
+  p.axis_ratio = 1.0;  // circular, so a circular aperture applies
+  p.total_flux = 1000.0;
+  // Large stamp so truncation doesn't distort the comparison.
+  const Tensor img = sim::render_sersic(p, 129, 129, 64.0, 64.0);
+  const double inside =
+      sim::aperture_sum(img, 64.0, 64.0, p.half_light_radius);
+  // The grid truncates the profile, so "half" is approximate — and more
+  // approximate for high-n profiles whose wings extend far beyond any
+  // finite stamp (the rendered, renormalized profile concentrates more
+  // flux in the core than the analytic one).
+  EXPECT_GT(inside / img.sum(), 0.40);
+  EXPECT_LT(inside / img.sum(), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, SersicHalfLight,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+// ---- light-curve continuity ----
+
+class LightCurveContinuity : public ::testing::TestWithParam<astro::SnType> {};
+
+TEST_P(LightCurveContinuity, NoJumpsAfterExplosion) {
+  const astro::Cosmology cosmo;
+  astro::SnParams p;
+  p.type = GetParam();
+  p.redshift = 0.6;
+  p.peak_mjd = 50.0;
+  p.peak_abs_mag = astro::is_type_ia(p.type) ? -19.3 : -17.5;
+  const astro::LightCurve lc(p, cosmo);
+
+  for (const astro::Band b : astro::kAllBands) {
+    // Continuity only matters on the bright part of the curve: the
+    // fireball rise is legitimately steep (in magnitudes) while the flux
+    // is still a small fraction of peak.
+    const double floor = 0.1 * lc.flux(b, lc.peak_mjd_in_band(b));
+    double prev = lc.flux(b, 0.0);
+    for (double t = 0.25; t < 250.0; t += 0.25) {
+      const double cur = lc.flux(b, t);
+      if (prev > floor && cur > floor) {
+        // No quarter-day step changes the magnitude by more than 0.2.
+        EXPECT_LT(std::abs(-2.5 * std::log10(cur / prev)), 0.2)
+            << "band " << astro::band_name(b) << " t=" << t;
+      }
+      prev = cur;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, LightCurveContinuity,
+                         ::testing::ValuesIn(astro::kAllSnTypes),
+                         [](const auto& info) {
+                           return std::string(astro::sn_type_name(info.param));
+                         });
+
+// ---- template-grid recovery across redshifts ----
+
+class GridRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridRecovery, FindsTrueRedshiftOnCleanIaData) {
+  const double true_z = GetParam();
+  baselines::TemplateGridConfig gcfg;
+  gcfg.z_step = 0.1;
+  gcfg.peak_step = 5.0;
+  gcfg.ia_stretches = {1.0};
+  const baselines::TemplateGrid grid(gcfg);
+
+  astro::SnParams p;
+  p.type = astro::SnType::Ia;
+  p.redshift = true_z;
+  p.peak_mjd = 30.0;
+  p.peak_abs_mag = -19.3;
+  const astro::LightCurve lc(p, grid.cosmology());
+
+  std::vector<sim::FluxMeasurement> data;
+  for (const astro::Band b : astro::kAllBands) {
+    for (double mjd = 5.0; mjd <= 65.0; mjd += 10.0) {
+      sim::FluxMeasurement m;
+      m.band = b;
+      m.mjd = mjd;
+      m.flux = lc.flux(b, mjd);
+      m.flux_error = std::max(0.5, 0.02 * std::abs(m.flux));
+      data.push_back(m);
+    }
+  }
+  baselines::GridEntry best;
+  grid.best_fit_of_class(true, data, &best);
+  EXPECT_NEAR(best.redshift, true_z, 0.15) << "true z " << true_z;
+}
+
+INSTANTIATE_TEST_SUITE_P(Redshifts, GridRecovery,
+                         ::testing::Values(0.3, 0.5, 0.8, 1.2));
+
+// ---- blur preserves flux across sigma ----
+
+class BlurFluxConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlurFluxConservation, InteriorSourceFluxConserved) {
+  Tensor img({65, 65});
+  img.at(32, 32) = 500.0f;
+  img.at(30, 35) = 250.0f;
+  const Tensor out = sim::gaussian_blur(img, GetParam());
+  EXPECT_NEAR(out.sum(), 750.0f, 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, BlurFluxConservation,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.5));
+
+// ---- trainer lr decay ----
+
+TEST(TrainerLrDecay, HalvesPerEpoch) {
+  Rng rng(1);
+  nn::Linear model(2, 1, rng);
+  nn::Adam opt(model.params(), 0.8f);
+  nn::Trainer trainer(model, opt, nn::mse_loss);
+  std::vector<nn::Sample> samples;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back({Tensor::randn({2}, rng), Tensor({1})});
+  }
+  nn::VectorDataset data(samples);
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  tc.lr_decay = 0.5f;
+  trainer.fit(data, nullptr, tc);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.1f);
+}
+
+TEST(Materialize, ReproducesLazySamples) {
+  nn::LazyDataset lazy(5, [](std::int64_t i) {
+    return nn::Sample{Tensor({2}, static_cast<float>(i)),
+                      Tensor({1}, static_cast<float>(i * i))};
+  });
+  const nn::VectorDataset dense = nn::materialize(lazy);
+  ASSERT_EQ(dense.size(), 5);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(dense.get(i).x.equals(lazy.get(i).x));
+    EXPECT_TRUE(dense.get(i).y.equals(lazy.get(i).y));
+  }
+}
+
+// ---- signed-log round trip across magnitudes ----
+
+class SignedLogRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(SignedLogRoundTrip, Bijective) {
+  const double x = GetParam();
+  EXPECT_NEAR(astro::signed_log_inverse(astro::signed_log(x)), x,
+              1e-9 * std::max(1.0, std::abs(x)));
+  EXPECT_NEAR(astro::signed_log_inverse(astro::signed_log(-x)), -x,
+              1e-9 * std::max(1.0, std::abs(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, SignedLogRoundTrip,
+                         ::testing::Values(0.0, 1e-6, 0.1, 3.0, 1e3, 1e6));
+
+}  // namespace
+}  // namespace sne

@@ -1,0 +1,251 @@
+// tensor_test.cpp — unit tests for the tensor substrate: shapes,
+// arithmetic, reductions, RNG statistics, and serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/rng.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace sne {
+namespace {
+
+TEST(TensorShape, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.extent(0), 2);
+  EXPECT_EQ(t.extent(1), 3);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorShape, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorShape, RejectsNonPositiveExtent) {
+  EXPECT_THROW(Tensor({0, 3}), std::invalid_argument);
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(TensorShape, RejectsDataSizeMismatch) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(TensorShape, MultiAxisAccessRowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(TensorShape, AccessBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, -1), std::out_of_range);
+  EXPECT_THROW(t.at(0), std::invalid_argument);  // rank mismatch
+}
+
+TEST(TensorShape, ReshapeKeepsData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 5.0f);
+  EXPECT_EQ(r.size(), 6);
+}
+
+TEST(TensorShape, ReshapeInfersExtent) {
+  Tensor t({2, 6});
+  const Tensor r = t.reshaped({4, -1});
+  EXPECT_EQ(r.extent(1), 3);
+  EXPECT_THROW(t.reshaped({5, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshaped({-1, -1}), std::invalid_argument);
+}
+
+TEST(TensorArithmetic, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  EXPECT_TRUE((a + b).equals(Tensor({3}, {11, 22, 33})));
+  EXPECT_TRUE((b - a).equals(Tensor({3}, {9, 18, 27})));
+  EXPECT_TRUE((a * b).equals(Tensor({3}, {10, 40, 90})));
+  EXPECT_TRUE((a * 2.0f).equals(Tensor({3}, {2, 4, 6})));
+}
+
+TEST(TensorArithmetic, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(TensorArithmetic, Axpy) {
+  Tensor a({3}, {1, 1, 1});
+  const Tensor b({3}, {1, 2, 3});
+  a.axpy(2.0f, b);
+  EXPECT_TRUE(a.equals(Tensor({3}, {3, 5, 7})));
+}
+
+TEST(TensorReductions, SumMeanMinMaxArgmax) {
+  Tensor t({4}, {3, -1, 7, 2});
+  EXPECT_FLOAT_EQ(t.sum(), 11.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 2.75f);
+  EXPECT_FLOAT_EQ(t.min(), -1.0f);
+  EXPECT_FLOAT_EQ(t.max(), 7.0f);
+  EXPECT_EQ(t.argmax(), 2);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(9.0f + 1 + 49 + 4), 1e-5);
+}
+
+TEST(TensorReductions, AllClose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(a.allclose(b, 1e-5f));
+  EXPECT_FALSE(a.allclose(b, 1e-7f));
+}
+
+// ---- RNG ----
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++seen[static_cast<std::size_t>(rng.uniform_index(10))];
+  }
+  for (const int count : seen) EXPECT_GT(count, 350);  // ~500 expected
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double s = 0.0;
+  double s2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    s += x;
+    s2 += x * x;
+  }
+  const double mean = s / n;
+  const double var = s2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, GammaMoments) {
+  Rng rng(13);
+  const double k = 2.6;
+  const double theta = 0.28;
+  double s = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) s += rng.gamma(k, theta);
+  EXPECT_NEAR(s / n, k * theta, 0.02);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(17);
+  for (const double mean : {3.0, 50.0, 1000.0}) {
+    double s = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      s += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(s / n, mean, mean * 0.05 + 0.1);
+  }
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.truncated_normal(0.0, 1.0, -0.5, 0.5);
+    EXPECT_GE(x, -0.5);
+    EXPECT_LE(x, 0.5);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<std::size_t> v{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(v);
+  std::vector<std::size_t> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Parent and child streams should not coincide.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---- serialization ----
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(5);
+  const Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor u = read_tensor(ss);
+  EXPECT_TRUE(t.equals(u));
+}
+
+TEST(Serialize, TensorMapRoundTrip) {
+  Rng rng(6);
+  TensorMap map;
+  map.emplace_back("alpha", Tensor::randn({2, 2}, rng));
+  map.emplace_back("beta", Tensor::randn({7}, rng));
+  std::stringstream ss;
+  write_tensor_map(ss, map);
+  const TensorMap out = read_tensor_map(ss);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, "alpha");
+  EXPECT_TRUE(out[0].second.equals(map[0].second));
+  EXPECT_EQ(out[1].first, "beta");
+  EXPECT_TRUE(out[1].second.equals(map[1].second));
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "GARBAGE";
+  EXPECT_THROW(read_tensor_map(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Rng rng(8);
+  const Tensor t = Tensor::randn({8, 8}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  std::string blob = ss.str();
+  blob.resize(blob.size() / 2);
+  std::stringstream truncated(blob);
+  EXPECT_THROW(read_tensor(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sne

@@ -1,0 +1,224 @@
+// sne_cli — command-line front end for the library: generate synthetic
+// survey datasets, train the single-epoch classification pipeline, score
+// candidates, and inspect artifacts, without writing any C++.
+//
+//   sne generate --samples 2000 --seed 42 --out season.snds
+//   sne train    --dataset season.snds --out model.snet [--joint-epochs 3]
+//   sne score    --dataset season.snds --model model.snet [--top 20]
+//   sne info     --dataset season.snds
+//   sne info     --model model.snet
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/sne_pipeline.h"
+#include "eval/roc.h"
+#include "eval/tables.h"
+#include "sim/dataset_io.h"
+
+using namespace sne;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoll(it->second);
+  }
+  std::string require(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) {
+      throw std::runtime_error("missing required option --" + key);
+    }
+    return it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) throw std::runtime_error("no command given");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected argument: " + token);
+    }
+    if (i + 1 >= argc) {
+      throw std::runtime_error("option " + token + " needs a value");
+    }
+    args.options[token.substr(2)] = argv[++i];
+  }
+  return args;
+}
+
+int cmd_generate(const Args& args) {
+  sim::SnDataset::Config config;
+  config.num_samples = args.get_int("samples", 1000);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20171130));
+  config.p_ia = std::stod(args.get("p-ia", "0.5"));
+  config.catalog.count =
+      std::max<std::int64_t>(1000, config.num_samples);
+  const std::string out = args.require("out");
+
+  std::printf("generating %lld samples (seed %llu)...\n",
+              static_cast<long long>(config.num_samples),
+              static_cast<unsigned long long>(config.seed));
+  const sim::SnDataset data = sim::SnDataset::build(config);
+  sim::save_dataset(out, data);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const sim::SnDataset data = sim::load_dataset(args.require("dataset"));
+  const std::string out = args.require("out");
+
+  core::SnePipelineConfig config;
+  config.stamp_size = args.get_int("stamp", 44);
+  config.hidden_units = args.get_int("units", 100);
+  config.flux_epochs = args.get_int("flux-epochs", 3);
+  config.flux_pairs = args.get_int("flux-pairs", 2000);
+  config.classifier_epochs = args.get_int("classifier-epochs", 30);
+  config.joint_epochs = args.get_int("joint-epochs", 2);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // 90/10 train/val split over the dataset.
+  std::vector<std::int64_t> all(static_cast<std::size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  const auto n_train = static_cast<std::size_t>(data.size() * 9 / 10);
+  std::vector<std::int64_t> train_idx(all.begin(),
+                                      all.begin() + static_cast<std::ptrdiff_t>(n_train));
+  std::vector<std::int64_t> val_idx(all.begin() + static_cast<std::ptrdiff_t>(n_train),
+                                    all.end());
+
+  std::printf("training pipeline on %zu samples (stamp %lld, %lld units)\n",
+              train_idx.size(), static_cast<long long>(config.stamp_size),
+              static_cast<long long>(config.hidden_units));
+  core::SnePipeline pipeline(config);
+  const core::SnePipelineReport report =
+      pipeline.train(data, train_idx, val_idx);
+
+  if (!report.joint_history.empty()) {
+    std::printf("joint fine-tune: train loss %.4f -> %.4f\n",
+                report.joint_history.front().train_loss,
+                report.joint_history.back().train_loss);
+  }
+  if (!val_idx.empty()) {
+    const auto scores = pipeline.score_all(data, val_idx);
+    std::vector<float> labels;
+    for (const std::int64_t i : val_idx) {
+      labels.push_back(data.is_ia(i) ? 1.0f : 0.0f);
+    }
+    std::printf("validation AUC: %.3f\n", eval::auc(scores, labels));
+  }
+  pipeline.save(out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_score(const Args& args) {
+  const sim::SnDataset data = sim::load_dataset(args.require("dataset"));
+  core::SnePipeline pipeline =
+      core::SnePipeline::load(args.require("model"));
+  const std::int64_t top = args.get_int("top", 20);
+
+  std::vector<std::int64_t> all(static_cast<std::size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  const auto scores = pipeline.score_all(data, all);
+
+  std::vector<std::size_t> order(all.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  eval::TextTable table({"rank", "candidate", "P(SNIa)", "host z"});
+  for (std::size_t r = 0;
+       r < std::min<std::size_t>(order.size(),
+                                 static_cast<std::size_t>(top));
+       ++r) {
+    const auto i = static_cast<std::int64_t>(order[r]);
+    table.add_row({std::to_string(r + 1), std::to_string(i),
+                   eval::fmt(scores[order[r]], 3),
+                   eval::fmt(data.host(i).photo_z, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.has("dataset")) {
+    const sim::SnDataset data = sim::load_dataset(args.get("dataset", ""));
+    std::int64_t n_ia = 0;
+    for (std::int64_t i = 0; i < data.size(); ++i) {
+      if (data.is_ia(i)) ++n_ia;
+    }
+    std::printf("dataset: %lld samples (%lld SNIa, %lld non-Ia)\n",
+                static_cast<long long>(data.size()),
+                static_cast<long long>(n_ia),
+                static_cast<long long>(data.size() - n_ia));
+    std::printf("catalog: %lld galaxies, z in [%.2f, %.2f]\n",
+                static_cast<long long>(data.catalog().size()),
+                data.config().catalog.z_min, data.config().catalog.z_max);
+    std::printf("schedule: %lld epochs/band over %.0f days\n",
+                static_cast<long long>(data.config().schedule.epochs_per_band),
+                data.config().schedule.season_days);
+    return 0;
+  }
+  if (args.has("model")) {
+    core::SnePipeline pipeline =
+        core::SnePipeline::load(args.get("model", ""));
+    std::printf("pipeline: stamp %lld, hidden units %lld, %lld parameters\n",
+                static_cast<long long>(pipeline.config().stamp_size),
+                static_cast<long long>(pipeline.config().hidden_units),
+                static_cast<long long>(pipeline.joint_model().num_params()));
+    return 0;
+  }
+  throw std::runtime_error("info needs --dataset or --model");
+}
+
+void print_usage() {
+  std::printf(
+      "sne — single-epoch supernova classification toolkit\n\n"
+      "commands:\n"
+      "  generate --samples N --seed S --out FILE.snds [--p-ia 0.5]\n"
+      "  train    --dataset FILE.snds --out FILE.snet [--stamp 44]\n"
+      "           [--units 100] [--flux-epochs 3] [--flux-pairs 2000]\n"
+      "           [--classifier-epochs 30] [--joint-epochs 2] [--seed 1]\n"
+      "  score    --dataset FILE.snds --model FILE.snet [--top 20]\n"
+      "  info     --dataset FILE.snds | --model FILE.snet\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "score") return cmd_score(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "help" || args.command == "--help") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n", args.command.c_str());
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
