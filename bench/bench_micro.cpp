@@ -12,12 +12,18 @@
 #include "sim/psf.h"
 #include "sim/sersic.h"
 #include "tensor/gemm.h"
+#include "tensor/thread_pool.h"
 
 namespace sne {
 namespace {
 
+// Thread-count sweeps: the second benchmark argument (where present) is
+// the pool width, so single- vs multi-thread throughput reads directly
+// off the report (e.g. BM_ConvForward/60/1 vs BM_ConvForward/60/4).
+
 void BM_Sgemm(benchmark::State& state) {
   const auto n = state.range(0);
+  set_num_threads(static_cast<int>(state.range(1)));
   Rng rng(1);
   const Tensor a = Tensor::randn({n, n}, rng);
   const Tensor b = Tensor::randn({n, n}, rng);
@@ -27,11 +33,19 @@ void BM_Sgemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_num_threads(1);
 }
-BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Sgemm)
+    ->UseRealTime()
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
 
 void BM_ConvForward(benchmark::State& state) {
   const auto size = state.range(0);
+  set_num_threads(static_cast<int>(state.range(1)));
   Rng rng(2);
   nn::Conv2d conv(1, 10, 5, rng);
   const Tensor x = Tensor::randn({8, 1, size, size}, rng);
@@ -39,11 +53,18 @@ void BM_ConvForward(benchmark::State& state) {
     Tensor y = conv.forward(x);
     benchmark::DoNotOptimize(y.data());
   }
+  set_num_threads(1);
 }
-BENCHMARK(BM_ConvForward)->Arg(36)->Arg(60);
+BENCHMARK(BM_ConvForward)
+    ->UseRealTime()
+    ->Args({36, 1})
+    ->Args({60, 1})
+    ->Args({60, 2})
+    ->Args({60, 4});
 
 void BM_ConvBackward(benchmark::State& state) {
   const auto size = state.range(0);
+  set_num_threads(static_cast<int>(state.range(1)));
   Rng rng(3);
   nn::Conv2d conv(1, 10, 5, rng);
   const Tensor x = Tensor::randn({8, 1, size, size}, rng);
@@ -53,8 +74,14 @@ void BM_ConvBackward(benchmark::State& state) {
     Tensor gx = conv.backward(gy);
     benchmark::DoNotOptimize(gx.data());
   }
+  set_num_threads(1);
 }
-BENCHMARK(BM_ConvBackward)->Arg(36)->Arg(60);
+BENCHMARK(BM_ConvBackward)
+    ->UseRealTime()
+    ->Args({36, 1})
+    ->Args({60, 1})
+    ->Args({60, 2})
+    ->Args({60, 4});
 
 void BM_BandCnnForward(benchmark::State& state) {
   Rng rng(4);
@@ -133,6 +160,26 @@ BENCHMARK_F(DatasetFixture, DifferenceStamp)(benchmark::State& state) {
     ++i;
   }
 }
+
+// Batched parallel rendering: one iteration renders the difference stamp
+// of every dataset sample; the argument is the pool width.
+BENCHMARK_DEFINE_F(DatasetFixture, BatchedDifferenceRender)
+(benchmark::State& state) {
+  set_num_threads(static_cast<int>(state.range(0)));
+  std::vector<std::int64_t> samples(32);
+  for (std::int64_t k = 0; k < 32; ++k) samples[k] = k;
+  for (auto _ : state) {
+    auto stamps = data->difference_images(samples, astro::Band::r, 0);
+    benchmark::DoNotOptimize(stamps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+  set_num_threads(1);
+}
+BENCHMARK_REGISTER_F(DatasetFixture, BatchedDifferenceRender)
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 BENCHMARK_F(DatasetFixture, MeasuredLightCurve)(benchmark::State& state) {
   std::int64_t i = 0;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/thread_pool.h"
+
 namespace sne::nn {
 
 BatchNormBase::BatchNormBase(std::int64_t channels, float momentum, float eps,
@@ -48,7 +50,11 @@ Tensor BatchNormBase::forward(const Tensor& x) {
   cached_xhat_ = Tensor(x.shape());
   Tensor y(x.shape());
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  // Channels are fully independent (statistics, running buffers, and the
+  // normalized output all live in per-channel slices), so the channel loop
+  // distributes across the pool with bitwise-identical results for any
+  // thread count.
+  parallel_for(0, channels_, [&](std::int64_t c) {
     float mean;
     float var;
     if (training_) {
@@ -94,7 +100,7 @@ Tensor BatchNormBase::forward(const Tensor& x) {
         dst[p] = g * xhat + b;
       }
     }
-  }
+  });
   return y;
 }
 
@@ -112,7 +118,7 @@ Tensor BatchNormBase::backward(const Tensor& grad_output) {
 
   Tensor grad_input(grad_output.shape());
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  parallel_for(0, channels_, [&](std::int64_t c) {
     const float g = gamma_.value[c];
     const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
 
@@ -150,7 +156,7 @@ Tensor BatchNormBase::backward(const Tensor& grad_output) {
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 

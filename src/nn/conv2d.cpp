@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/thread_pool.h"
 
 namespace sne::nn {
 
@@ -46,11 +48,16 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
   const std::int64_t out_hw = out_h * out_w;
 
-  cached_input_ = x;
+  // backward only needs the input's shape (the pixels it reads come from
+  // cached_columns_), so caching the shape alone halves the layer's
+  // per-batch activation memory.
+  cached_in_shape_ = x.shape();
   cached_columns_ = Tensor({n, col_rows, out_hw});
   Tensor y({n, out_channels_, out_h, out_w});
 
-  for (std::int64_t i = 0; i < n; ++i) {
+  // Samples are independent: each writes its own slice of the column
+  // buffer and of y.
+  parallel_for(0, n, [&](std::int64_t i) {
     float* cols = cached_columns_.data() + i * col_rows * out_hw;
     im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_,
            kernel_, pad_, stride_, cols);
@@ -63,17 +70,17 @@ Tensor Conv2d::forward(const Tensor& x) {
       float* plane = yi + c * out_hw;
       for (std::int64_t p = 0; p < out_hw; ++p) plane[p] += b;
     }
-  }
+  });
   return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
-  if (cached_input_.empty()) {
+  if (cached_in_shape_.empty()) {
     throw std::logic_error("Conv2d::backward before forward");
   }
-  const std::int64_t n = cached_input_.extent(0);
-  const std::int64_t h = cached_input_.extent(2);
-  const std::int64_t w = cached_input_.extent(3);
+  const std::int64_t n = cached_in_shape_[0];
+  const std::int64_t h = cached_in_shape_[2];
+  const std::int64_t w = cached_in_shape_[3];
   const std::int64_t out_h = conv_out_extent(h, kernel_, pad_, stride_);
   const std::int64_t out_w = conv_out_extent(w, kernel_, pad_, stride_);
   const std::int64_t out_hw = out_h * out_w;
@@ -85,27 +92,47 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                                 grad_output.shape_string());
   }
 
-  Tensor grad_input(cached_input_.shape());
-  Tensor grad_cols({col_rows, out_hw});
+  Tensor grad_input(cached_in_shape_);
 
-  for (std::int64_t i = 0; i < n; ++i) {
+  // Per-sample partial parameter gradients. Samples run in parallel into
+  // disjoint slices; the reduction below folds them into Param::grad in
+  // sample order, which makes the result bitwise independent of the
+  // thread count (and identical to the old serial accumulation).
+  const std::int64_t wsize = out_channels_ * col_rows;
+  std::vector<float> dw(static_cast<std::size_t>(n * wsize));
+  std::vector<float> db(static_cast<std::size_t>(n * out_channels_));
+
+  parallel_for(0, n, [&](std::int64_t i) {
+    thread_local std::vector<float> grad_cols;
+    grad_cols.resize(static_cast<std::size_t>(col_rows * out_hw));
     const float* gy = grad_output.data() + i * out_channels_ * out_hw;
     const float* cols = cached_columns_.data() + i * col_rows * out_hw;
-    // dW[Cout, col_rows] += gy[Cout, H'W'] · colsᵀ
-    sgemm_bt(out_channels_, col_rows, out_hw, 1.0f, gy, cols, 1.0f,
-             weight_.grad.data());
-    // db[Cout] += per-channel sums of gy
+    // dW_i[Cout, col_rows] = gy[Cout, H'W'] · colsᵀ
+    sgemm_bt(out_channels_, col_rows, out_hw, 1.0f, gy, cols, 0.0f,
+             dw.data() + i * wsize);
+    // db_i[Cout] = per-channel sums of gy
     for (std::int64_t c = 0; c < out_channels_; ++c) {
       const float* plane = gy + c * out_hw;
       double s = 0.0;
       for (std::int64_t p = 0; p < out_hw; ++p) s += plane[p];
-      bias_.grad[c] += static_cast<float>(s);
+      db[static_cast<std::size_t>(i * out_channels_ + c)] =
+          static_cast<float>(s);
     }
     // dcols[col_rows, H'W'] = Wᵀ · gy, then scatter back with col2im.
     sgemm_at(col_rows, out_hw, out_channels_, 1.0f, weight_.value.data(), gy,
              0.0f, grad_cols.data());
     col2im(grad_cols.data(), in_channels_, h, w, kernel_, kernel_, pad_,
            stride_, grad_input.data() + i * in_channels_ * h * w);
+  });
+
+  // Deterministic reduction: fixed sample order, on the calling thread.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* dwi = dw.data() + i * wsize;
+    float* wg = weight_.grad.data();
+    for (std::int64_t j = 0; j < wsize; ++j) wg[j] += dwi[j];
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      bias_.grad[c] += db[static_cast<std::size_t>(i * out_channels_ + c)];
+    }
   }
   return grad_input;
 }

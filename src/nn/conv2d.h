@@ -32,7 +32,7 @@ class Conv2d final : public Module {
   std::int64_t pad_;
   Param weight_;  // [Cout, Cin·k·k]
   Param bias_;    // [Cout]
-  Tensor cached_input_;
+  Shape cached_in_shape_;  // backward needs only the forward input's shape
   Tensor cached_columns_;  // im2col of the whole batch: [N, Cin·k·k, H'·W']
 };
 

@@ -61,8 +61,13 @@ Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
 
 void Adam::step() {
   ++t_;
-  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
-  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  // Bias corrections in double: float pow drifts visibly for large t
+  // (beta2^t needs ~1e-8 resolution near 1), which would perturb the
+  // effective learning rate late in long runs.
+  const auto bias1 = static_cast<float>(
+      1.0 - std::pow(static_cast<double>(beta1_), static_cast<double>(t_)));
+  const auto bias2 = static_cast<float>(
+      1.0 - std::pow(static_cast<double>(beta2_), static_cast<double>(t_)));
   for (std::size_t k = 0; k < params_.size(); ++k) {
     Param& p = *params_[k];
     Tensor& m = m_[k];

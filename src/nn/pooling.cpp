@@ -1,6 +1,6 @@
 #include "nn/pooling.h"
 
-#include <limits>
+#include <cmath>
 #include <stdexcept>
 
 namespace sne::nn {
@@ -51,14 +51,22 @@ Tensor MaxPool2d::forward(const Tensor& x) {
       const std::int64_t plane_base = (i * c + ch) * h * w;
       for (std::int64_t oy = 0; oy < oh; ++oy) {
         for (std::int64_t ox = 0; ox < ow; ++ox, ++out) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
+          // Seed the argmax with the window's own first element so the
+          // gradient can never escape the window: with a -inf seed and
+          // best_idx = 0, an all-NaN window would route its gradient to
+          // global element 0 of the input — a cross-sample leak. NaN
+          // candidates are skipped (they never win), a NaN seed is
+          // replaced by the first finite candidate, and an all-NaN
+          // window propagates NaN from its first element.
+          const std::int64_t first = oy * stride_ * w + ox * stride_;
+          float best = plane[first];
+          std::int64_t best_idx = plane_base + first;
           for (std::int64_t ky = 0; ky < kernel_; ++ky) {
             const std::int64_t iy = oy * stride_ + ky;
             for (std::int64_t kx = 0; kx < kernel_; ++kx) {
               const std::int64_t ix = ox * stride_ + kx;
               const float v = plane[iy * w + ix];
-              if (v > best) {
+              if (v > best || (std::isnan(best) && !std::isnan(v))) {
                 best = v;
                 best_idx = plane_base + iy * w + ix;
               }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace sne::nn {
 
@@ -16,14 +17,16 @@ Trainer::Trainer(Module& model, Optimizer& optimizer, LossFn loss,
   if (!loss_) throw std::invalid_argument("Trainer: loss function required");
 }
 
-float Trainer::train_batch(const Sample& batch, float grad_clip) {
+float Trainer::train_batch(const Sample& batch, float grad_clip,
+                           Tensor* prediction_out) {
   model_.set_training(true);
   optimizer_.zero_grad();
-  const Tensor prediction = model_.forward(batch.x);
+  Tensor prediction = model_.forward(batch.x);
   const LossResult loss = loss_(prediction, batch.y);
   model_.backward(loss.grad);
   if (grad_clip > 0.0f) optimizer_.clip_grad_norm(grad_clip);
   optimizer_.step();
+  if (prediction_out != nullptr) *prediction_out = std::move(prediction);
   return loss.value;
 }
 
@@ -66,16 +69,11 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
           static_cast<std::size_t>(config.batch_size), order.size() - first);
       const Sample batch = make_batch(train, order, first, count);
 
-      optimizer_.zero_grad();
-      const Tensor prediction = model_.forward(batch.x);
-      const LossResult loss = loss_(prediction, batch.y);
-      model_.backward(loss.grad);
-      if (config.grad_clip > 0.0f) {
-        optimizer_.clip_grad_norm(config.grad_clip);
-      }
-      optimizer_.step();
+      Tensor prediction;
+      const float batch_loss = train_batch(
+          batch, config.grad_clip, metric_ ? &prediction : nullptr);
 
-      loss_sum += static_cast<double>(loss.value) * static_cast<double>(count);
+      loss_sum += static_cast<double>(batch_loss) * static_cast<double>(count);
       if (metric_) {
         metric_sum += static_cast<double>(metric_(prediction, batch.y)) *
                       static_cast<double>(count);

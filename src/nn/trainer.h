@@ -60,8 +60,12 @@ class Trainer {
                               const TrainConfig& config);
 
   /// Single gradient pass over one batch; returns the batch loss. Exposed
-  /// for fine-grained loops (fine-tuning schedules).
-  float train_batch(const Sample& batch, float grad_clip = 0.0f);
+  /// for fine-grained loops (fine-tuning schedules); fit() routes every
+  /// batch through here so clipping/step logic cannot diverge. When
+  /// `prediction_out` is non-null it receives the forward output (for
+  /// metric computation without a second forward pass).
+  float train_batch(const Sample& batch, float grad_clip = 0.0f,
+                    Tensor* prediction_out = nullptr);
 
   /// Mean loss/metric over a dataset in inference mode. Restores training
   /// mode afterwards if it was set.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "astro/photometry.h"
+#include "tensor/thread_pool.h"
 
 namespace sne::sim {
 
@@ -154,6 +155,53 @@ FluxMeasurement SnDataset::measured_point(std::int64_t i, astro::Band b,
   Rng rng = stream(i, kPurposeMeasurement, astro::band_index(b), e);
   return sample_measurement(light_curve(i), band_epoch(i, b, e),
                             config_.renderer.noise, rng);
+}
+
+std::vector<Tensor> SnDataset::reference_images(
+    const std::vector<std::int64_t>& samples, astro::Band b) const {
+  std::vector<Tensor> out(samples.size());
+  parallel_for(0, static_cast<std::int64_t>(samples.size()),
+               [&](std::int64_t k) {
+                 out[static_cast<std::size_t>(k)] = reference_image(
+                     samples[static_cast<std::size_t>(k)], b);
+               });
+  return out;
+}
+
+std::vector<Tensor> SnDataset::observation_images(
+    const std::vector<std::int64_t>& samples, astro::Band b,
+    std::int64_t e) const {
+  std::vector<Tensor> out(samples.size());
+  parallel_for(0, static_cast<std::int64_t>(samples.size()),
+               [&](std::int64_t k) {
+                 out[static_cast<std::size_t>(k)] = observation_image(
+                     samples[static_cast<std::size_t>(k)], b, e);
+               });
+  return out;
+}
+
+std::vector<Tensor> SnDataset::matched_reference_images(
+    const std::vector<std::int64_t>& samples, astro::Band b,
+    std::int64_t e) const {
+  std::vector<Tensor> out(samples.size());
+  parallel_for(0, static_cast<std::int64_t>(samples.size()),
+               [&](std::int64_t k) {
+                 out[static_cast<std::size_t>(k)] = matched_reference_image(
+                     samples[static_cast<std::size_t>(k)], b, e);
+               });
+  return out;
+}
+
+std::vector<Tensor> SnDataset::difference_images(
+    const std::vector<std::int64_t>& samples, astro::Band b,
+    std::int64_t e) const {
+  std::vector<Tensor> out(samples.size());
+  parallel_for(0, static_cast<std::int64_t>(samples.size()),
+               [&](std::int64_t k) {
+                 out[static_cast<std::size_t>(k)] = difference_image(
+                     samples[static_cast<std::size_t>(k)], b, e);
+               });
+  return out;
 }
 
 std::vector<FluxMeasurement> SnDataset::measured_light_curve(

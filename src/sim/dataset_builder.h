@@ -117,6 +117,32 @@ class SnDataset {
   /// Noisy forced photometry of all 20 epochs, sorted by date.
   std::vector<FluxMeasurement> measured_light_curve(std::int64_t i) const;
 
+  // ---- batched parallel rendering ----
+  //
+  // Renders samples[k] → result[k] concurrently on the shared thread pool
+  // (tensor/thread_pool.h). Safe and bitwise identical to the per-sample
+  // calls for any thread count: every stamp draws from its own
+  // mix64-derived RNG stream and the renderer is stateless.
+
+  /// Batched reference_image.
+  std::vector<Tensor> reference_images(
+      const std::vector<std::int64_t>& samples, astro::Band b) const;
+
+  /// Batched observation_image.
+  std::vector<Tensor> observation_images(
+      const std::vector<std::int64_t>& samples, astro::Band b,
+      std::int64_t e) const;
+
+  /// Batched matched_reference_image.
+  std::vector<Tensor> matched_reference_images(
+      const std::vector<std::int64_t>& samples, astro::Band b,
+      std::int64_t e) const;
+
+  /// Batched difference_image.
+  std::vector<Tensor> difference_images(
+      const std::vector<std::int64_t>& samples, astro::Band b,
+      std::int64_t e) const;
+
  private:
   SnDataset(Config config, GalaxyCatalog catalog,
             std::vector<SampleSpec> specs)

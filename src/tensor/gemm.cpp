@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/thread_pool.h"
+
 namespace sne {
 
 namespace {
@@ -60,10 +62,16 @@ void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   scale_c(m, n, beta, c);
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
-  // alpha is folded into a scaled copy of the A panel so the inner kernel
-  // stays a pure FMA loop.
-  std::vector<float> a_panel;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+  // Row panels are independent (each writes a disjoint row range of C), so
+  // they distribute across the pool; the k/n blocking inside one panel
+  // stays serial, which keeps each C element's accumulation order — and
+  // therefore the result bits — independent of the thread count. alpha is
+  // folded into a scaled copy of the A panel so the inner kernel stays a
+  // pure FMA loop; the scratch panel is per-thread and reused.
+  const std::int64_t num_panels = (m + kBlockM - 1) / kBlockM;
+  parallel_for(0, num_panels, [&](std::int64_t panel) {
+    thread_local std::vector<float> a_panel;
+    const std::int64_t i0 = panel * kBlockM;
     const std::int64_t mb = std::min(kBlockM, m - i0);
     for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
       const std::int64_t kb = std::min(kBlockK, k - p0);
@@ -79,7 +87,7 @@ void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                    c + i0 * n + j0, n);
       }
     }
-  }
+  });
 }
 
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
@@ -89,8 +97,12 @@ void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   scale_c(m, n, beta, c);
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
-  std::vector<float> a_panel;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+  // Same parallel decomposition as sgemm: independent row panels of C,
+  // per-thread transpose scratch, serial k accumulation within a panel.
+  const std::int64_t num_panels = (m + kBlockM - 1) / kBlockM;
+  parallel_for(0, num_panels, [&](std::int64_t panel) {
+    thread_local std::vector<float> a_panel;
+    const std::int64_t i0 = panel * kBlockM;
     const std::int64_t mb = std::min(kBlockM, m - i0);
     for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
       const std::int64_t kb = std::min(kBlockK, k - p0);
@@ -107,7 +119,7 @@ void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                    c + i0 * n + j0, n);
       }
     }
-  }
+  });
 }
 
 void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,

@@ -9,9 +9,11 @@
 namespace sne {
 
 /// C[m×n] = alpha * A[m×k] · B[k×n] + beta * C.
-/// Row-major, contiguous. Cache-blocked with an unrolled inner kernel;
-/// single-threaded by design (the target machine exposes one core, and
-/// determinism of accumulation order is a test invariant).
+/// Row-major, contiguous. Cache-blocked with an unrolled inner kernel and
+/// parallelized across row panels of C on the shared thread pool (see
+/// tensor/thread_pool.h). Each panel's accumulation stays serial, so the
+/// result is bitwise identical for any thread count — determinism of
+/// accumulation order is a test invariant.
 void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
            const float* a, const float* b, float beta, float* c);
 

@@ -1,0 +1,200 @@
+#include "tensor/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sne {
+
+namespace {
+
+// Set while a thread is executing pool work; nested parallel regions run
+// inline on the worker that encounters them instead of re-entering the
+// pool (which would deadlock the region they are part of).
+thread_local bool tls_in_parallel_region = false;
+
+int default_num_threads() {
+  if (const char* env = std::getenv("SNE_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// One parallel_for invocation. Heap-allocated and shared_ptr-owned so a
+// worker that wakes late — or is still draining when the next job is
+// submitted — only ever sees one internally consistent job: its cursor is
+// exhausted, so it exits without touching the new job's state. (A previous
+// design kept the job fields inline in the pool; a straggler could then
+// observe the cursor reset for job N+1 while still holding job N's
+// function pointer — a use-after-free.)
+struct Job {
+  std::function<void(std::int64_t)> fn;  // index-shifted body
+  std::int64_t end = 0;
+  std::atomic<std::int64_t> cursor{0};
+  std::atomic<std::int64_t> remaining{0};  // indices whose fn hasn't returned
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable wake;      // signals workers: new job or shutdown
+  std::condition_variable finished;  // signals the caller: job complete
+
+  std::mutex submit_mutex;  // serializes whole jobs from external callers
+  std::shared_ptr<Job> current_job;
+  std::uint64_t job_id = 0;  // generation counter workers wait on
+  bool shutting_down = false;
+
+  // Claims and runs indices until the job's range is exhausted. Indices
+  // drain through an atomic cursor so load imbalance self-corrects;
+  // `remaining` reaches zero only after every index has fully executed,
+  // and that transition releases the caller.
+  void drain(Job& job) {
+    tls_in_parallel_region = true;
+    for (;;) {
+      const std::int64_t i =
+          job.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.end) break;
+      try {
+        job.fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.first_error) job.first_error = std::current_exception();
+      }
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last index done; wake the caller if it is already waiting.
+        std::lock_guard<std::mutex> lock(mutex);
+        finished.notify_all();
+      }
+    }
+    tls_in_parallel_region = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_job = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return shutting_down || job_id != seen_job; });
+        if (shutting_down) return;
+        seen_job = job_id;
+        job = current_job;
+      }
+      if (job) drain(*job);
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutting_down = true;
+    }
+    wake.notify_all();
+    for (std::thread& t : workers) t.join();
+    workers.clear();
+    shutting_down = false;
+  }
+
+  void start_workers(int count) {
+    for (int i = 1; i < count; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  num_threads_ = default_num_threads();
+  impl_->start_workers(num_threads_);
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->stop_workers();
+  delete impl_;
+}
+
+void ThreadPool::set_num_threads(int n) {
+  if (n <= 0) n = default_num_threads();
+  if (n == num_threads_) return;
+  impl_->stop_workers();
+  num_threads_ = n;
+  impl_->start_workers(num_threads_);
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (begin >= end) return;
+  const std::int64_t count = end - begin;
+  // Serial fast paths: a 1-wide pool, a single index, or a nested region.
+  if (num_threads_ == 1 || count == 1 || tls_in_parallel_region) {
+    const bool was_nested = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    std::exception_ptr error;
+    for (std::int64_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    tls_in_parallel_region = was_nested;
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  // One job at a time: a second external caller waits for the first job
+  // to finish rather than interleaving with its state.
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+
+  auto job = std::make_shared<Job>();
+  // The job's cursor runs over [0, count); the wrapper adds `begin` back.
+  job->fn = [&fn, begin](std::int64_t i) { fn(begin + i); };
+  job->end = count;
+  job->remaining.store(count, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->current_job = job;
+    ++impl_->job_id;
+  }
+  impl_->wake.notify_all();
+
+  // The caller drains alongside the workers, then waits for stragglers
+  // still inside an index they claimed.
+  impl_->drain(*job);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->finished.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    impl_->current_job.reset();
+  }
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(begin, end, fn);
+}
+
+int num_threads() { return ThreadPool::instance().num_threads(); }
+
+void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }
+
+}  // namespace sne

@@ -1,0 +1,65 @@
+// thread_pool.h — the process-wide worker pool behind every parallel hot
+// path (GEMM row panels, convolution batches, batch-norm channels, batched
+// stamp rendering). One pool is shared by the whole process; its size is
+// taken from SNE_NUM_THREADS at first use (default: hardware_concurrency)
+// and can be changed at runtime with set_num_threads().
+//
+// Determinism contract: parallel_for only distributes *which thread* runs
+// each index — callers keep all writes disjoint per index, or accumulate
+// into per-index scratch that is reduced on the calling thread in fixed
+// index order. Under that discipline results are bitwise identical for any
+// thread count, which the test suite asserts (1 thread vs 4 threads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sne {
+
+class ThreadPool {
+ public:
+  /// The shared process-wide pool. Created on first use.
+  static ThreadPool& instance();
+
+  /// Number of threads the pool currently uses (≥ 1; includes the caller,
+  /// which participates in every parallel region).
+  int num_threads() const noexcept { return num_threads_; }
+
+  /// Resizes the pool. n ≤ 0 resets to the default (SNE_NUM_THREADS env
+  /// var if set, else hardware_concurrency). Must not be called from
+  /// inside a parallel region.
+  void set_num_threads(int n);
+
+  /// Runs fn(i) for every i in [begin, end), distributing indices across
+  /// the pool, and blocks until all complete. The calling thread
+  /// participates. Exceptions thrown by fn are captured and the first one
+  /// (in completion order) is rethrown on the calling thread after the
+  /// region finishes. Nested calls from inside a worker run inline
+  /// (serially) to avoid deadlock.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& fn);
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  struct Impl;
+  Impl* impl_;
+  int num_threads_ = 1;
+};
+
+/// Convenience wrappers over ThreadPool::instance().
+
+/// fn(i) for i in [begin, end), in parallel. See ThreadPool::parallel_for.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn);
+
+/// Current pool width.
+int num_threads();
+
+/// Runtime override of the pool width (n ≤ 0 restores the default).
+void set_num_threads(int n);
+
+}  // namespace sne

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "nn/nn.h"
 
@@ -107,6 +108,41 @@ TEST(MaxPool2d, BackwardRoutesToArgmax) {
   pool.forward(x);
   const Tensor gx = pool.backward(Tensor({1, 1, 1, 1}, {10.0f}));
   EXPECT_TRUE(gx.allclose(Tensor({1, 1, 2, 2}, {0, 10, 0, 0})));
+}
+
+TEST(MaxPool2d, NanWindowKeepsGradientInsideWindow) {
+  // Regression: best_idx used to start at global element 0, so a window
+  // with no element comparing > -inf (all NaN) routed its gradient to the
+  // first element of the *first sample* — a cross-sample leak.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  MaxPool2d pool(2);
+  // Sample 0 is finite; sample 1's only window is all-NaN.
+  const Tensor x({2, 1, 2, 2}, {1, 2, 3, 4, nan, nan, nan, nan});
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_TRUE(std::isnan(y[1]));
+  const Tensor gx = pool.backward(Tensor({2, 1, 1, 1}, {10.0f, 20.0f}));
+  // Sample 0's gradient lands on its own argmax, with no foreign 20 added.
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[3], 10.0f);
+  // Sample 1's gradient stays inside sample 1 (routed to its first
+  // window element).
+  EXPECT_FLOAT_EQ(gx[4], 20.0f);
+  EXPECT_FLOAT_EQ(gx[5], 0.0f);
+}
+
+TEST(MaxPool2d, NanCandidatesAreSkipped) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  MaxPool2d pool(2);
+  // NaN in the window (including the seed position) never wins; the max
+  // over the finite elements is selected.
+  const Tensor x({1, 1, 2, 4}, {nan, 2, 5, nan, 1, 2, 3, 4});
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+  const Tensor gx = pool.backward(Tensor({1, 1, 1, 2}, {7.0f, 9.0f}));
+  EXPECT_FLOAT_EQ(gx[1], 7.0f);
+  EXPECT_FLOAT_EQ(gx[2], 9.0f);
 }
 
 TEST(AvgPool2d, Averages) {
