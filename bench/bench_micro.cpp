@@ -3,8 +3,13 @@
 // difference imaging, dataset sample materialization, and ROC computation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/band_cnn.h"
+#include "core/inference.h"
 #include "eval/roc.h"
+#include "infer/session.h"
 #include "nn/nn.h"
 #include "sim/dataset_builder.h"
 #include "sim/difference.h"
@@ -96,6 +101,79 @@ void BM_BandCnnForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BandCnnForward)->Arg(36)->Arg(60)->Arg(65);
+
+// Train-path vs serve-path scoring of a batch of stamps. The training
+// forward caches every activation and allocates its outputs; the
+// inference session runs the folded plan cache-free through a reused
+// arena. Second argument is the worker count: the session path scales by
+// sharding the batch across per-worker sessions over one shared plan.
+
+constexpr std::int64_t kServeBatch = 16;
+constexpr std::int64_t kServeStamp = 44;
+
+void BM_BandCnnTrainingForward(benchmark::State& state) {
+  set_num_threads(static_cast<int>(state.range(1)));
+  Rng rng(7);
+  core::BandCnnConfig cfg;
+  cfg.input_size = kServeStamp;
+  core::BandCnn cnn(cfg, rng);
+  cnn.set_training(false);
+  const auto n = state.range(0);
+  const Tensor x = Tensor::randn({n, 2, kServeStamp, kServeStamp}, rng);
+  for (auto _ : state) {
+    Tensor y = cnn.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  set_num_threads(1);
+}
+BENCHMARK(BM_BandCnnTrainingForward)
+    ->UseRealTime()
+    ->Args({kServeBatch, 1})
+    ->Args({kServeBatch, 4});
+
+void BM_BandCnnInferSession(benchmark::State& state) {
+  const auto n = state.range(0);
+  const int workers = static_cast<int>(state.range(1));
+  set_num_threads(workers);
+  Rng rng(7);
+  core::BandCnnConfig cfg;
+  cfg.input_size = kServeStamp;
+  core::BandCnn cnn(cfg, rng);
+  cnn.set_training(false);
+  const Tensor x = Tensor::randn({n, 2, kServeStamp, kServeStamp}, rng);
+
+  // One immutable plan, one session (and one output/shard buffer) per
+  // worker — the documented concurrency pattern.
+  const auto plan = core::compile_plan(cnn);
+  std::vector<infer::InferenceSession> sessions;
+  std::vector<Tensor> shards(static_cast<std::size_t>(workers));
+  std::vector<Tensor> outs(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) sessions.emplace_back(plan);
+  const std::int64_t per = (n + workers - 1) / workers;
+  const std::int64_t sample = 2 * kServeStamp * kServeStamp;
+
+  for (auto _ : state) {
+    parallel_for(0, workers, [&](std::int64_t w) {
+      const std::int64_t lo = w * per;
+      const std::int64_t hi = std::min<std::int64_t>(n, lo + per);
+      if (lo >= hi) return;
+      Tensor& shard = shards[static_cast<std::size_t>(w)];
+      shard.resize({hi - lo, 2, kServeStamp, kServeStamp});
+      std::copy(x.data() + lo * sample, x.data() + hi * sample,
+                shard.data());
+      sessions[static_cast<std::size_t>(w)].run(
+          shard, outs[static_cast<std::size_t>(w)]);
+    });
+    benchmark::DoNotOptimize(outs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  set_num_threads(1);
+}
+BENCHMARK(BM_BandCnnInferSession)
+    ->UseRealTime()
+    ->Args({kServeBatch, 1})
+    ->Args({kServeBatch, 4});
 
 void BM_SersicRender(benchmark::State& state) {
   sim::SersicProfile p;

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "common.h"
+#include "core/inference.h"
 
 namespace sne::bench {
 
@@ -120,15 +122,18 @@ inline ClassifierRun score_joint_ensemble(core::JointModel& joint,
                                           const JointBenchConfig& cfg,
                                           std::int64_t epochs) {
   joint.set_training(false);
+  infer::JointSession session = core::make_session(joint);
   ClassifierRun run;
   std::vector<double> sums(splits.test.size(), 0.0);
+  Tensor logit;
   for (std::int64_t e = 0; e < epochs; ++e) {
     const nn::LazyDataset test =
         core::make_joint_dataset(data, splits.test, e, cfg.stamp, {});
     for (std::int64_t k = 0; k < test.size(); ++k) {
-      const nn::Sample s = test.get(k);
-      sums[static_cast<std::size_t>(k)] +=
-          joint.forward(s.x.reshaped({1, s.x.size()}))[0];
+      nn::Sample s = test.get(k);
+      const std::int64_t dim = s.x.size();
+      session.run(std::move(s.x).reshaped({1, dim}), logit);
+      sums[static_cast<std::size_t>(k)] += logit[0];
     }
   }
   for (std::size_t k = 0; k < sums.size(); ++k) {
@@ -148,10 +153,14 @@ inline ClassifierRun score_joint(core::JointModel& joint,
   const nn::LazyDataset test = core::make_joint_dataset(
       data, splits.test, cfg.epoch_subset, cfg.stamp, {});
   joint.set_training(false);
+  infer::JointSession session = core::make_session(joint);
   ClassifierRun run;
+  Tensor logit;
   for (std::int64_t k = 0; k < test.size(); ++k) {
-    const nn::Sample s = test.get(k);
-    run.scores.push_back(joint.forward(s.x.reshaped({1, s.x.size()}))[0]);
+    nn::Sample s = test.get(k);
+    const std::int64_t dim = s.x.size();
+    session.run(std::move(s.x).reshaped({1, dim}), logit);
+    run.scores.push_back(logit[0]);
     run.labels.push_back(s.y[0]);
   }
   run.auc = eval::auc(run.scores, run.labels);

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "core/inference.h"
 #include "core/lc_classifier.h"
 #include "core/lc_features.h"
 #include "eval/tables.h"
@@ -57,16 +58,20 @@ int main() {
               static_cast<long long>(history.size()));
   trainer.fit(train, nullptr, tc);
 
-  // Score tonight's candidates.
+  // Score tonight's candidates through a compiled inference session:
+  // the plan is built once, the arena reused for every candidate.
   model.set_training(false);
+  infer::InferenceSession scorer = core::make_session(model);
   struct Ranked {
     std::int64_t id;
     double p_ia;
   };
   std::vector<Ranked> queue;
+  Tensor logit;
   for (std::int64_t i = 0; i < tonight.size(); ++i) {
-    const Tensor f = core::lc_features(tonight, i, features);
-    const Tensor logit = model.forward(f.reshaped({1, f.size()}));
+    Tensor f = core::lc_features(tonight, i, features);
+    const std::int64_t dim = f.size();
+    scorer.run(std::move(f).reshaped({1, dim}), logit);
     queue.push_back({i, 1.0 / (1.0 + std::exp(-logit[0]))});
   }
   std::sort(queue.begin(), queue.end(),

@@ -14,6 +14,7 @@
 #include "astro/cosmology.h"
 #include "astro/photometry.h"
 #include "baselines/chi2fit.h"
+#include "core/inference.h"
 #include "core/lc_classifier.h"
 #include "core/lc_features.h"
 #include "eval/tables.h"
@@ -54,13 +55,17 @@ int main() {
               train_idx.size());
   trainer.fit(train, nullptr, tc);
 
-  // Select photometric SNeIa from the survey set.
+  // Select photometric SNeIa from the survey set, scored through a
+  // compiled inference session.
   clf.set_training(false);
+  infer::InferenceSession scorer = core::make_session(clf);
   std::vector<std::int64_t> ia_sample;
   int contaminants = 0;
+  Tensor logit;
   for (const std::int64_t i : survey_idx) {
-    const Tensor f = core::lc_features(data, i, features);
-    const Tensor logit = clf.forward(f.reshaped({1, f.size()}));
+    Tensor f = core::lc_features(data, i, features);
+    const std::int64_t dim = f.size();
+    scorer.run(std::move(f).reshaped({1, dim}), logit);
     if (logit[0] > 1.5) {  // high-purity cut for cosmology
       ia_sample.push_back(i);
       if (!data.is_ia(i)) ++contaminants;

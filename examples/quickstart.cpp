@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/inference.h"
 #include "core/lc_classifier.h"
 #include "core/lc_features.h"
 #include "eval/roc.h"
@@ -69,11 +70,15 @@ int main() {
   std::printf("test AUC (single epoch, no redshift): %.3f\n",
               eval::auc(s, labels));
 
-  // 4. Classify one candidate.
+  // 4. Classify one candidate — serving goes through a compiled
+  // InferenceSession, not the training-path forward.
   const std::int64_t candidate = split.test.front();
   model.set_training(false);
-  const Tensor f = core::lc_features(data, candidate, features);
-  const Tensor logit = model.forward(f.reshaped({1, f.size()}));
+  infer::InferenceSession scorer = core::make_session(model);
+  Tensor f = core::lc_features(data, candidate, features);
+  const std::int64_t dim = f.size();
+  Tensor logit;
+  scorer.run(std::move(f).reshaped({1, dim}), logit);
   const double p = 1.0 / (1.0 + std::exp(-logit[0]));
   std::printf(
       "candidate %lld: host z=%.2f, true type %s -> P(SNIa) = %.2f\n",

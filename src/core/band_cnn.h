@@ -36,11 +36,27 @@ class BandCnn final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override {
+    net_.infer_into(x, out);
+  }
+  Shape infer_shape(const Shape& in) const override {
+    return net_.infer_shape(in);
+  }
   std::vector<nn::Param*> params() override { return net_.params(); }
+  std::vector<const nn::Param*> params() const override {
+    return net_.params();
+  }
   std::vector<nn::Param*> buffers() override { return net_.buffers(); }
+  std::vector<const nn::Param*> buffers() const override {
+    return net_.buffers();
+  }
   void set_training(bool training) override;
 
   const BandCnnConfig& config() const noexcept { return config_; }
+
+  /// The underlying layer stack; the inference planner walks it to size
+  /// arena buffers and fold batch norms into convolutions.
+  const nn::Sequential& net() const noexcept { return net_; }
 
   /// Spatial extent after the three conv/pool stages for a given input
   /// size (used to size the first FC layer; throws if the input is too
@@ -60,6 +76,8 @@ class RawDiffCrop final : public nn::Module {
   explicit RawDiffCrop(std::int64_t crop_size);
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
 
  private:
   std::int64_t crop_;

@@ -1,0 +1,42 @@
+#include "core/inference.h"
+
+#include "astro/bands.h"
+
+namespace sne::core {
+
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const BandCnn& cnn, infer::PlanOptions options) {
+  const std::int64_t s = cnn.config().input_size;
+  return std::make_shared<const infer::InferencePlan>(cnn.net(),
+                                                      Shape{2, s, s}, options);
+}
+
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const LcClassifier& classifier, infer::PlanOptions options) {
+  return std::make_shared<const infer::InferencePlan>(
+      classifier.net(), Shape{classifier.config().input_dim}, options);
+}
+
+infer::InferenceSession make_session(const BandCnn& cnn,
+                                     infer::PlanOptions options) {
+  return infer::InferenceSession(compile_plan(cnn, options));
+}
+
+infer::InferenceSession make_session(const LcClassifier& classifier,
+                                     infer::PlanOptions options) {
+  return infer::InferenceSession(compile_plan(classifier, options));
+}
+
+infer::JointSession make_session(const JointModel& joint,
+                                 infer::PlanOptions options) {
+  infer::JointGlue glue;
+  glue.stamp = joint.config().cnn.input_size;
+  glue.num_bands = astro::kNumBands;
+  glue.mag_offset = static_cast<float>(joint.config().features.mag_offset);
+  glue.mag_scale = static_cast<float>(joint.config().features.mag_scale);
+  return infer::JointSession(make_session(joint.band_cnn(), options),
+                             make_session(joint.classifier(), options),
+                             glue);
+}
+
+}  // namespace sne::core

@@ -1,0 +1,43 @@
+// inference.h — model-aware factories bridging the paper's trained models
+// to the generic serving machinery in src/infer. The infer library knows
+// only about Sequential stacks; these helpers know the models' input
+// shapes and the joint model's feature-glue constants, so call sites can
+// build a serving session in one line:
+//
+//   auto scorer = core::make_session(joint_model);
+//   Tensor logits = scorer.run(batch);
+#pragma once
+
+#include <memory>
+
+#include "core/band_cnn.h"
+#include "core/joint_model.h"
+#include "core/lc_classifier.h"
+#include "infer/session.h"
+
+namespace sne::core {
+
+/// Plan for the band-wise CNN over [N, 2, S, S] stamps (S = the model's
+/// configured input size). The model must outlive the plan.
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const BandCnn& cnn, infer::PlanOptions options = {});
+
+/// Plan for the light-curve classifier over [N, input_dim] features.
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const LcClassifier& classifier, infer::PlanOptions options = {});
+
+/// One-call session builders. Each session is single-threaded; build one
+/// per worker (sharing a plan via compile_plan + the shared_ptr
+/// constructor when building many).
+infer::InferenceSession make_session(const BandCnn& cnn,
+                                     infer::PlanOptions options = {});
+infer::InferenceSession make_session(const LcClassifier& classifier,
+                                     infer::PlanOptions options = {});
+
+/// Serving session for the full image→class joint model; wires the CNN
+/// and classifier sessions together with the model's feature-glue
+/// constants (stamp extent, band count, magnitude normalization).
+infer::JointSession make_session(const JointModel& joint,
+                                 infer::PlanOptions options = {});
+
+}  // namespace sne::core

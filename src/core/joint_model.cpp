@@ -1,5 +1,6 @@
 #include "core/joint_model.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sne::core {
@@ -92,15 +93,69 @@ Tensor JointModel::backward(const Tensor& grad_output) {
   return grad_x;
 }
 
+void JointModel::infer_into(const Tensor& x, Tensor& out) const {
+  const std::int64_t expected = input_dim(stamp_);
+  if (x.rank() != 2 || x.extent(1) != expected) {
+    throw std::invalid_argument("JointModel::infer_into: expected [N, " +
+                                std::to_string(expected) + "], got " +
+                                x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t per_band = 2 * stamp_ * stamp_;
+  const std::int64_t image_block = astro::kNumBands * per_band;
+
+  // Per-thread, grow-only scratch mirroring forward's intermediates.
+  thread_local Tensor images, mags, features;
+  images.resize({n * astro::kNumBands, 2, stamp_, stamp_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = x.data() + i * expected;
+    std::copy(src, src + image_block, images.data() + i * image_block);
+  }
+
+  cnn_.infer_into(images, mags);  // [N·5, 1]
+
+  features.resize({n, astro::kNumBands * 2});
+  const auto offset = static_cast<float>(config_.features.mag_offset);
+  const auto scale = static_cast<float>(config_.features.mag_scale);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* dates = x.data() + i * expected + image_block;
+    for (std::int64_t b = 0; b < astro::kNumBands; ++b) {
+      features.at(i, 2 * b) =
+          (mags[i * astro::kNumBands + b] - offset) / scale;
+      features.at(i, 2 * b + 1) = dates[b];
+    }
+  }
+  classifier_.infer_into(features, out);
+}
+
+Shape JointModel::infer_shape(const Shape& in) const {
+  if (in.size() != 2 || in[1] != input_dim(stamp_)) {
+    throw std::invalid_argument("JointModel::infer_shape: bad input shape");
+  }
+  return {in[0], 1};
+}
+
 std::vector<nn::Param*> JointModel::params() {
   std::vector<nn::Param*> out = cnn_.params();
   for (nn::Param* p : classifier_.params()) out.push_back(p);
   return out;
 }
 
+std::vector<const nn::Param*> JointModel::params() const {
+  std::vector<const nn::Param*> out = cnn_.params();
+  for (const nn::Param* p : classifier_.params()) out.push_back(p);
+  return out;
+}
+
 std::vector<nn::Param*> JointModel::buffers() {
   std::vector<nn::Param*> out = cnn_.buffers();
   for (nn::Param* p : classifier_.buffers()) out.push_back(p);
+  return out;
+}
+
+std::vector<const nn::Param*> JointModel::buffers() const {
+  std::vector<const nn::Param*> out = cnn_.buffers();
+  for (const nn::Param* p : classifier_.buffers()) out.push_back(p);
   return out;
 }
 

@@ -31,12 +31,18 @@ class JointModel final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
   std::vector<nn::Param*> params() override;
+  std::vector<const nn::Param*> params() const override;
   std::vector<nn::Param*> buffers() override;
+  std::vector<const nn::Param*> buffers() const override;
   void set_training(bool training) override;
 
   BandCnn& band_cnn() noexcept { return cnn_; }
   LcClassifier& classifier() noexcept { return classifier_; }
+  const BandCnn& band_cnn() const noexcept { return cnn_; }
+  const LcClassifier& classifier() const noexcept { return classifier_; }
   const JointModelConfig& config() const noexcept { return config_; }
 
   /// Flat input dimensionality for stamp extent S:

@@ -23,11 +23,26 @@ class LcClassifier final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override {
+    net_.infer_into(x, out);
+  }
+  Shape infer_shape(const Shape& in) const override {
+    return net_.infer_shape(in);
+  }
   std::vector<nn::Param*> params() override { return net_.params(); }
+  std::vector<const nn::Param*> params() const override {
+    return net_.params();
+  }
   std::vector<nn::Param*> buffers() override { return net_.buffers(); }
+  std::vector<const nn::Param*> buffers() const override {
+    return net_.buffers();
+  }
   void set_training(bool training) override;
 
   const LcClassifierConfig& config() const noexcept { return config_; }
+
+  /// The underlying layer stack, for the inference planner.
+  const nn::Sequential& net() const noexcept { return net_; }
 
  private:
   LcClassifierConfig config_;

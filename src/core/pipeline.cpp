@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "infer/session.h"
 #include "nn/model_io.h"
 #include "sim/image_ops.h"
 
@@ -118,11 +119,22 @@ double calibrate_flux_zero_point(BandCnn& cnn, const nn::Dataset& pairs,
   const std::int64_t n = std::min(pairs.size(), max_pairs);
   cnn.set_training(false);
 
+  // Score through an InferenceSession planned on the first pair's shape:
+  // cache-free, and each owned sample's buffer is moved (not copied) into
+  // its batch-of-one view.
+  const nn::Sample first = pairs.get(0);
+  infer::InferenceSession session(
+      cnn.net(),
+      {first.x.extent(0), first.x.extent(1), first.x.extent(2)});
+
   double residual = 0.0;
+  Tensor pred;
   for (std::int64_t k = 0; k < n; ++k) {
-    const nn::Sample s = pairs.get(k);
-    const Tensor pred = cnn.forward(s.x.reshaped(
-        {1, s.x.extent(0), s.x.extent(1), s.x.extent(2)}));
+    nn::Sample s = pairs.get(k);
+    const std::int64_t c0 = s.x.extent(0);
+    const std::int64_t c1 = s.x.extent(1);
+    const std::int64_t c2 = s.x.extent(2);
+    session.run(std::move(s.x).reshaped({1, c0, c1, c2}), pred);
     residual += static_cast<double>(pred[0]) - s.y[0];
   }
   residual /= static_cast<double>(n);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/inference.h"
 #include "nn/model_io.h"
 #include "sim/image_ops.h"
 
@@ -117,7 +118,26 @@ SnePipelineReport SnePipeline::train(
   }
 
   trained_ = true;
+  // Any sessions compiled before/through training hold stale folded
+  // parameters; the next score rebuilds from the fine-tuned weights.
+  scorer_.reset();
+  mag_session_.reset();
   return report;
+}
+
+infer::JointSession& SnePipeline::scorer() const {
+  if (!scorer_) {
+    scorer_ = std::make_unique<infer::JointSession>(make_session(*joint_));
+  }
+  return *scorer_;
+}
+
+infer::InferenceSession& SnePipeline::mag_session() const {
+  if (!mag_session_) {
+    mag_session_ = std::make_unique<infer::InferenceSession>(
+        make_session(joint_->band_cnn()));
+  }
+  return *mag_session_;
 }
 
 double SnePipeline::score(const sim::SnDataset& data,
@@ -125,9 +145,10 @@ double SnePipeline::score(const sim::SnDataset& data,
   if (!trained_) throw std::logic_error("SnePipeline: not trained");
   const nn::LazyDataset one = make_joint_dataset(
       data, {sample}, config_.epoch_subset, config_.stamp_size, {});
-  const nn::Sample s = one.get(0);
-  joint_->set_training(false);
-  const Tensor logit = joint_->forward(s.x.reshaped({1, s.x.size()}));
+  nn::Sample s = one.get(0);
+  const std::int64_t dim = s.x.size();
+  Tensor logit;
+  scorer().run(std::move(s.x).reshaped({1, dim}), logit);
   return 1.0 / (1.0 + std::exp(-static_cast<double>(logit[0])));
 }
 
@@ -137,12 +158,14 @@ std::vector<float> SnePipeline::score_all(
   if (!trained_) throw std::logic_error("SnePipeline: not trained");
   const nn::LazyDataset set = make_joint_dataset(
       data, samples, config_.epoch_subset, config_.stamp_size, {});
-  joint_->set_training(false);
+  infer::JointSession& session = scorer();
   std::vector<float> out;
   out.reserve(samples.size());
+  Tensor logit;
   for (std::int64_t k = 0; k < set.size(); ++k) {
-    const nn::Sample s = set.get(k);
-    const Tensor logit = joint_->forward(s.x.reshaped({1, s.x.size()}));
+    nn::Sample s = set.get(k);
+    const std::int64_t dim = s.x.size();
+    session.run(std::move(s.x).reshaped({1, dim}), logit);
     out.push_back(
         static_cast<float>(1.0 / (1.0 + std::exp(-logit[0]))));
   }
@@ -171,9 +194,11 @@ double SnePipeline::estimate_magnitude(const Tensor& pair) const {
     }
     stamp = std::move(cropped);
   }
-  joint_->set_training(false);
-  const Tensor mags = joint_->band_cnn().forward(
-      stamp.reshaped({1, 2, config_.stamp_size, config_.stamp_size}));
+  Tensor mags;
+  mag_session().run(
+      std::move(stamp).reshaped(
+          {1, 2, config_.stamp_size, config_.stamp_size}),
+      mags);
   return mags[0];
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/joint_model.h"
 #include "core/pipeline.h"
+#include "infer/session.h"
 #include "sim/dataset_builder.h"
 
 namespace sne::core {
@@ -79,8 +80,19 @@ class SnePipeline {
  private:
   void build_models();
 
+  /// Lazily built serving sessions over the trained joint model. Scoring
+  /// never runs the training-path forward: the first score()/score_all()
+  /// compiles an InferencePlan (Conv+BN folded using the trained running
+  /// statistics) and reuses it for every later call. train() resets
+  /// them, since fine-tuning invalidates the folded parameter copies a
+  /// previous plan holds.
+  infer::JointSession& scorer() const;
+  infer::InferenceSession& mag_session() const;
+
   SnePipelineConfig config_;
   std::unique_ptr<JointModel> joint_;
+  mutable std::unique_ptr<infer::JointSession> scorer_;
+  mutable std::unique_ptr<infer::InferenceSession> mag_session_;
   bool trained_ = false;
 };
 

@@ -1,0 +1,78 @@
+#include "infer/plan.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+
+namespace sne::infer {
+
+namespace {
+
+// Folds BN(conv(x)) into a single convolution. With per-channel running
+// statistics (μ, σ²), scale γ and shift β:
+//   y_c = γ_c · (conv_c(x) − μ_c) / √(σ²_c + ε) + β_c
+//       = (s_c · W_c) * x + (s_c · (b_c − μ_c) + β_c),  s_c = γ_c/√(σ²_c+ε)
+void fold_conv_bn(const nn::Conv2d& conv, const nn::BatchNorm2d& bn,
+                  Tensor& weight, Tensor& bias) {
+  weight = conv.weight().value;  // [Cout, Cin·k·k]
+  bias = conv.bias().value;      // [Cout]
+  const std::int64_t cout = weight.extent(0);
+  const std::int64_t row = weight.extent(1);
+  for (std::int64_t c = 0; c < cout; ++c) {
+    const float inv_std =
+        1.0f / std::sqrt(bn.running_var().value[c] + bn.eps());
+    const float s = bn.gamma().value[c] * inv_std;
+    float* w = weight.data() + c * row;
+    for (std::int64_t j = 0; j < row; ++j) w[j] *= s;
+    bias[c] = s * (bias[c] - bn.running_mean().value[c]) +
+              bn.beta().value[c];
+  }
+}
+
+}  // namespace
+
+InferencePlan::InferencePlan(const nn::Sequential& net,
+                             Shape sample_input_shape, PlanOptions options)
+    : input_shape_(std::move(sample_input_shape)) {
+  if (net.size() == 0) {
+    throw std::invalid_argument("InferencePlan: empty network");
+  }
+
+  // Shapes are planned per-sample with a placeholder batch axis of 1; the
+  // session rescales axis 0 to the actual batch size at run time.
+  Shape cur;
+  cur.reserve(input_shape_.size() + 1);
+  cur.push_back(1);
+  cur.insert(cur.end(), input_shape_.begin(), input_shape_.end());
+
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const nn::Module& layer = net.layer(i);
+    Step step;
+    step.layer = &layer;
+
+    const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer);
+    const nn::BatchNorm2d* bn =
+        (conv != nullptr && options.fold_batchnorm && i + 1 < net.size())
+            ? dynamic_cast<const nn::BatchNorm2d*>(&net.layer(i + 1))
+            : nullptr;
+    if (bn != nullptr) {
+      step.folded = true;
+      step.conv = conv;
+      fold_conv_bn(*conv, *bn, step.weight, step.bias);
+      ++num_folded_;
+      ++i;  // the batch norm is absorbed; skip its step
+    } else if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr) {
+      step.reshape_only = true;
+    }
+
+    cur = layer.infer_shape(cur);  // BN is shape-preserving, so this holds
+    step.sample_out = cur;
+    steps_.push_back(std::move(step));
+  }
+
+  output_shape_.assign(cur.begin() + 1, cur.end());
+}
+
+}  // namespace sne::infer

@@ -1,0 +1,65 @@
+// plan.h — ahead-of-time execution plan for serving a trained Sequential.
+// The training path's forward() caches every activation for backward; the
+// serving path needs none of that, so the plan walks the layer stack once,
+// computes every intermediate shape, decides which steps are pure
+// reshapes, and folds each Conv2d → BatchNorm2d pair into a single
+// convolution with adjusted weights. The plan is immutable and borrows
+// the network: build it once from a trained model, then share it across
+// any number of InferenceSessions (one per serving thread).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace sne::infer {
+
+struct PlanOptions {
+  /// Fold each Conv2d immediately followed by a BatchNorm2d into one
+  /// convolution with scaled weights (γ/√(var+ε) per output channel) and
+  /// shifted bias, using the batch norm's *running* statistics. The
+  /// trained model is not modified; the folded parameters live in the
+  /// plan. Exact for inference semantics up to float rounding.
+  bool fold_batchnorm = true;
+};
+
+/// One executable step of the plan. Either a layer invocation (possibly
+/// with folded substitute parameters) or a pure reshape the session
+/// performs in place on its arena buffer.
+class InferencePlan {
+ public:
+  /// Builds a plan for `net` applied to batches whose per-sample shape is
+  /// `sample_input_shape` (no batch axis, e.g. {2, 60, 60}). The network
+  /// must outlive the plan; it is never mutated.
+  InferencePlan(const nn::Sequential& net, Shape sample_input_shape,
+                PlanOptions options = {});
+
+  const Shape& sample_input_shape() const noexcept { return input_shape_; }
+  const Shape& sample_output_shape() const noexcept { return output_shape_; }
+  std::size_t num_steps() const noexcept { return steps_.size(); }
+  /// Number of Conv2d→BatchNorm2d pairs folded at plan time.
+  std::size_t num_folded() const noexcept { return num_folded_; }
+
+ private:
+  friend class InferenceSession;
+
+  struct Step {
+    const nn::Module* layer = nullptr;  ///< borrowed from the network
+    Shape sample_out;  ///< output shape of this step at batch size 1
+    bool reshape_only = false;  ///< Flatten: in-place metadata change
+    bool folded = false;        ///< run conv with substitute parameters
+    const nn::Conv2d* conv = nullptr;  ///< set when folded
+    Tensor weight;  ///< folded weight [Cout, Cin·k·k]
+    Tensor bias;    ///< folded bias [Cout]
+  };
+
+  Shape input_shape_;
+  Shape output_shape_;
+  std::vector<Step> steps_;
+  std::size_t num_folded_ = 0;
+};
+
+}  // namespace sne::infer

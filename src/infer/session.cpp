@@ -1,0 +1,126 @@
+#include "infer/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace sne::infer {
+
+InferenceSession::InferenceSession(std::shared_ptr<const InferencePlan> plan)
+    : plan_(std::move(plan)) {
+  if (!plan_) {
+    throw std::invalid_argument("InferenceSession: null plan");
+  }
+}
+
+InferenceSession::InferenceSession(const nn::Sequential& net,
+                                   Shape sample_input_shape,
+                                   PlanOptions options)
+    : InferenceSession(std::make_shared<const InferencePlan>(
+          net, std::move(sample_input_shape), options)) {}
+
+void InferenceSession::run(const Tensor& batch, Tensor& out) {
+  const InferencePlan& plan = *plan_;
+  const Shape& in = plan.input_shape_;
+  const auto in_rank = static_cast<std::int64_t>(in.size()) + 1;
+  bool shape_ok = batch.rank() == in_rank && batch.extent(0) > 0;
+  for (std::size_t a = 0; shape_ok && a < in.size(); ++a) {
+    shape_ok = batch.extent(static_cast<std::int64_t>(a) + 1) == in[a];
+  }
+  if (!shape_ok) {
+    throw std::invalid_argument(
+        "InferenceSession::run: batch shape " + batch.shape_string() +
+        " does not match the planned sample shape");
+  }
+  const std::int64_t n = batch.extent(0);
+
+  // Walk the plan ping-ponging between the two arena buffers; the last
+  // computing step writes straight into `out`. Flatten steps on an arena
+  // buffer are in-place metadata changes (Tensor::resize with an equal
+  // element count reuses the buffer), so they cost nothing.
+  const Tensor* cur = &batch;
+  Tensor* cur_buf = nullptr;  // arena buffer holding *cur, if any
+  for (std::size_t s = 0; s < plan.steps_.size(); ++s) {
+    const auto& step = plan.steps_[s];
+    const bool last = (s + 1 == plan.steps_.size());
+    if (step.reshape_only) {
+      shape_scratch_.assign(step.sample_out.begin(), step.sample_out.end());
+      shape_scratch_[0] = n;
+      if (cur_buf != nullptr && !last) {
+        cur_buf->resize(shape_scratch_);
+      } else {
+        // The data lives in the caller's batch (or must end up in the
+        // caller's out), so a copy is unavoidable for this step.
+        Tensor* dst = last ? &out : &ping_;
+        dst->resize(shape_scratch_);
+        std::copy(cur->data(), cur->data() + cur->size(), dst->data());
+        cur = dst;
+        cur_buf = last ? nullptr : dst;
+      }
+      continue;
+    }
+    Tensor* dst = last ? &out : (cur_buf == &ping_ ? &pong_ : &ping_);
+    if (step.folded) {
+      step.conv->infer_with(step.weight, step.bias, *cur, *dst);
+    } else {
+      step.layer->infer_into(*cur, *dst);
+    }
+    cur = dst;
+    cur_buf = last ? nullptr : dst;
+  }
+}
+
+Tensor InferenceSession::run(const Tensor& batch) {
+  Tensor out;
+  run(batch, out);
+  return out;
+}
+
+JointSession::JointSession(InferenceSession cnn, InferenceSession classifier,
+                           const JointGlue& glue)
+    : cnn_(std::move(cnn)), classifier_(std::move(classifier)), glue_(glue) {
+  if (glue.stamp <= 0 || glue.num_bands <= 0 || glue.mag_scale == 0.0f) {
+    throw std::invalid_argument("JointSession: bad glue configuration");
+  }
+}
+
+void JointSession::run(const Tensor& batch, Tensor& out) {
+  const std::int64_t nb = glue_.num_bands;
+  const std::int64_t stamp = glue_.stamp;
+  const std::int64_t per_band = 2 * stamp * stamp;
+  const std::int64_t image_block = nb * per_band;
+  const std::int64_t expected = image_block + nb;
+  if (batch.rank() != 2 || batch.extent(1) != expected) {
+    throw std::invalid_argument("JointSession::run: expected [N, " +
+                                std::to_string(expected) + "], got " +
+                                batch.shape_string());
+  }
+  const std::int64_t n = batch.extent(0);
+
+  images_.resize({n * nb, 2, stamp, stamp});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = batch.data() + i * expected;
+    std::copy(src, src + image_block, images_.data() + i * image_block);
+  }
+
+  cnn_.run(images_, mags_);  // [N·bands, 1]
+
+  features_.resize({n, nb * 2});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* dates = batch.data() + i * expected + image_block;
+    for (std::int64_t b = 0; b < nb; ++b) {
+      features_.at(i, 2 * b) =
+          (mags_[i * nb + b] - glue_.mag_offset) / glue_.mag_scale;
+      features_.at(i, 2 * b + 1) = dates[b];
+    }
+  }
+  classifier_.run(features_, out);
+}
+
+Tensor JointSession::run(const Tensor& batch) {
+  Tensor out;
+  run(batch, out);
+  return out;
+}
+
+}  // namespace sne::infer

@@ -1,0 +1,83 @@
+// session.h — the serving-side executor for a trained network. A session
+// owns the mutable run-time state (two ping-pong arena buffers sized on
+// first use), while the immutable InferencePlan it executes is shared.
+// After the first run() with a given batch size, subsequent runs perform
+// zero heap allocations: every buffer is grow-only and every kernel on
+// this path (sgemm_serial, sgemm_bt, the elementwise loops) runs on the
+// calling thread without touching the allocator or the thread pool.
+//
+// Thread-safety contract: a session is NOT safe for concurrent run()
+// calls, but sessions are cheap and independent — create one per worker
+// thread over a shared plan and run them concurrently (the plan and the
+// model it borrows are only read).
+#pragma once
+
+#include <memory>
+
+#include "infer/plan.h"
+
+namespace sne::infer {
+
+class InferenceSession {
+ public:
+  explicit InferenceSession(std::shared_ptr<const InferencePlan> plan);
+
+  /// Convenience: builds a fresh plan privately owned by this session.
+  InferenceSession(const nn::Sequential& net, Shape sample_input_shape,
+                   PlanOptions options = {});
+
+  const InferencePlan& plan() const noexcept { return *plan_; }
+
+  /// Runs the planned network over `batch` (shape [N, ...sample shape])
+  /// and resizes `out` to [N, ...output shape]. Reusing the same `out`
+  /// tensor across calls keeps the steady state allocation-free.
+  void run(const Tensor& batch, Tensor& out);
+
+  /// Allocating convenience overload.
+  Tensor run(const Tensor& batch);
+
+ private:
+  std::shared_ptr<const InferencePlan> plan_;
+  Tensor ping_;
+  Tensor pong_;
+  Shape shape_scratch_;  ///< reused per-step shape, batch axis rescaled
+};
+
+/// Layout/normalization constants the joint image→class model glues its
+/// two sub-networks together with. Kept as a plain struct so the infer
+/// library stays generic over any (cnn, classifier) Sequential pair.
+struct JointGlue {
+  std::int64_t stamp = 0;      ///< stamp extent S
+  std::int64_t num_bands = 5;  ///< bands per sample
+  float mag_offset = 25.0f;    ///< feature = (mag − offset) / scale
+  float mag_scale = 5.0f;
+};
+
+/// Serving path for the joint model: repacks each flat sample
+/// [bands·2·S·S images, bands dates] into a [N·bands, 2, S, S] image
+/// batch, runs the CNN session, assembles the (normalized magnitude,
+/// date) features, and runs the classifier session. Same thread-safety
+/// contract as InferenceSession: one JointSession per worker.
+class JointSession {
+ public:
+  JointSession(InferenceSession cnn, InferenceSession classifier,
+               const JointGlue& glue);
+
+  /// batch is [N, bands·2·S·S + bands]; out becomes [N, 1] logits.
+  void run(const Tensor& batch, Tensor& out);
+  Tensor run(const Tensor& batch);
+
+  const JointGlue& glue() const noexcept { return glue_; }
+  InferenceSession& cnn() noexcept { return cnn_; }
+  InferenceSession& classifier() noexcept { return classifier_; }
+
+ private:
+  InferenceSession cnn_;
+  InferenceSession classifier_;
+  JointGlue glue_;
+  Tensor images_;
+  Tensor mags_;
+  Tensor features_;
+};
+
+}  // namespace sne::infer

@@ -1,5 +1,6 @@
 #include "nn/activation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -34,6 +35,27 @@ Tensor PReLU::forward(const Tensor& x) {
     }
   }
   return y;
+}
+
+void PReLU::infer_into(const Tensor& x, Tensor& out) const {
+  if (x.rank() < 2 || x.extent(1) != channels_) {
+    throw std::invalid_argument("PReLU: axis-1 extent must be " +
+                                std::to_string(channels_) + ", got " +
+                                x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t spatial = x.size() / (n * channels_);
+  out.resize(x.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float a = slope_.value[c];
+      const float* src = x.data() + (i * channels_ + c) * spatial;
+      float* dst = out.data() + (i * channels_ + c) * spatial;
+      for (std::int64_t p = 0; p < spatial; ++p) {
+        dst[p] = src[p] > 0.0f ? src[p] : a * src[p];
+      }
+    }
+  }
 }
 
 Tensor PReLU::backward(const Tensor& grad_output) {
@@ -74,6 +96,13 @@ Tensor ReLU::forward(const Tensor& x) {
   return y;
 }
 
+void ReLU::infer_into(const Tensor& x, Tensor& out) const {
+  out.resize(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   if (cached_input_.empty()) throw std::logic_error("ReLU::backward first");
   check_same_shape(grad_output, cached_input_, "ReLU::backward");
@@ -91,6 +120,13 @@ Tensor Sigmoid::forward(const Tensor& x) {
   }
   cached_output_ = y;
   return y;
+}
+
+void Sigmoid::infer_into(const Tensor& x, Tensor& out) const {
+  out.resize(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {
@@ -113,6 +149,11 @@ Tensor Tanh::forward(const Tensor& x) {
   return y;
 }
 
+void Tanh::infer_into(const Tensor& x, Tensor& out) const {
+  out.resize(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) out[i] = std::tanh(x[i]);
+}
+
 Tensor Tanh::backward(const Tensor& grad_output) {
   if (cached_output_.empty()) {
     throw std::logic_error("Tanh::backward before forward");
@@ -132,6 +173,23 @@ Tensor Flatten::forward(const Tensor& x) {
   }
   cached_shape_ = x.shape();
   return x.reshaped({x.extent(0), -1});
+}
+
+void Flatten::infer_into(const Tensor& x, Tensor& out) const {
+  if (x.rank() < 2) {
+    throw std::invalid_argument("Flatten: rank must be >= 2");
+  }
+  out.resize({x.extent(0), x.size() / x.extent(0)});
+  std::copy(x.data(), x.data() + x.size(), out.data());
+}
+
+Shape Flatten::infer_shape(const Shape& in) const {
+  if (in.size() < 2) {
+    throw std::invalid_argument("Flatten: rank must be >= 2");
+  }
+  std::int64_t rest = 1;
+  for (std::size_t a = 1; a < in.size(); ++a) rest *= in[a];
+  return {in[0], rest};
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {

@@ -17,7 +17,9 @@ class PReLU final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
   std::vector<Param*> params() override { return {&slope_}; }
+  std::vector<const Param*> params() const override { return {&slope_}; }
 
  private:
   std::int64_t channels_;
@@ -30,6 +32,7 @@ class ReLU final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
 
  private:
   Tensor cached_input_;
@@ -40,6 +43,7 @@ class Sigmoid final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
 
  private:
   Tensor cached_output_;
@@ -50,6 +54,7 @@ class Tanh final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
 
  private:
   Tensor cached_output_;
@@ -61,6 +66,8 @@ class Flatten final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
 
  private:
   Shape cached_shape_;

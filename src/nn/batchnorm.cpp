@@ -104,6 +104,32 @@ Tensor BatchNormBase::forward(const Tensor& x) {
   return y;
 }
 
+void BatchNormBase::infer_into(const Tensor& x, Tensor& out) const {
+  check_input(x);
+  const std::int64_t n = x.extent(0);
+  const std::int64_t spatial = x.rank() == 4 ? x.extent(2) * x.extent(3) : 1;
+  const std::int64_t chw = channels_ * spatial;
+
+  out.resize(x.shape());
+
+  // Running statistics, always — the inference path never sees batch
+  // statistics, no matter the training flag. Serial channel loop, no
+  // caches written.
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float mean = running_mean_.value[c];
+    const float inv_std = 1.0f / std::sqrt(running_var_.value[c] + eps_);
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = x.data() + i * chw + c * spatial;
+      float* dst = out.data() + i * chw + c * spatial;
+      for (std::int64_t p = 0; p < spatial; ++p) {
+        dst[p] = g * (src[p] - mean) * inv_std + b;
+      }
+    }
+  }
+}
+
 Tensor BatchNormBase::backward(const Tensor& grad_output) {
   if (cached_xhat_.empty()) {
     throw std::logic_error("BatchNorm::backward before forward");

@@ -16,12 +16,28 @@ class BatchNormBase : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<const Param*> params() const override {
+    return {&gamma_, &beta_};
+  }
   std::vector<Param*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+  std::vector<const Param*> buffers() const override {
     return {&running_mean_, &running_var_};
   }
 
   std::int64_t channels() const noexcept { return channels_; }
+
+  // Read-only access to the affine parameters and running statistics, used
+  // by the inference planner to fold a batch norm into the preceding
+  // convolution's weights.
+  float eps() const noexcept { return eps_; }
+  const Param& gamma() const noexcept { return gamma_; }
+  const Param& beta() const noexcept { return beta_; }
+  const Param& running_mean() const noexcept { return running_mean_; }
+  const Param& running_var() const noexcept { return running_var_; }
 
  protected:
   /// Number of elements sharing channel statistics (N or N·H·W), and the

@@ -74,6 +74,59 @@ Tensor Conv2d::forward(const Tensor& x) {
   return y;
 }
 
+void Conv2d::infer_into(const Tensor& x, Tensor& out) const {
+  infer_with(weight_.value, bias_.value, x, out);
+}
+
+void Conv2d::infer_with(const Tensor& weight, const Tensor& bias,
+                        const Tensor& x, Tensor& out) const {
+  if (x.rank() != 4 || x.extent(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::infer_with: expected [N, " +
+                                std::to_string(in_channels_) +
+                                ", H, W], got " + x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t h = x.extent(2);
+  const std::int64_t w = x.extent(3);
+  const std::int64_t out_h = conv_out_extent(h, kernel_, pad_, stride_);
+  const std::int64_t out_w = conv_out_extent(w, kernel_, pad_, stride_);
+  if (out_h <= 0 || out_w <= 0) {
+    throw std::invalid_argument("Conv2d::infer_with: kernel larger than input");
+  }
+  const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::int64_t out_hw = out_h * out_w;
+
+  out.resize({n, out_channels_, out_h, out_w});
+
+  // Serial per-sample loop with a per-thread, grow-only column buffer for
+  // just one sample (the training path keeps the whole batch's columns for
+  // backward). No pool dispatch, no allocation after warmup: concurrency
+  // on the inference path comes from running independent sessions on
+  // separate workers.
+  thread_local std::vector<float> cols;
+  cols.resize(static_cast<std::size_t>(col_rows * out_hw));
+  for (std::int64_t i = 0; i < n; ++i) {
+    im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_,
+           kernel_, pad_, stride_, cols.data());
+    float* yi = out.data() + i * out_channels_ * out_hw;
+    sgemm_serial(out_channels_, out_hw, col_rows, 1.0f, weight.data(),
+                 cols.data(), 0.0f, yi);
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float b = bias[c];
+      float* plane = yi + c * out_hw;
+      for (std::int64_t p = 0; p < out_hw; ++p) plane[p] += b;
+    }
+  }
+}
+
+Shape Conv2d::infer_shape(const Shape& in) const {
+  if (in.size() != 4 || in[1] != in_channels_) {
+    throw std::invalid_argument("Conv2d::infer_shape: bad input shape");
+  }
+  return {in[0], out_channels_, conv_out_extent(in[2], kernel_, pad_, stride_),
+          conv_out_extent(in[3], kernel_, pad_, stride_)};
+}
+
 Tensor Conv2d::backward(const Tensor& grad_output) {
   if (cached_in_shape_.empty()) {
     throw std::logic_error("Conv2d::backward before forward");

@@ -18,11 +18,25 @@ class Conv2d final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::vector<const Param*> params() const override {
+    return {&weight_, &bias_};
+  }
+
+  /// infer_into with substituted parameters: the inference planner uses
+  /// this to run a batch-norm-folded convolution through the layer's own
+  /// kernel without mutating the trained weights. `weight` must be
+  /// [Cout, Cin·k·k] and `bias` [Cout], like the layer's own parameters.
+  void infer_with(const Tensor& weight, const Tensor& bias, const Tensor& x,
+                  Tensor& out) const;
 
   std::int64_t in_channels() const noexcept { return in_channels_; }
   std::int64_t out_channels() const noexcept { return out_channels_; }
   std::int64_t kernel() const noexcept { return kernel_; }
+  const Param& weight() const noexcept { return weight_; }
+  const Param& bias() const noexcept { return bias_; }
 
  private:
   std::int64_t in_channels_;

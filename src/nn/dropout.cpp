@@ -1,5 +1,6 @@
 #include "nn/dropout.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sne::nn {
@@ -25,6 +26,12 @@ Tensor Dropout::forward(const Tensor& x) {
     y[i] = x[i] * m;
   }
   return y;
+}
+
+void Dropout::infer_into(const Tensor& x, Tensor& out) const {
+  // Inference is always the identity, regardless of the training flag.
+  out.resize(x.shape());
+  std::copy(x.data(), x.data() + x.size(), out.data());
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

@@ -140,6 +140,66 @@ Tensor Gru::forward(const Tensor& x) {
   return h;
 }
 
+void Gru::infer_into(const Tensor& x, Tensor& out) const {
+  if (x.rank() != 3 || x.extent(2) != input_) {
+    throw std::invalid_argument("Gru::infer_into: expected [N, T, " +
+                                std::to_string(input_) + "], got " +
+                                x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t steps = x.extent(1);
+
+  // Per-thread, grow-only scratch: one tensor per recurrence quantity
+  // instead of the per-timestep cache vectors the training path keeps.
+  thread_local Tensor xt, z, r, rh, ncand;
+  xt.resize({n, input_});
+  z.resize({n, hidden_});
+  r.resize({n, hidden_});
+  rh.resize({n, hidden_});
+  ncand.resize({n, hidden_});
+
+  out.resize({n, hidden_});
+  out.zero();  // h_0 = 0
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = x.data() + (i * steps + t) * input_;
+      std::copy(src, src + input_, xt.data() + i * input_);
+    }
+
+    z.zero();
+    affine(xt, wz_, z);
+    affine(out, uz_, z);
+    add_bias(z, bz_.value);
+    sigmoid_inplace(z);
+
+    r.zero();
+    affine(xt, wr_, r);
+    affine(out, ur_, r);
+    add_bias(r, br_.value);
+    sigmoid_inplace(r);
+
+    std::copy(r.data(), r.data() + r.size(), rh.data());
+    rh *= out;
+    ncand.zero();
+    affine(xt, wn_, ncand);
+    affine(rh, un_, ncand);
+    add_bias(ncand, bn_.value);
+    tanh_inplace(ncand);
+
+    // h_t = (1 − z) ⊙ ñ + z ⊙ h_{t−1}, updated in place.
+    for (std::int64_t i = 0; i < out.size(); ++i) {
+      out[i] = (1.0f - z[i]) * ncand[i] + z[i] * out[i];
+    }
+  }
+}
+
+Shape Gru::infer_shape(const Shape& in) const {
+  if (in.size() != 3 || in[2] != input_) {
+    throw std::invalid_argument("Gru::infer_shape: bad input shape");
+  }
+  return {in[0], hidden_};
+}
+
 Tensor Gru::backward(const Tensor& grad_output) {
   if (cached_x_.empty()) {
     throw std::logic_error("Gru::backward before forward");
@@ -220,6 +280,10 @@ Tensor Gru::backward(const Tensor& grad_output) {
 }
 
 std::vector<Param*> Gru::params() {
+  return {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wn_, &un_, &bn_};
+}
+
+std::vector<const Param*> Gru::params() const {
   return {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wn_, &un_, &bn_};
 }
 

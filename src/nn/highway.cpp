@@ -56,10 +56,39 @@ Tensor Highway::backward(const Tensor& grad_output) {
   return grad_x;
 }
 
+void Highway::infer_into(const Tensor& x, Tensor& out) const {
+  // Per-thread scratch for the two branch activations; grow-only, so the
+  // steady state allocates nothing.
+  thread_local Tensor h;
+  thread_local Tensor t;
+  transform_.infer_into(x, h);
+  gate_.infer_into(x, t);
+  for (std::int64_t i = 0; i < h.size(); ++i) h[i] = std::tanh(h[i]);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = 1.0f / (1.0f + std::exp(-t[i]));
+  }
+  out.resize(x.shape());
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    out[i] = t[i] * h[i] + (1.0f - t[i]) * x[i];
+  }
+}
+
 std::vector<Param*> Highway::params() {
   std::vector<Param*> out = transform_.params();
   for (Param* p : gate_.params()) out.push_back(p);
   return out;
+}
+
+std::vector<const Param*> Highway::params() const {
+  std::vector<const Param*> out = transform_.params();
+  for (const Param* p : gate_.params()) out.push_back(p);
+  return out;
+}
+
+void Highway::set_training(bool training) {
+  Module::set_training(training);
+  transform_.set_training(training);
+  gate_.set_training(training);
 }
 
 }  // namespace sne::nn

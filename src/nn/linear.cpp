@@ -45,6 +45,31 @@ Tensor Linear::forward(const Tensor& x) {
   return y;
 }
 
+void Linear::infer_into(const Tensor& x, Tensor& out) const {
+  if (x.rank() != 2 || x.extent(1) != in_) {
+    throw std::invalid_argument("Linear::infer_into: expected [N, " +
+                                std::to_string(in_) + "], got " +
+                                x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  out.resize({n, out_});
+  // sgemm_bt runs on the calling thread and allocates nothing, so this
+  // stays within the inference path's zero-allocation contract.
+  sgemm_bt(n, out_, in_, 1.0f, x.data(), weight_.value.data(), 0.0f,
+           out.data());
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * out_;
+    for (std::int64_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
+  }
+}
+
+Shape Linear::infer_shape(const Shape& in) const {
+  if (in.size() != 2 || in[1] != in_) {
+    throw std::invalid_argument("Linear::infer_shape: bad input shape");
+  }
+  return {in[0], out_};
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("Linear::backward before forward");

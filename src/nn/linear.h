@@ -17,12 +17,19 @@ class Linear final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::vector<const Param*> params() const override {
+    return {&weight_, &bias_};
+  }
 
   std::int64_t in_features() const noexcept { return in_; }
   std::int64_t out_features() const noexcept { return out_; }
   Param& weight() noexcept { return weight_; }
   Param& bias() noexcept { return bias_; }
+  const Param& weight() const noexcept { return weight_; }
+  const Param& bias() const noexcept { return bias_; }
 
  private:
   std::int64_t in_;

@@ -149,6 +149,65 @@ Tensor Lstm::forward(const Tensor& x) {
   return h;
 }
 
+void Lstm::infer_into(const Tensor& x, Tensor& out) const {
+  if (x.rank() != 3 || x.extent(2) != input_) {
+    throw std::invalid_argument("Lstm::infer_into: expected [N, T, " +
+                                std::to_string(input_) + "], got " +
+                                x.shape_string());
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t steps = x.extent(1);
+
+  // Per-thread, grow-only scratch instead of the per-timestep caches.
+  thread_local Tensor xt, i_gate, f_gate, o_gate, g_cand, c;
+  xt.resize({n, input_});
+  i_gate.resize({n, hidden_});
+  f_gate.resize({n, hidden_});
+  o_gate.resize({n, hidden_});
+  g_cand.resize({n, hidden_});
+  c.resize({n, hidden_});
+  c.zero();
+
+  out.resize({n, hidden_});
+  out.zero();  // h_0 = 0
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = x.data() + (i * steps + t) * input_;
+      std::copy(src, src + input_, xt.data() + i * input_);
+    }
+
+    auto gate = [&](const Param& w, const Param& u, const Param& b,
+                    Tensor& z) {
+      z.zero();
+      affine(xt, w, z);
+      affine(out, u, z);
+      add_bias(z, b.value);
+    };
+    gate(wi_, ui_, bi_, i_gate);
+    sigmoid_inplace(i_gate);
+    gate(wf_, uf_, bf_, f_gate);
+    sigmoid_inplace(f_gate);
+    gate(wo_, uo_, bo_, o_gate);
+    sigmoid_inplace(o_gate);
+    gate(wg_, ug_, bg_, g_cand);
+    tanh_inplace(g_cand);
+
+    for (std::int64_t k = 0; k < c.size(); ++k) {
+      c[k] = f_gate[k] * c[k] + i_gate[k] * g_cand[k];
+    }
+    for (std::int64_t k = 0; k < out.size(); ++k) {
+      out[k] = o_gate[k] * std::tanh(c[k]);
+    }
+  }
+}
+
+Shape Lstm::infer_shape(const Shape& in) const {
+  if (in.size() != 3 || in[2] != input_) {
+    throw std::invalid_argument("Lstm::infer_shape: bad input shape");
+  }
+  return {in[0], hidden_};
+}
+
 Tensor Lstm::backward(const Tensor& grad_output) {
   if (cached_x_.empty()) {
     throw std::logic_error("Lstm::backward before forward");
@@ -212,6 +271,11 @@ Tensor Lstm::backward(const Tensor& grad_output) {
 }
 
 std::vector<Param*> Lstm::params() {
+  return {&wi_, &ui_, &bi_, &wf_, &uf_, &bf_,
+          &wo_, &uo_, &bo_, &wg_, &ug_, &bg_};
+}
+
+std::vector<const Param*> Lstm::params() const {
   return {&wi_, &ui_, &bi_, &wf_, &uf_, &bf_,
           &wo_, &uo_, &bo_, &wg_, &ug_, &bg_};
 }

@@ -2,6 +2,15 @@
 
 namespace sne::nn {
 
+void Module::infer_into(const Tensor& x, Tensor& out) const {
+  // Fallback for modules without a dedicated cache-free kernel. forward()
+  // mutates only this module's activation caches, never its parameters, so
+  // the cast is observable solely as redundant cache writes — acceptable
+  // for the fallback, but modules used on the planned inference path
+  // override this with a genuinely const implementation.
+  out = const_cast<Module*>(this)->forward(x);
+}
+
 void Module::zero_grad() {
   for (Param* p : params()) p->grad.zero();
 }

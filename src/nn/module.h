@@ -43,13 +43,35 @@ class Module {
   virtual Tensor forward(const Tensor& x) = 0;
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Cache-free inference: computes the layer's output for `x` into `out`
+  /// without touching the activation caches that forward() keeps for
+  /// backward. `out` is resized to the output shape (no reallocation once
+  /// its capacity suffices, so a reused buffer makes steady-state calls
+  /// allocation-free). Inference semantics are always applied — batch
+  /// norm uses its running statistics and dropout is the identity —
+  /// regardless of is_training(). Safe to call concurrently from several
+  /// threads on the same module as long as no thread mutates it.
+  ///
+  /// The default falls back to the training-path forward() (which does
+  /// cache), so every module is usable through the inference API even
+  /// before it grows a dedicated kernel.
+  virtual void infer_into(const Tensor& x, Tensor& out) const;
+
+  /// Output shape this layer produces for an input of shape `in`
+  /// (including the batch axis). Used by the inference planner to size
+  /// arena buffers ahead of execution. Default: shape-preserving.
+  virtual Shape infer_shape(const Shape& in) const { return in; }
+
   /// Learnable parameters of this module (non-owning views into members).
-  /// Default: none.
+  /// Default: none. The const overload powers read-only traversal (e.g.
+  /// plan-time Conv+BN weight folding, which must not mutate the model).
   virtual std::vector<Param*> params() { return {}; }
+  virtual std::vector<const Param*> params() const { return {}; }
 
   /// Persistent non-learnable state (e.g. batch-norm running statistics)
   /// that must survive save/load. Default: none.
   virtual std::vector<Param*> buffers() { return {}; }
+  virtual std::vector<const Param*> buffers() const { return {}; }
 
   /// Switches between training mode (batch statistics, dropout active) and
   /// inference mode. Default: store the flag.

@@ -81,6 +81,47 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   return y;
 }
 
+void MaxPool2d::infer_into(const Tensor& x, Tensor& out) const {
+  check_pool_input(x, kernel_);
+  const std::int64_t n = x.extent(0);
+  const std::int64_t c = x.extent(1);
+  const std::int64_t h = x.extent(2);
+  const std::int64_t w = x.extent(3);
+  const std::int64_t oh = pooled_extent(h, kernel_, stride_);
+  const std::int64_t ow = pooled_extent(w, kernel_, stride_);
+
+  out.resize({n, c, oh, ow});
+  // Same window walk and NaN semantics as forward, without the argmax
+  // bookkeeping backward needs.
+  std::int64_t o = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++o) {
+          float best = plane[oy * stride_ * w + ox * stride_];
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            const float* row = plane + (oy * stride_ + ky) * w + ox * stride_;
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const float v = row[kx];
+              if (v > best || (std::isnan(best) && !std::isnan(v))) best = v;
+            }
+          }
+          out[o] = best;
+        }
+      }
+    }
+  }
+}
+
+Shape MaxPool2d::infer_shape(const Shape& in) const {
+  if (in.size() != 4) {
+    throw std::invalid_argument("MaxPool2d::infer_shape: bad input shape");
+  }
+  return {in[0], in[1], pooled_extent(in[2], kernel_, stride_),
+          pooled_extent(in[3], kernel_, stride_)};
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   if (cached_in_shape_.empty()) {
     throw std::logic_error("MaxPool2d::backward before forward");
@@ -132,6 +173,43 @@ Tensor AvgPool2d::forward(const Tensor& x) {
     }
   }
   return y;
+}
+
+void AvgPool2d::infer_into(const Tensor& x, Tensor& out) const {
+  check_pool_input(x, kernel_);
+  const std::int64_t n = x.extent(0);
+  const std::int64_t c = x.extent(1);
+  const std::int64_t h = x.extent(2);
+  const std::int64_t w = x.extent(3);
+  const std::int64_t oh = pooled_extent(h, kernel_, stride_);
+  const std::int64_t ow = pooled_extent(w, kernel_, stride_);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  out.resize({n, c, oh, ow});
+  std::int64_t o = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++o) {
+          float s = 0.0f;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            const float* row = plane + (oy * stride_ + ky) * w + ox * stride_;
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) s += row[kx];
+          }
+          out[o] = s * inv;
+        }
+      }
+    }
+  }
+}
+
+Shape AvgPool2d::infer_shape(const Shape& in) const {
+  if (in.size() != 4) {
+    throw std::invalid_argument("AvgPool2d::infer_shape: bad input shape");
+  }
+  return {in[0], in[1], pooled_extent(in[2], kernel_, stride_),
+          pooled_extent(in[3], kernel_, stride_)};
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_output) {

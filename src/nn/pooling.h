@@ -20,6 +20,8 @@ class MaxPool2d final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
 
  private:
   std::int64_t kernel_;
@@ -35,6 +37,8 @@ class AvgPool2d final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
 
  private:
   std::int64_t kernel_;

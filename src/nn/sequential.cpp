@@ -1,5 +1,10 @@
 #include "nn/sequential.h"
 
+#include <algorithm>
+#include <deque>
+
+#include "nn/activation.h"
+
 namespace sne::nn {
 
 Tensor Sequential::forward(const Tensor& x) {
@@ -16,6 +21,50 @@ Tensor Sequential::backward(const Tensor& grad_output) {
   return g;
 }
 
+void Sequential::infer_into(const Tensor& x, Tensor& out) const {
+  // Ping-pong through two per-thread scratch tensors so a chain of N
+  // layers costs two buffers, not N. The scratch lives in a deque indexed
+  // by nesting depth: nested Sequentials (and composite layers that call
+  // back into infer_into on this thread) get their own pair, and deque
+  // references stay valid while inner frames grow the container.
+  thread_local std::deque<Tensor> scratch;
+  thread_local std::size_t depth = 0;
+
+  const std::size_t base = 2 * depth;
+  while (scratch.size() < base + 2) scratch.emplace_back();
+  ++depth;
+  Tensor& a = scratch[base];
+  Tensor& b = scratch[base + 1];
+
+  const Tensor* cur = &x;
+  Tensor* next = &a;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor* dst = (i + 1 == layers_.size()) ? &out : next;
+    if (dynamic_cast<const Flatten*>(layers_[i].get()) != nullptr &&
+        cur != &x) {
+      // Flatten of an owned intermediate is a pure metadata change — move
+      // the buffer instead of copying it through the layer.
+      Tensor* buf = (cur == &a) ? &a : &b;
+      *dst = std::move(*buf).reshaped({cur->extent(0), -1});
+    } else {
+      layers_[i]->infer_into(*cur, *dst);
+    }
+    cur = dst;
+    if (dst == next) next = (next == &a) ? &b : &a;
+  }
+  if (layers_.empty()) {
+    out.resize(x.shape());
+    std::copy(x.data(), x.data() + x.size(), out.data());
+  }
+  --depth;
+}
+
+Shape Sequential::infer_shape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& layer : layers_) s = layer->infer_shape(s);
+  return s;
+}
+
 std::vector<Param*> Sequential::params() {
   std::vector<Param*> out;
   for (auto& layer : layers_) {
@@ -24,10 +73,28 @@ std::vector<Param*> Sequential::params() {
   return out;
 }
 
+std::vector<const Param*> Sequential::params() const {
+  std::vector<const Param*> out;
+  for (const auto& layer : layers_) {
+    const Module& m = *layer;
+    for (const Param* p : m.params()) out.push_back(p);
+  }
+  return out;
+}
+
 std::vector<Param*> Sequential::buffers() {
   std::vector<Param*> out;
   for (auto& layer : layers_) {
     for (Param* p : layer->buffers()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<const Param*> Sequential::buffers() const {
+  std::vector<const Param*> out;
+  for (const auto& layer : layers_) {
+    const Module& m = *layer;
+    for (const Param* p : m.buffers()) out.push_back(p);
   }
   return out;
 }

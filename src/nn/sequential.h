@@ -32,12 +32,17 @@ class Sequential final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
+  void infer_into(const Tensor& x, Tensor& out) const override;
+  Shape infer_shape(const Shape& in) const override;
   std::vector<Param*> params() override;
+  std::vector<const Param*> params() const override;
   std::vector<Param*> buffers() override;
+  std::vector<const Param*> buffers() const override;
   void set_training(bool training) override;
 
   std::size_t size() const noexcept { return layers_.size(); }
   Module& layer(std::size_t i) { return *layers_.at(i); }
+  const Module& layer(std::size_t i) const { return *layers_.at(i); }
 
  private:
   std::vector<ModulePtr> layers_;

@@ -123,12 +123,13 @@ EvalStats Trainer::evaluate(const Dataset& data, std::int64_t batch_size) {
   double loss_sum = 0.0;
   double metric_sum = 0.0;
   std::int64_t seen = 0;
+  Tensor prediction;  // reused across batches by the cache-free path
   for (std::size_t first = 0; first < order.size();
        first += static_cast<std::size_t>(batch_size)) {
     const std::size_t count =
         std::min(static_cast<std::size_t>(batch_size), order.size() - first);
     const Sample batch = make_batch(data, order, first, count);
-    const Tensor prediction = model_.forward(batch.x);
+    model_.infer_into(batch.x, prediction);
     const LossResult loss = loss_(prediction, batch.y);
     loss_sum += static_cast<double>(loss.value) * static_cast<double>(count);
     if (metric_) {
@@ -159,12 +160,13 @@ Tensor Trainer::predict(const Dataset& data, std::int64_t batch_size) {
   Tensor out;
   std::int64_t row_size = 0;
   std::int64_t written = 0;
+  Tensor prediction;  // reused across batches by the cache-free path
   for (std::size_t first = 0; first < order.size();
        first += static_cast<std::size_t>(batch_size)) {
     const std::size_t count =
         std::min(static_cast<std::size_t>(batch_size), order.size() - first);
     const Sample batch = make_batch(data, order, first, count);
-    const Tensor prediction = model_.forward(batch.x);
+    model_.infer_into(batch.x, prediction);
     if (out.empty()) {
       row_size = prediction.size() / prediction.extent(0);
       Shape shape = prediction.shape();

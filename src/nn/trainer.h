@@ -67,12 +67,14 @@ class Trainer {
   float train_batch(const Sample& batch, float grad_clip = 0.0f,
                     Tensor* prediction_out = nullptr);
 
-  /// Mean loss/metric over a dataset in inference mode. Restores training
-  /// mode afterwards if it was set.
+  /// Mean loss/metric over a dataset in inference mode, computed through
+  /// the cache-free Module::infer_into path (no activation caches are
+  /// written). Restores training mode afterwards if it was set.
   EvalStats evaluate(const Dataset& data, std::int64_t batch_size = 64);
 
   /// Model predictions over a dataset in inference mode, one row per
-  /// sample, concatenated along axis 0.
+  /// sample, concatenated along axis 0. Uses the cache-free
+  /// Module::infer_into path.
   Tensor predict(const Dataset& data, std::int64_t batch_size = 64);
 
  private:

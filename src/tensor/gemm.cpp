@@ -55,6 +55,28 @@ void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
   for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
 }
 
+// One row panel of C: the k/n-blocked accumulation for rows [i0, i0+mb).
+// Shared by the parallel and serial drivers so their math (and bits) are
+// identical; `a_panel` is caller-provided scratch, reused across calls.
+void sgemm_panel(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                 std::int64_t k, float alpha, const float* a, const float* b,
+                 float* c, std::vector<float>& a_panel) {
+  for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::int64_t kb = std::min(kBlockK, k - p0);
+    a_panel.assign(static_cast<std::size_t>(mb * kb), 0.0f);
+    for (std::int64_t i = 0; i < mb; ++i) {
+      const float* src = a + (i0 + i) * k + p0;
+      float* dst = a_panel.data() + i * kb;
+      for (std::int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
+    }
+    for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::int64_t nb = std::min(kBlockN, n - j0);
+      gemm_block(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
+                 c + i0 * n + j0, n);
+    }
+  }
+}
+
 }  // namespace
 
 void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
@@ -72,22 +94,23 @@ void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   parallel_for(0, num_panels, [&](std::int64_t panel) {
     thread_local std::vector<float> a_panel;
     const std::int64_t i0 = panel * kBlockM;
-    const std::int64_t mb = std::min(kBlockM, m - i0);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::int64_t kb = std::min(kBlockK, k - p0);
-      a_panel.assign(static_cast<std::size_t>(mb * kb), 0.0f);
-      for (std::int64_t i = 0; i < mb; ++i) {
-        const float* src = a + (i0 + i) * k + p0;
-        float* dst = a_panel.data() + i * kb;
-        for (std::int64_t p = 0; p < kb; ++p) dst[p] = alpha * src[p];
-      }
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t nb = std::min(kBlockN, n - j0);
-        gemm_block(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
-                   c + i0 * n + j0, n);
-      }
-    }
+    sgemm_panel(i0, std::min(kBlockM, m - i0), n, k, alpha, a, b, c, a_panel);
   });
+}
+
+void sgemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  // Same panels as sgemm, walked on the calling thread. The scratch panel
+  // grows once per thread and is then reused, so steady-state calls do not
+  // touch the allocator (the std::function conversion inside parallel_for
+  // would; that is why this is not just sgemm with a 1-wide pool).
+  thread_local std::vector<float> a_panel;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    sgemm_panel(i0, std::min(kBlockM, m - i0), n, k, alpha, a, b, c, a_panel);
+  }
 }
 
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,

@@ -17,6 +17,16 @@ namespace sne {
 void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
            const float* a, const float* b, float beta, float* c);
 
+/// sgemm with the identical blocking and accumulation order, but guaranteed
+/// never to dispatch to the thread pool and heap-allocation-free after its
+/// per-thread scratch panel has warmed up. Bitwise identical to sgemm (the
+/// parallel version keeps each panel's accumulation serial). This is the
+/// GEMM substrate of the inference path, whose run() contract is zero
+/// allocations after warmup; parallelism there comes from running whole
+/// sessions on separate pool workers instead.
+void sgemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const float* a, const float* b, float beta, float* c);
+
 /// C[m×n] = alpha * Aᵀ (A is k×m) · B[k×n] + beta * C.
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c);

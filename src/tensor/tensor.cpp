@@ -118,7 +118,11 @@ float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
   return data_[static_cast<std::size_t>(flat_index(idx))];
 }
 
-Tensor Tensor::reshaped(Shape new_shape) const {
+namespace {
+
+// Shared by both reshaped overloads: resolves a single -1 extent and
+// validates the element count against `size`.
+Shape resolve_reshape(Shape new_shape, std::int64_t size) {
   std::int64_t inferred_axis = -1;
   std::int64_t known = 1;
   for (std::size_t a = 0; a < new_shape.size(); ++a) {
@@ -135,18 +139,48 @@ Tensor Tensor::reshaped(Shape new_shape) const {
     }
   }
   if (inferred_axis >= 0) {
-    if (known == 0 || size() % known != 0) {
+    if (known == 0 || size % known != 0) {
       throw std::invalid_argument("reshaped: cannot infer -1 extent");
     }
-    new_shape[static_cast<std::size_t>(inferred_axis)] = size() / known;
+    new_shape[static_cast<std::size_t>(inferred_axis)] = size / known;
   }
-  if (shape_numel(new_shape) != size()) {
+  if (shape_numel(new_shape) != size) {
     throw std::invalid_argument("reshaped: element count mismatch");
   }
+  return new_shape;
+}
+
+}  // namespace
+
+Tensor Tensor::reshaped(Shape new_shape) const& {
   Tensor out;
-  out.shape_ = std::move(new_shape);
+  out.shape_ = resolve_reshape(std::move(new_shape), size());
   out.data_ = data_;
   return out;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) && {
+  Tensor out;
+  out.shape_ = resolve_reshape(std::move(new_shape), size());
+  out.data_ = std::move(data_);
+  shape_.clear();
+  return out;
+}
+
+void Tensor::resize(const Shape& new_shape) {
+  const std::int64_t n = shape_numel(new_shape);
+  shape_.assign(new_shape.begin(), new_shape.end());
+  data_.resize(static_cast<std::size_t>(n));
+}
+
+void Tensor::resize(std::initializer_list<std::int64_t> new_shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t e : new_shape) {
+    if (e <= 0) throw std::invalid_argument("resize: extents must be positive");
+    n *= e;
+  }
+  shape_.assign(new_shape.begin(), new_shape.end());
+  data_.resize(static_cast<std::size_t>(n));
 }
 
 void Tensor::fill(float v) noexcept {

@@ -77,7 +77,20 @@ class Tensor {
 
   /// Returns a tensor with the same data and a new shape; element counts
   /// must match. A -1 extent is inferred from the remaining extents.
-  Tensor reshaped(Shape new_shape) const;
+  /// The rvalue overload moves the buffer instead of deep-copying it, so
+  /// `std::move(t).reshaped(...)` is free — used when feeding an owned
+  /// sample into a model as a batch of one, and at the conv→FC flatten
+  /// boundary of the inference path.
+  Tensor reshaped(Shape new_shape) const&;
+  Tensor reshaped(Shape new_shape) &&;
+
+  /// In-place reshape/resize: sets the shape and grows or shrinks the
+  /// buffer to match. Existing capacity is reused, so repeated resizes to
+  /// shapes that fit do not allocate — the contract the inference arena
+  /// relies on. When the element count is unchanged the data is preserved
+  /// (a pure reshape); grown elements are zero-initialized.
+  void resize(const Shape& new_shape);
+  void resize(std::initializer_list<std::int64_t> new_shape);
 
   /// In-place fills.
   void fill(float v) noexcept;

@@ -1,0 +1,238 @@
+// infer_parity_test.cpp — the serving path (InferencePlan/Session) must
+// agree with the training path's eval-mode forward: folded and unfolded
+// plans within allclose, repeated runs bitwise identical, save/load round
+// trips exact, and the steady state allocation-free. Also pins down
+// set_training propagation through the composite modules the split relies
+// on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "core/band_cnn.h"
+#include "core/inference.h"
+#include "core/joint_model.h"
+#include "core/lc_classifier.h"
+#include "infer/session.h"
+#include "nn/model_io.h"
+#include "nn/nn.h"
+
+// Global allocation counter for the zero-alloc-after-warmup test. Only
+// counts while armed, so gtest bookkeeping outside the measured window
+// stays invisible.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::int64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sne::core {
+namespace {
+
+constexpr std::int64_t kStamp = 36;  // smallest extent the trunk survives
+
+BandCnnConfig small_cnn_config() {
+  BandCnnConfig cfg;
+  cfg.input_size = kStamp;
+  return cfg;
+}
+
+// A few training-mode forward passes move the batch-norm running
+// statistics off their init so folding is exercised on non-trivial
+// values.
+void warm_running_stats(BandCnn& cnn, Rng& rng) {
+  cnn.set_training(true);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor x =
+        Tensor::rand_uniform({4, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
+    (void)cnn.forward(x);
+  }
+  cnn.set_training(false);
+}
+
+TEST(InferParity, SessionMatchesEvalForwardUnfolded) {
+  Rng rng(11);
+  BandCnn cnn(small_cnn_config(), rng);
+  warm_running_stats(cnn, rng);
+
+  const Tensor x =
+      Tensor::rand_uniform({5, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
+  const Tensor ref = cnn.forward(x);
+
+  infer::PlanOptions opts;
+  opts.fold_batchnorm = false;
+  infer::InferenceSession session = make_session(cnn, opts);
+  EXPECT_EQ(session.plan().num_folded(), 0u);
+  const Tensor got = session.run(x);
+  ASSERT_EQ(got.shape(), ref.shape());
+  EXPECT_TRUE(got.allclose(ref, 1e-5f));
+}
+
+TEST(InferParity, SessionMatchesEvalForwardFolded) {
+  Rng rng(12);
+  BandCnn cnn(small_cnn_config(), rng);
+  warm_running_stats(cnn, rng);
+
+  const Tensor x =
+      Tensor::rand_uniform({8, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
+  const Tensor ref = cnn.forward(x);
+
+  infer::InferenceSession session = make_session(cnn);  // folding on
+  EXPECT_EQ(session.plan().num_folded(), 3u);           // three conv stages
+  const Tensor got = session.run(x);
+  ASSERT_EQ(got.shape(), ref.shape());
+  EXPECT_TRUE(got.allclose(ref, 1e-3f));  // folding reassociates rounding
+}
+
+TEST(InferParity, ClassifierSessionMatchesEvalForward) {
+  Rng rng(13);
+  LcClassifierConfig cfg;
+  LcClassifier clf(cfg, rng);
+  clf.set_training(false);
+
+  const Tensor x = Tensor::rand_uniform({7, cfg.input_dim}, rng, -2.f, 2.f);
+  const Tensor ref = clf.forward(x);
+  infer::InferenceSession session = make_session(clf);
+  const Tensor got = session.run(x);
+  ASSERT_EQ(got.shape(), ref.shape());
+  EXPECT_TRUE(got.allclose(ref, 1e-5f));
+}
+
+TEST(InferParity, JointSessionMatchesEvalForward) {
+  Rng rng(14);
+  JointModelConfig jc;
+  jc.cnn.input_size = kStamp;
+  JointModel joint(jc, rng);
+  {
+    // Warm the CNN's running stats through the joint training path.
+    const Tensor warm = Tensor::rand_uniform(
+        {2, JointModel::input_dim(kStamp)}, rng, -50.0f, 400.0f);
+    (void)joint.forward(warm);
+  }
+  joint.set_training(false);
+
+  Tensor x = Tensor::rand_uniform({3, JointModel::input_dim(kStamp)}, rng,
+                                  -50.0f, 400.0f);
+  // Dates live in the trailing 5 slots of each sample; keep them in a
+  // plausible normalized range.
+  for (std::int64_t i = 0; i < x.extent(0); ++i) {
+    float* row = x.data() + (i + 1) * (x.extent(1)) - 5;
+    for (int b = 0; b < 5; ++b) row[b] = static_cast<float>(0.1 * (b + 1));
+  }
+  const Tensor ref = joint.forward(x);
+
+  infer::JointSession session = make_session(joint);
+  const Tensor got = session.run(x);
+  ASSERT_EQ(got.shape(), ref.shape());
+  EXPECT_TRUE(got.allclose(ref, 1e-3f));
+}
+
+TEST(InferParity, RepeatedRunsAreBitwiseIdentical) {
+  Rng rng(15);
+  BandCnn cnn(small_cnn_config(), rng);
+  warm_running_stats(cnn, rng);
+
+  const Tensor x =
+      Tensor::rand_uniform({4, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
+  infer::InferenceSession session = make_session(cnn);
+  Tensor a;
+  Tensor b;
+  session.run(x, a);
+  session.run(x, b);
+  EXPECT_TRUE(a.equals(b));
+
+  // A second session over a shared plan reproduces the same bits too.
+  auto plan = compile_plan(cnn);
+  infer::InferenceSession s1(plan);
+  infer::InferenceSession s2(plan);
+  EXPECT_TRUE(s1.run(x).equals(s2.run(x)));
+}
+
+TEST(InferParity, ModelIoRoundTripGivesIdenticalScores) {
+  Rng rng(16);
+  BandCnn cnn(small_cnn_config(), rng);
+  warm_running_stats(cnn, rng);
+
+  const std::string path = testing::TempDir() + "infer_parity_cnn.snet";
+  nn::save_model(path, cnn);
+
+  Rng other(99);  // different init: everything must come from the file
+  BandCnn reloaded(small_cnn_config(), other);
+  nn::load_model(path, reloaded);
+  reloaded.set_training(false);
+
+  const Tensor x =
+      Tensor::rand_uniform({6, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
+  infer::InferenceSession before = make_session(cnn);
+  infer::InferenceSession after = make_session(reloaded);
+  EXPECT_TRUE(before.run(x).equals(after.run(x)));
+  std::remove(path.c_str());
+}
+
+TEST(InferParity, SetTrainingPropagatesThroughComposites) {
+  Rng rng(17);
+  JointModelConfig jc;
+  jc.cnn.input_size = kStamp;
+  JointModel joint(jc, rng);
+
+  joint.set_training(false);
+  EXPECT_FALSE(joint.is_training());
+  EXPECT_FALSE(joint.band_cnn().is_training());
+  EXPECT_FALSE(joint.classifier().is_training());
+  const nn::Sequential& net = joint.band_cnn().net();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_FALSE(net.layer(i).is_training()) << "layer " << i;
+  }
+
+  joint.set_training(true);
+  EXPECT_TRUE(joint.band_cnn().is_training());
+  EXPECT_TRUE(joint.classifier().is_training());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_TRUE(net.layer(i).is_training()) << "layer " << i;
+  }
+
+  // Highway is a composite of two Linears; the flag must reach both.
+  nn::Highway hw(8, rng);
+  hw.set_training(false);
+  EXPECT_FALSE(hw.transform().is_training());
+  EXPECT_FALSE(hw.gate().is_training());
+}
+
+TEST(InferParity, SteadyStateRunIsAllocationFree) {
+  Rng rng(18);
+  BandCnn cnn(small_cnn_config(), rng);
+  warm_running_stats(cnn, rng);
+
+  const Tensor x =
+      Tensor::rand_uniform({16, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
+  infer::InferenceSession session = make_session(cnn);
+  Tensor out;
+  session.run(x, out);  // warmup: arena + scratch sized here
+  session.run(x, out);
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  session.run(x, out);
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0);
+}
+
+}  // namespace
+}  // namespace sne::core
