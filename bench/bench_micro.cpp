@@ -8,6 +8,7 @@
 
 #include "core/band_cnn.h"
 #include "core/inference.h"
+#include "core/pipeline.h"
 #include "eval/roc.h"
 #include "infer/session.h"
 #include "nn/nn.h"
@@ -258,6 +259,57 @@ BENCHMARK_REGISTER_F(DatasetFixture, BatchedDifferenceRender)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4);
+
+// Render-vs-train overlap: one iteration is one flux-CNN training epoch
+// (batch 16) over the fixture's flux pairs. First argument selects the
+// data path — 0 renders every stamp serially on the training thread
+// (prefetch 0 over a Serial-mode dataset, the pre-loader behaviour),
+// 1 streams batches through the DataLoader (batch-parallel rendering,
+// prefetch 1, so batch k+1 renders while batch k trains). Second
+// argument is the pool width. The batches, and therefore the training
+// statistics, are bitwise identical on both paths — only the wall clock
+// moves.
+BENCHMARK_DEFINE_F(DatasetFixture, FluxCnnEpoch)(benchmark::State& state) {
+  const bool overlap = state.range(0) != 0;
+  set_num_threads(static_cast<int>(state.range(1)));
+  std::vector<std::int64_t> samples(32);
+  for (std::int64_t k = 0; k < 32; ++k) samples[k] = k;
+  auto items = core::enumerate_flux_pairs(*data, samples, 27.5);
+  if (items.size() > 64) items.resize(64);
+  const nn::LazyDataset pairs =
+      core::make_flux_pair_dataset(*data, items, kServeStamp);
+  // Serial baseline: re-wrap through get() so stamp rendering cannot
+  // leave the training thread.
+  const nn::LazyDataset serial(
+      pairs.size(), [&pairs](std::int64_t i) { return pairs.get(i); });
+  const nn::Dataset& train =
+      overlap ? static_cast<const nn::Dataset&>(pairs) : serial;
+
+  Rng rng(8);
+  core::BandCnnConfig cfg;
+  cfg.input_size = kServeStamp;
+  core::BandCnn cnn(cfg, rng);
+  nn::Adam opt(cnn.params(), 1e-3f);
+  nn::Trainer trainer(cnn, opt, nn::mse_loss);
+  nn::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 16;
+  tc.shuffle_seed = 9;
+  tc.prefetch = overlap ? 1 : 0;
+
+  for (auto _ : state) {
+    auto history = trainer.fit(train, nullptr, tc);
+    benchmark::DoNotOptimize(history.data());
+  }
+  state.SetItemsProcessed(state.iterations() * train.size());
+  set_num_threads(1);
+}
+BENCHMARK_REGISTER_F(DatasetFixture, FluxCnnEpoch)
+    ->UseRealTime()
+    ->Args({0, 1})
+    ->Args({0, 4})
+    ->Args({1, 1})
+    ->Args({1, 4});
 
 BENCHMARK_F(DatasetFixture, MeasuredLightCurve)(benchmark::State& state) {
   std::int64_t i = 0;

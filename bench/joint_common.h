@@ -18,6 +18,9 @@ struct JointBenchConfig {
   std::int64_t classifier_epochs = 30;
   std::int64_t joint_epochs = 4;
   std::int64_t epoch_subset = 0;  ///< which single-epoch subset feeds it
+  /// DataLoader prefetch depth for every training stage (0 disables the
+  /// render/train overlap; statistics are identical at any depth).
+  std::int64_t prefetch = 1;
   std::uint64_t seed = 600;
 };
 
@@ -28,6 +31,7 @@ inline JointBenchConfig joint_config_from_env() {
   cfg.pretrain_epochs = eval::env_int64("PRETRAIN_EPOCHS",
                                         cfg.pretrain_epochs);
   cfg.joint_epochs = eval::env_int64("EPOCHS", cfg.joint_epochs);
+  cfg.prefetch = eval::env_int64("PREFETCH", cfg.prefetch);
   return cfg;
 }
 
@@ -56,6 +60,7 @@ inline std::unique_ptr<core::BandCnn> pretrain_cnn(
   tc.epochs = cfg.pretrain_epochs;
   tc.batch_size = 16;
   tc.shuffle_seed = cfg.seed + 1;
+  tc.prefetch = cfg.prefetch;
   trainer.fit(pairs, nullptr, tc);
   // Photometric zero-point calibration: a systematic magnitude offset in
   // the pre-trained CNN would shift every feature the transplanted
@@ -88,6 +93,7 @@ inline std::unique_ptr<core::LcClassifier> pretrain_classifier(
   tc.epochs = cfg.classifier_epochs;
   tc.batch_size = 64;
   tc.shuffle_seed = cfg.seed + 3;
+  tc.prefetch = cfg.prefetch;
   trainer.fit(train, nullptr, tc);
   return clf_ptr;
 }
@@ -109,6 +115,7 @@ inline std::vector<nn::EpochStats> train_joint(
   tc.batch_size = 16;
   tc.grad_clip = 5.0f;
   tc.shuffle_seed = cfg.seed + 4;
+  tc.prefetch = cfg.prefetch;
   return trainer.fit(train, &val, tc);
 }
 

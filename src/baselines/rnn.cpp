@@ -121,7 +121,9 @@ nn::LazyDataset make_sequence_dataset(const sim::SnDataset& data,
     s.y = Tensor({1}, data.is_ia(i) ? 1.0f : 0.0f);
     return s;
   };
-  return nn::LazyDataset(n, std::move(generator));
+  // Batch-parallel: measured_point draws from deterministic per-epoch
+  // streams, so sequence assembly fans across the shared pool.
+  return nn::LazyDataset(n, std::move(generator), nn::BatchMode::Parallel);
 }
 
 }  // namespace sne::baselines

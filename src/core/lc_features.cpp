@@ -65,7 +65,10 @@ nn::LazyDataset make_lc_feature_dataset(const sim::SnDataset& data,
     s.y = Tensor({1}, data.is_ia(i) ? 1.0f : 0.0f);
     return s;
   };
-  return nn::LazyDataset(n, std::move(generator));
+  // Batch-parallel: lc_features only reads SnDataset's deterministic
+  // per-(sample, band, epoch) measurement streams, so batches (and
+  // materialize()) fan across the shared pool.
+  return nn::LazyDataset(n, std::move(generator), nn::BatchMode::Parallel);
 }
 
 Tensor labels_for(const sim::SnDataset& data,

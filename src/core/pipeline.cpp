@@ -65,7 +65,10 @@ nn::LazyDataset make_flux_pair_dataset(const sim::SnDataset& data,
                           item.sample, item.band, item.epoch, faint_mag)));
     return s;
   };
-  return nn::LazyDataset(n, std::move(generator));
+  // Batch-parallel: the generator only touches SnDataset's stateless lazy
+  // renderers (per-stamp mix64 RNG streams), the same guarantee behind the
+  // batched parallel render APIs, so batches fan across the shared pool.
+  return nn::LazyDataset(n, std::move(generator), nn::BatchMode::Parallel);
 }
 
 nn::LazyDataset make_joint_dataset(const sim::SnDataset& data,
@@ -102,7 +105,8 @@ nn::LazyDataset make_joint_dataset(const sim::SnDataset& data,
     s.y = Tensor({1}, data.is_ia(i) ? 1.0f : 0.0f);
     return s;
   };
-  return nn::LazyDataset(n, std::move(generator));
+  // Batch-parallel for the same reason as make_flux_pair_dataset.
+  return nn::LazyDataset(n, std::move(generator), nn::BatchMode::Parallel);
 }
 
 void init_joint_from_pretrained(JointModel& joint, BandCnn& pretrained_cnn,

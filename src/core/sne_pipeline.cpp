@@ -64,6 +64,7 @@ SnePipelineReport SnePipeline::train(
     tc.epochs = config_.flux_epochs;
     tc.batch_size = 16;
     tc.shuffle_seed = config_.seed + 2;
+    tc.prefetch = config_.prefetch;
     report.flux_history = trainer.fit(pairs, nullptr, tc);
     // Photometric zero-point calibration (see calibrate_flux_zero_point).
     calibrate_flux_zero_point(cnn, pairs);
@@ -78,6 +79,9 @@ SnePipelineReport SnePipeline::train(
     FeatureConfig features;
     features.epochs = 1;
     features.noisy = true;  // match the measurement error of CNN estimates
+    // materialize() chunks through the loader, and the lc-feature
+    // dataset is batch-parallel, so this pre-training setup derives its
+    // feature vectors on the shared pool instead of serially.
     const nn::VectorDataset train = nn::materialize(
         make_lc_feature_dataset(data, train_samples, features));
     std::optional<nn::VectorDataset> val;
@@ -92,6 +96,7 @@ SnePipelineReport SnePipeline::train(
     tc.epochs = config_.classifier_epochs;
     tc.batch_size = 64;
     tc.shuffle_seed = config_.seed + 4;
+    tc.prefetch = config_.prefetch;
     report.classifier_history =
         trainer.fit(train, val ? &*val : nullptr, tc);
   }
@@ -114,6 +119,7 @@ SnePipelineReport SnePipeline::train(
     tc.batch_size = 16;
     tc.grad_clip = 5.0f;
     tc.shuffle_seed = config_.seed + 5;
+    tc.prefetch = config_.prefetch;
     report.joint_history = trainer.fit(train, val ? &*val : nullptr, tc);
   }
 

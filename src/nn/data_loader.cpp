@@ -1,0 +1,171 @@
+#include "nn/data_loader.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace sne::nn {
+
+// Background batch renderer: one worker thread walks the epoch order and
+// pushes finished batches into a bounded queue (capacity = prefetch
+// depth). The queue preserves submission order, so the consumer sees
+// exactly the serial batch sequence regardless of depth. Rendering
+// happens outside the queue lock; a dataset with a parallel get_batch
+// fans each batch across the shared pool from here, interleaving pool
+// jobs with whatever the training thread is running.
+struct DataLoader::Prefetcher {
+  Prefetcher(const Dataset& data, const std::vector<std::int64_t>& order,
+             std::int64_t batch_size, std::int64_t depth)
+      : data_(&data),
+        order_(&order),
+        batch_size_(static_cast<std::size_t>(batch_size)),
+        depth_(static_cast<std::size_t>(depth)) {
+    worker_ = std::thread([this] { run(); });
+  }
+
+  ~Prefetcher() { stop(); }
+
+  bool pop(Sample& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || done_; });
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+      return true;
+    }
+    if (error_) std::rethrow_exception(error_);
+    return false;
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancel_ = true;
+    }
+    not_full_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  void run() {
+    try {
+      for (std::size_t first = 0; first < order_->size();
+           first += batch_size_) {
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          not_full_.wait(lock,
+                         [&] { return cancel_ || queue_.size() < depth_; });
+          if (cancel_) break;
+        }
+        const std::size_t count =
+            std::min(batch_size_, order_->size() - first);
+        Sample batch = data_->get_batch(*order_, first, count);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (cancel_) break;
+          queue_.push_back(std::move(batch));
+        }
+        not_empty_.notify_one();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  const Dataset* data_;
+  const std::vector<std::int64_t>* order_;
+  std::size_t batch_size_;
+  std::size_t depth_;
+
+  std::thread worker_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;   // producer waits for queue space
+  std::condition_variable not_empty_;  // consumer waits for a batch
+  std::deque<Sample> queue_;
+  bool done_ = false;
+  bool cancel_ = false;
+  std::exception_ptr error_;
+};
+
+DataLoader::DataLoader(const Dataset& data, DataLoaderConfig config)
+    : data_(&data),
+      config_(config),
+      shuffle_rng_(config.shuffle_seed),
+      n_(data.size()) {
+  if (config_.batch_size <= 0) {
+    throw std::invalid_argument("DataLoader: batch_size must be positive");
+  }
+  if (config_.prefetch < 0) {
+    throw std::invalid_argument("DataLoader: prefetch must be >= 0");
+  }
+  if (n_ <= 0) {
+    throw std::invalid_argument("DataLoader: empty dataset");
+  }
+}
+
+DataLoader::~DataLoader() = default;
+
+std::int64_t DataLoader::num_batches() const noexcept {
+  return (n_ + config_.batch_size - 1) / config_.batch_size;
+}
+
+void DataLoader::start_epoch() {
+  prefetcher_.reset();  // joins the previous epoch's worker, if any
+  if (order_.empty()) {
+    order_.resize(static_cast<std::size_t>(n_));
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      order_[i] = static_cast<std::int64_t>(i);
+    }
+  }
+  if (config_.shuffle) {
+    std::vector<std::size_t> perm(order_.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    shuffle_rng_.shuffle(perm);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      order_[i] = static_cast<std::int64_t>(perm[i]);
+    }
+  }
+  cursor_ = 0;
+  epoch_active_ = true;
+  if (config_.prefetch > 0) {
+    prefetcher_ = std::make_unique<Prefetcher>(*data_, order_,
+                                               config_.batch_size,
+                                               config_.prefetch);
+  }
+}
+
+bool DataLoader::next(Sample& batch) {
+  if (!epoch_active_) {
+    throw std::logic_error("DataLoader::next: no active epoch");
+  }
+  if (prefetcher_) {
+    if (prefetcher_->pop(batch)) return true;
+    prefetcher_.reset();
+    epoch_active_ = false;
+    return false;
+  }
+  if (cursor_ >= order_.size()) {
+    epoch_active_ = false;
+    return false;
+  }
+  const std::size_t count =
+      std::min(static_cast<std::size_t>(config_.batch_size),
+               order_.size() - cursor_);
+  batch = data_->get_batch(order_, cursor_, count);
+  cursor_ += count;
+  return true;
+}
+
+}  // namespace sne::nn

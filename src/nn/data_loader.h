@@ -1,0 +1,84 @@
+// data_loader.h — batch-native sample delivery for the training loop.
+// A DataLoader owns epoch shuffling and batch assembly over a Dataset,
+// and (with prefetch > 0) renders batches ahead of consumption on a
+// background thread: batch k+1 is synthesized — through the dataset's
+// possibly pool-parallel get_batch — while batch k trains.
+//
+// Determinism contract: the sequence of batches depends only on the
+// dataset, batch size, and shuffle seed. Prefetch depth and thread count
+// change *when* a batch is rendered, never *what* it contains (get(i) is
+// deterministic in i and batches are handed out in epoch order), so
+// training statistics are bitwise identical for any prefetch/thread
+// configuration — asserted by data_loader_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "tensor/rng.h"
+
+namespace sne::nn {
+
+struct DataLoaderConfig {
+  std::int64_t batch_size = 32;
+  /// Number of batches rendered ahead of consumption on a background
+  /// thread (1 = double buffering). 0 renders synchronously on the
+  /// calling thread. Any depth yields bitwise-identical batches.
+  std::int64_t prefetch = 1;
+  /// Reshuffle the epoch order before each start_epoch(). The shuffle
+  /// stream advances exactly one permutation per epoch, so epoch k's
+  /// order is independent of how (or whether) earlier epochs were read.
+  bool shuffle = false;
+  std::uint64_t shuffle_seed = 1;
+};
+
+/// Iterates a dataset in batches, one epoch at a time:
+///
+///   DataLoader loader(data, {.batch_size = 16, .prefetch = 1});
+///   for (int e = 0; e < epochs; ++e) {
+///     loader.start_epoch();
+///     for (Sample batch; loader.next(batch);) consume(batch);
+///   }
+///
+/// The final batch of an epoch is smaller when batch_size does not
+/// divide the dataset (batch.x.extent(0) is the actual count). The
+/// loader borrows the dataset, which must outlive it. A loader is not
+/// itself thread-safe: one consumer thread drives start_epoch/next.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& data, DataLoaderConfig config);
+  ~DataLoader();
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  std::int64_t size() const noexcept { return n_; }
+  std::int64_t num_batches() const noexcept;
+  const DataLoaderConfig& config() const noexcept { return config_; }
+
+  /// Begins a new epoch: draws the epoch order (advancing the shuffle
+  /// stream when shuffling) and, with prefetch > 0, starts rendering
+  /// batches on the background thread. Abandoning an unfinished epoch
+  /// by calling start_epoch() again is safe.
+  void start_epoch();
+
+  /// Moves the next batch of the current epoch into `batch`; returns
+  /// false when the epoch is exhausted. Rethrows any exception the
+  /// background renderer hit. Requires a start_epoch() first.
+  bool next(Sample& batch);
+
+ private:
+  struct Prefetcher;
+
+  const Dataset* data_;
+  DataLoaderConfig config_;
+  Rng shuffle_rng_;
+  std::int64_t n_ = 0;
+  std::vector<std::int64_t> order_;
+  std::size_t cursor_ = 0;  ///< next sample offset (synchronous path)
+  bool epoch_active_ = false;
+  std::unique_ptr<Prefetcher> prefetcher_;
+};
+
+}  // namespace sne::nn

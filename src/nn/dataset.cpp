@@ -1,14 +1,160 @@
 #include "nn/dataset.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "nn/data_loader.h"
+#include "tensor/thread_pool.h"
 
 namespace sne::nn {
 
+namespace {
+
+void check_batch_range(const std::vector<std::int64_t>& indices,
+                       std::size_t first, std::size_t count) {
+  if (count == 0 || first + count > indices.size()) {
+    throw std::invalid_argument("get_batch: bad range");
+  }
+}
+
+// Allocates batch tensors whose leading axis is `count` and whose
+// remaining axes are the prototype sample's shapes.
+Sample allocate_batch(const Sample& proto, std::size_t count) {
+  Shape x_shape = proto.x.shape();
+  Shape y_shape = proto.y.shape();
+  x_shape.insert(x_shape.begin(), static_cast<std::int64_t>(count));
+  y_shape.insert(y_shape.begin(), static_cast<std::int64_t>(count));
+  return Sample{Tensor(std::move(x_shape)), Tensor(std::move(y_shape))};
+}
+
+std::string shape_string(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t a = 0; a < shape.size(); ++a) {
+    if (a) out += ", ";
+    out += std::to_string(shape[a]);
+  }
+  return out + "]";
+}
+
+// Full-shape ragged check: element counts alone would accept a
+// transposed sample (e.g. [65, 65, 2] in a [2, 65, 65] batch).
+void check_sample_shapes(const Sample& s, const Shape& x_shape,
+                         const Shape& y_shape) {
+  if (s.x.shape() != x_shape || s.y.shape() != y_shape) {
+    throw std::runtime_error("get_batch: ragged sample shapes (" +
+                             shape_string(s.x.shape()) + " vs batch row " +
+                             shape_string(x_shape) + ")");
+  }
+}
+
+void copy_into_row(Sample& batch, const Sample& s, std::size_t k) {
+  const std::int64_t x_stride = s.x.size();
+  const std::int64_t y_stride = s.y.size();
+  std::copy(s.x.data(), s.x.data() + x_stride,
+            batch.x.data() + static_cast<std::int64_t>(k) * x_stride);
+  std::copy(s.y.data(), s.y.data() + y_stride,
+            batch.y.data() + static_cast<std::int64_t>(k) * y_stride);
+}
+
+}  // namespace
+
+Sample Dataset::get_batch(const std::vector<std::int64_t>& indices,
+                          std::size_t first, std::size_t count) const {
+  check_batch_range(indices, first, count);
+  Sample proto = get(indices[first]);
+  const Shape x_shape = proto.x.shape();
+  const Shape y_shape = proto.y.shape();
+  Sample batch = allocate_batch(proto, count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const Sample s = k == 0 ? std::move(proto) : get(indices[first + k]);
+    check_sample_shapes(s, x_shape, y_shape);
+    copy_into_row(batch, s, k);
+  }
+  return batch;
+}
+
+Sample VectorDataset::get_batch(const std::vector<std::int64_t>& indices,
+                                std::size_t first, std::size_t count) const {
+  check_batch_range(indices, first, count);
+  const Sample& proto = samples_.at(
+      static_cast<std::size_t>(indices[first]));
+  const Shape& x_shape = proto.x.shape();
+  const Shape& y_shape = proto.y.shape();
+  Sample batch = allocate_batch(proto, count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const Sample& s = samples_.at(
+        static_cast<std::size_t>(indices[first + k]));
+    check_sample_shapes(s, x_shape, y_shape);
+    copy_into_row(batch, s, k);
+  }
+  return batch;
+}
+
+Sample LazyDataset::get_batch(const std::vector<std::int64_t>& indices,
+                              std::size_t first, std::size_t count) const {
+  if (mode_ != BatchMode::Parallel || count < 2) {
+    return Dataset::get_batch(indices, first, count);
+  }
+  check_batch_range(indices, first, count);
+  // Fan the generator across the pool (each sample is an independent,
+  // deterministic render), then stack serially in index order — batches
+  // are bitwise identical to the serial path for any thread count.
+  std::vector<Sample> rendered(count);
+  parallel_for(0, static_cast<std::int64_t>(count), [&](std::int64_t k) {
+    rendered[static_cast<std::size_t>(k)] =
+        generator_(indices[first + static_cast<std::size_t>(k)]);
+  });
+  const Shape& x_shape = rendered.front().x.shape();
+  const Shape& y_shape = rendered.front().y.shape();
+  Sample batch = allocate_batch(rendered.front(), count);
+  for (std::size_t k = 0; k < count; ++k) {
+    check_sample_shapes(rendered[k], x_shape, y_shape);
+    copy_into_row(batch, rendered[k], k);
+  }
+  return batch;
+}
+
+Sample SubsetDataset::get_batch(const std::vector<std::int64_t>& indices,
+                                std::size_t first, std::size_t count) const {
+  check_batch_range(indices, first, count);
+  std::vector<std::int64_t> remapped(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    remapped[k] = indices_.at(
+        static_cast<std::size_t>(indices[first + k]));
+  }
+  return base_->get_batch(remapped, 0, count);
+}
+
 VectorDataset materialize(const Dataset& dataset) {
+  const std::int64_t n = dataset.size();
   std::vector<Sample> samples;
-  samples.reserve(static_cast<std::size_t>(dataset.size()));
-  for (std::int64_t i = 0; i < dataset.size(); ++i) {
-    samples.push_back(dataset.get(i));
+  samples.reserve(static_cast<std::size_t>(n));
+  if (n == 0) return VectorDataset(std::move(samples));
+
+  // Chunks flow through a prefetching loader: datasets with a parallel
+  // get_batch synthesize chunk k+1 on the pool while chunk k is split
+  // into per-sample rows here.
+  DataLoaderConfig cfg;
+  cfg.batch_size = 64;
+  cfg.prefetch = 1;
+  cfg.shuffle = false;
+  DataLoader loader(dataset, cfg);
+  loader.start_epoch();
+  Sample chunk;
+  while (loader.next(chunk)) {
+    const std::int64_t count = chunk.x.extent(0);
+    Shape x_shape(chunk.x.shape().begin() + 1, chunk.x.shape().end());
+    Shape y_shape(chunk.y.shape().begin() + 1, chunk.y.shape().end());
+    const std::int64_t x_stride = chunk.x.size() / count;
+    const std::int64_t y_stride = chunk.y.size() / count;
+    for (std::int64_t k = 0; k < count; ++k) {
+      Sample s{Tensor(x_shape), Tensor(y_shape)};
+      std::copy(chunk.x.data() + k * x_stride,
+                chunk.x.data() + (k + 1) * x_stride, s.x.data());
+      std::copy(chunk.y.data() + k * y_stride,
+                chunk.y.data() + (k + 1) * y_stride, s.y.data());
+      samples.push_back(std::move(s));
+    }
   }
   return VectorDataset(std::move(samples));
 }
@@ -16,32 +162,7 @@ VectorDataset materialize(const Dataset& dataset) {
 Sample make_batch(const Dataset& dataset,
                   const std::vector<std::int64_t>& indices, std::size_t first,
                   std::size_t count) {
-  if (count == 0 || first + count > indices.size()) {
-    throw std::invalid_argument("make_batch: bad range");
-  }
-  Sample proto = dataset.get(indices[first]);
-
-  Shape x_shape = proto.x.shape();
-  Shape y_shape = proto.y.shape();
-  x_shape.insert(x_shape.begin(), static_cast<std::int64_t>(count));
-  y_shape.insert(y_shape.begin(), static_cast<std::int64_t>(count));
-
-  Sample batch{Tensor(std::move(x_shape)), Tensor(std::move(y_shape))};
-  const std::int64_t x_stride = proto.x.size();
-  const std::int64_t y_stride = proto.y.size();
-
-  for (std::size_t k = 0; k < count; ++k) {
-    const Sample s =
-        k == 0 ? std::move(proto) : dataset.get(indices[first + k]);
-    if (s.x.size() != x_stride || s.y.size() != y_stride) {
-      throw std::runtime_error("make_batch: ragged sample shapes");
-    }
-    std::copy(s.x.data(), s.x.data() + x_stride,
-              batch.x.data() + static_cast<std::int64_t>(k) * x_stride);
-    std::copy(s.y.data(), s.y.data() + y_stride,
-              batch.y.data() + static_cast<std::int64_t>(k) * y_stride);
-  }
-  return batch;
+  return dataset.get_batch(indices, first, count);
 }
 
 SplitIndices split_indices(std::int64_t n, double train_fraction,

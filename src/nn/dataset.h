@@ -2,6 +2,13 @@
 // index-addressable and stateless so that the simulator can render samples
 // lazily (images are regenerated on demand from compact parameters instead
 // of being held in memory).
+//
+// Batching is a first-class dataset operation: get_batch(indices, first,
+// count) stacks a run of samples into batch tensors, and datasets whose
+// per-sample work is thread-safe (the simulator factories) override it to
+// fan sample synthesis across the shared sne::ThreadPool. Batches are
+// bitwise identical for any thread count because get(i) is deterministic
+// in i and stacking always happens in index order.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +26,25 @@ struct Sample {
   Tensor y;
 };
 
+/// Whether a dataset's get_batch may evaluate samples concurrently on the
+/// shared thread pool. Parallel requires the per-sample path to be
+/// thread-safe (no mutable shared state between get(i) calls).
+enum class BatchMode { Serial, Parallel };
+
 /// Index-addressable dataset. get(i) must be deterministic in i.
 class Dataset {
  public:
   virtual ~Dataset() = default;
   virtual std::int64_t size() const = 0;
   virtual Sample get(std::int64_t index) const = 0;
+
+  /// Stacks samples dataset[indices[first..first+count)] into batch
+  /// tensors: x gains a leading batch axis, y likewise. The default
+  /// evaluates get() serially in index order; overrides may synthesize
+  /// samples concurrently but must return bitwise-identical batches.
+  /// Throws if any sample's x or y shape differs from the first one's.
+  virtual Sample get_batch(const std::vector<std::int64_t>& indices,
+                           std::size_t first, std::size_t count) const;
 };
 
 /// In-memory dataset over pre-materialized samples.
@@ -39,23 +59,35 @@ class VectorDataset final : public Dataset {
   Sample get(std::int64_t index) const override {
     return samples_.at(static_cast<std::size_t>(index));
   }
+  /// Stacks straight from the stored samples (no per-sample Tensor copy
+  /// through get()).
+  Sample get_batch(const std::vector<std::int64_t>& indices,
+                   std::size_t first, std::size_t count) const override;
 
  private:
   std::vector<Sample> samples_;
 };
 
-/// Dataset computed on the fly from a generator function.
+/// Dataset computed on the fly from a generator function. Constructed
+/// with BatchMode::Parallel, get_batch fans generator calls across the
+/// shared thread pool — the mode every simulator-backed factory uses,
+/// since their generators only touch the stateless lazy renderers.
 class LazyDataset final : public Dataset {
  public:
-  LazyDataset(std::int64_t n, std::function<Sample(std::int64_t)> generator)
-      : n_(n), generator_(std::move(generator)) {}
+  LazyDataset(std::int64_t n, std::function<Sample(std::int64_t)> generator,
+              BatchMode mode = BatchMode::Serial)
+      : n_(n), generator_(std::move(generator)), mode_(mode) {}
 
   std::int64_t size() const override { return n_; }
   Sample get(std::int64_t index) const override { return generator_(index); }
+  Sample get_batch(const std::vector<std::int64_t>& indices,
+                   std::size_t first, std::size_t count) const override;
+  BatchMode batch_mode() const noexcept { return mode_; }
 
  private:
   std::int64_t n_;
   std::function<Sample(std::int64_t)> generator_;
+  BatchMode mode_ = BatchMode::Serial;
 };
 
 /// View of a subset of another dataset (used for train/val/test splits).
@@ -70,6 +102,10 @@ class SubsetDataset final : public Dataset {
   Sample get(std::int64_t index) const override {
     return base_->get(indices_.at(static_cast<std::size_t>(index)));
   }
+  /// Remaps the index run and delegates to the base dataset, so a subset
+  /// of a batch-parallel dataset stays batch-parallel.
+  Sample get_batch(const std::vector<std::int64_t>& indices,
+                   std::size_t first, std::size_t count) const override;
 
  private:
   const Dataset* base_;
@@ -77,13 +113,14 @@ class SubsetDataset final : public Dataset {
 };
 
 /// Evaluates every sample of a dataset once and stores the results in
-/// memory. Worth it for small-footprint samples (feature vectors, flux
-/// sequences) that are consumed over many epochs; image datasets should
-/// stay lazy.
+/// memory. Batches flow through a prefetching DataLoader, so datasets
+/// with a parallel get_batch materialize on the shared pool while the
+/// stored copies are written. Worth it for small-footprint samples
+/// (feature vectors, flux sequences) that are consumed over many epochs;
+/// image datasets should stay lazy.
 VectorDataset materialize(const Dataset& dataset);
 
-/// Stacks samples dataset[indices[first..first+count)] into batch tensors:
-/// x gains a leading batch axis, y likewise.
+/// Backwards-compatible wrapper over Dataset::get_batch.
 Sample make_batch(const Dataset& dataset,
                   const std::vector<std::int64_t>& indices, std::size_t first,
                   std::size_t count);

@@ -8,6 +8,21 @@
 
 namespace sne::nn {
 
+namespace {
+
+// Loader over a dataset read start-to-end in index order (evaluation,
+// prediction): no shuffle, one batch of prefetch so rendering overlaps
+// scoring.
+DataLoaderConfig sequential_loader_config(std::int64_t batch_size) {
+  DataLoaderConfig cfg;
+  cfg.batch_size = batch_size;
+  cfg.prefetch = 1;
+  cfg.shuffle = false;
+  return cfg;
+}
+
+}  // namespace
+
 Trainer::Trainer(Module& model, Optimizer& optimizer, LossFn loss,
                  MetricFn metric)
     : model_(model),
@@ -37,38 +52,26 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
     throw std::invalid_argument("fit: epochs and batch_size must be positive");
   }
 
-  Rng shuffle_rng(config.shuffle_seed);
-  std::vector<std::int64_t> order(static_cast<std::size_t>(train.size()));
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<std::int64_t>(i);
-  }
+  DataLoaderConfig loader_cfg;
+  loader_cfg.batch_size = config.batch_size;
+  loader_cfg.prefetch = config.prefetch;
+  loader_cfg.shuffle = true;
+  loader_cfg.shuffle_seed = config.shuffle_seed;
+  DataLoader loader(train, loader_cfg);
 
   std::vector<EpochStats> history;
   history.reserve(static_cast<std::size_t>(config.epochs));
 
   for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
-    {
-      std::vector<std::size_t> perm(order.size());
-      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-      shuffle_rng.shuffle(perm);
-      std::vector<std::int64_t> shuffled(order.size());
-      for (std::size_t i = 0; i < perm.size(); ++i) {
-        shuffled[i] = static_cast<std::int64_t>(perm[i]);
-      }
-      order = std::move(shuffled);
-    }
-
     model_.set_training(true);
     double loss_sum = 0.0;
     double metric_sum = 0.0;
     std::int64_t seen = 0;
 
-    for (std::size_t first = 0; first < order.size();
-         first += static_cast<std::size_t>(config.batch_size)) {
-      const std::size_t count = std::min(
-          static_cast<std::size_t>(config.batch_size), order.size() - first);
-      const Sample batch = make_batch(train, order, first, count);
-
+    loader.start_epoch();
+    Sample batch;
+    while (loader.next(batch)) {
+      const std::int64_t count = batch.x.extent(0);
       Tensor prediction;
       const float batch_loss = train_batch(
           batch, config.grad_clip, metric_ ? &prediction : nullptr);
@@ -78,7 +81,7 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
         metric_sum += static_cast<double>(metric_(prediction, batch.y)) *
                       static_cast<double>(count);
       }
-      seen += static_cast<std::int64_t>(count);
+      seen += count;
     }
 
     EpochStats stats;
@@ -115,20 +118,15 @@ EvalStats Trainer::evaluate(const Dataset& data, std::int64_t batch_size) {
   const bool was_training = model_.is_training();
   model_.set_training(false);
 
-  std::vector<std::int64_t> order(static_cast<std::size_t>(data.size()));
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<std::int64_t>(i);
-  }
-
   double loss_sum = 0.0;
   double metric_sum = 0.0;
   std::int64_t seen = 0;
   Tensor prediction;  // reused across batches by the cache-free path
-  for (std::size_t first = 0; first < order.size();
-       first += static_cast<std::size_t>(batch_size)) {
-    const std::size_t count =
-        std::min(static_cast<std::size_t>(batch_size), order.size() - first);
-    const Sample batch = make_batch(data, order, first, count);
+  DataLoader loader(data, sequential_loader_config(batch_size));
+  loader.start_epoch();
+  Sample batch;
+  while (loader.next(batch)) {
+    const std::int64_t count = batch.x.extent(0);
     model_.infer_into(batch.x, prediction);
     const LossResult loss = loss_(prediction, batch.y);
     loss_sum += static_cast<double>(loss.value) * static_cast<double>(count);
@@ -136,7 +134,7 @@ EvalStats Trainer::evaluate(const Dataset& data, std::int64_t batch_size) {
       metric_sum += static_cast<double>(metric_(prediction, batch.y)) *
                     static_cast<double>(count);
     }
-    seen += static_cast<std::int64_t>(count);
+    seen += count;
   }
   model_.set_training(was_training);
 
@@ -152,20 +150,15 @@ Tensor Trainer::predict(const Dataset& data, std::int64_t batch_size) {
   const bool was_training = model_.is_training();
   model_.set_training(false);
 
-  std::vector<std::int64_t> order(static_cast<std::size_t>(data.size()));
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<std::int64_t>(i);
-  }
-
   Tensor out;
   std::int64_t row_size = 0;
   std::int64_t written = 0;
   Tensor prediction;  // reused across batches by the cache-free path
-  for (std::size_t first = 0; first < order.size();
-       first += static_cast<std::size_t>(batch_size)) {
-    const std::size_t count =
-        std::min(static_cast<std::size_t>(batch_size), order.size() - first);
-    const Sample batch = make_batch(data, order, first, count);
+  DataLoader loader(data, sequential_loader_config(batch_size));
+  loader.start_epoch();
+  Sample batch;
+  while (loader.next(batch)) {
+    const std::int64_t count = batch.x.extent(0);
     model_.infer_into(batch.x, prediction);
     if (out.empty()) {
       row_size = prediction.size() / prediction.extent(0);
@@ -175,7 +168,7 @@ Tensor Trainer::predict(const Dataset& data, std::int64_t batch_size) {
     }
     std::copy(prediction.data(), prediction.data() + prediction.size(),
               out.data() + written * row_size);
-    written += static_cast<std::int64_t>(count);
+    written += count;
   }
   model_.set_training(was_training);
   return out;

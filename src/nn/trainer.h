@@ -2,7 +2,11 @@
 // the light-curve classifier, the joint model and the GRU baseline. The
 // loop is deliberately plain: shuffle, batch, forward, loss, backward,
 // clip, step — with per-epoch train/validation statistics collected for
-// the convergence figures (Fig. 12).
+// the convergence figures (Fig. 12). Batches are delivered by a
+// DataLoader, so sample synthesis overlaps with the forward/backward
+// pass (and fans across the pool for batch-parallel datasets) without
+// changing any statistic: results are bitwise identical for any
+// prefetch depth or thread count.
 #pragma once
 
 #include <functional>
@@ -10,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/data_loader.h"
 #include "nn/dataset.h"
 #include "nn/loss.h"
 #include "nn/module.h"
@@ -29,6 +34,10 @@ struct TrainConfig {
   float grad_clip = 0.0f;   ///< 0 disables clipping
   float lr_decay = 1.0f;    ///< learning rate ×= lr_decay after each epoch
   std::uint64_t shuffle_seed = 1;
+  /// DataLoader prefetch depth: batches rendered ahead of the training
+  /// step on a background thread (0 = synchronous). Purely a throughput
+  /// knob — statistics are bitwise identical at any depth.
+  std::int64_t prefetch = 1;
   bool verbose = false;     ///< print one line per epoch to stdout
 };
 
@@ -56,6 +65,8 @@ class Trainer {
 
   /// Runs config.epochs passes over `train`; when `val` is non-null the
   /// model is evaluated on it (in inference mode) after every epoch.
+  /// Batches come from a shuffling DataLoader (seeded by
+  /// config.shuffle_seed, prefetching config.prefetch batches ahead).
   std::vector<EpochStats> fit(const Dataset& train, const Dataset* val,
                               const TrainConfig& config);
 
@@ -69,12 +80,13 @@ class Trainer {
 
   /// Mean loss/metric over a dataset in inference mode, computed through
   /// the cache-free Module::infer_into path (no activation caches are
-  /// written). Restores training mode afterwards if it was set.
+  /// written). Batches are prefetched one ahead of the scoring step.
+  /// Restores training mode afterwards if it was set.
   EvalStats evaluate(const Dataset& data, std::int64_t batch_size = 64);
 
   /// Model predictions over a dataset in inference mode, one row per
   /// sample, concatenated along axis 0. Uses the cache-free
-  /// Module::infer_into path.
+  /// Module::infer_into path with one batch of prefetch.
   Tensor predict(const Dataset& data, std::int64_t batch_size = 64);
 
  private:

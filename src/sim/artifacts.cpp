@@ -148,7 +148,10 @@ nn::LazyDataset make_real_bogus_dataset(const SnDataset& data,
     s.y = Tensor({1}, real ? 1.0f : 0.0f);
     return s;
   };
-  return nn::LazyDataset(2 * pairs, std::move(generator));
+  // Batch-parallel: difference rendering is stateless and the artifact
+  // RNG is derived per index, so batches fan across the shared pool.
+  return nn::LazyDataset(2 * pairs, std::move(generator),
+                         nn::BatchMode::Parallel);
 }
 
 }  // namespace sne::sim

@@ -1,0 +1,357 @@
+// data_loader_test.cpp — the batch-native data path: Dataset::get_batch
+// (serial default, parallel overrides, full-shape ragged check) and the
+// prefetching DataLoader. The core guarantee under test: training
+// statistics and predictions are bitwise identical to the pre-refactor
+// serial loop for every prefetch depth × thread count combination.
+// Carries the `threaded` ctest label so the tsan/asan presets exercise
+// the background prefetch thread and the pool-parallel batch synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/band_cnn.h"
+#include "core/pipeline.h"
+#include "nn/nn.h"
+#include "sim/dataset_builder.h"
+#include "tensor/thread_pool.h"
+
+namespace sne {
+namespace {
+
+// Restores a 1-wide pool when a test exits, however it exits.
+struct PoolWidthGuard {
+  ~PoolWidthGuard() { set_num_threads(1); }
+};
+
+bool same_bits(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+bool same_bytes(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// x = [index, 2·index], y = [index] — recognizable per-row content.
+nn::LazyDataset make_indexed_dataset(std::int64_t n,
+                                     nn::BatchMode mode = nn::BatchMode::Serial) {
+  return nn::LazyDataset(
+      n,
+      [](std::int64_t i) {
+        const auto v = static_cast<float>(i);
+        return nn::Sample{Tensor({2}, {v, 2.0f * v}), Tensor({1}, v)};
+      },
+      mode);
+}
+
+TEST(DataLoader, CoversEpochInOrderWithPartialFinalBatch) {
+  const nn::LazyDataset data = make_indexed_dataset(10);
+  nn::DataLoaderConfig cfg;
+  cfg.batch_size = 4;
+  cfg.prefetch = 0;
+  nn::DataLoader loader(data, cfg);
+  EXPECT_EQ(loader.size(), 10);
+  EXPECT_EQ(loader.num_batches(), 3);
+
+  loader.start_epoch();
+  nn::Sample batch;
+  std::vector<float> seen;
+  std::vector<std::int64_t> batch_counts;
+  while (loader.next(batch)) {
+    batch_counts.push_back(batch.x.extent(0));
+    for (std::int64_t k = 0; k < batch.y.size(); ++k) {
+      seen.push_back(batch.y[k]);
+    }
+  }
+  EXPECT_EQ(batch_counts, (std::vector<std::int64_t>{4, 4, 2}));
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_FLOAT_EQ(seen[i], static_cast<float>(i));
+  }
+  // A fresh epoch without shuffle replays the same order.
+  loader.start_epoch();
+  ASSERT_TRUE(loader.next(batch));
+  EXPECT_FLOAT_EQ(batch.y[0], 0.0f);
+}
+
+TEST(DataLoader, PrefetchedBatchesIdenticalToSynchronous) {
+  PoolWidthGuard guard;
+  set_num_threads(4);
+  const nn::LazyDataset data =
+      make_indexed_dataset(23, nn::BatchMode::Parallel);
+  for (const std::int64_t depth : {1, 4}) {
+    nn::DataLoaderConfig sync_cfg;
+    sync_cfg.batch_size = 5;
+    sync_cfg.prefetch = 0;
+    sync_cfg.shuffle = true;
+    sync_cfg.shuffle_seed = 99;
+    nn::DataLoaderConfig pre_cfg = sync_cfg;
+    pre_cfg.prefetch = depth;
+
+    nn::DataLoader sync_loader(data, sync_cfg);
+    nn::DataLoader pre_loader(data, pre_cfg);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      sync_loader.start_epoch();
+      pre_loader.start_epoch();
+      nn::Sample a, b;
+      for (;;) {
+        const bool more_a = sync_loader.next(a);
+        const bool more_b = pre_loader.next(b);
+        ASSERT_EQ(more_a, more_b) << "depth " << depth << " epoch " << epoch;
+        if (!more_a) break;
+        EXPECT_TRUE(same_bytes(a.x, b.x));
+        EXPECT_TRUE(same_bytes(a.y, b.y));
+      }
+    }
+  }
+}
+
+TEST(DataLoader, AbandonedEpochRestartsCleanly) {
+  const nn::LazyDataset data = make_indexed_dataset(16);
+  nn::DataLoaderConfig cfg;
+  cfg.batch_size = 4;
+  cfg.prefetch = 2;
+  nn::DataLoader loader(data, cfg);
+  loader.start_epoch();
+  nn::Sample batch;
+  ASSERT_TRUE(loader.next(batch));  // leave the epoch unfinished
+  loader.start_epoch();
+  std::int64_t count = 0;
+  while (loader.next(batch)) count += batch.x.extent(0);
+  EXPECT_EQ(count, 16);
+}
+
+TEST(DataLoader, NextWithoutStartEpochThrows) {
+  const nn::LazyDataset data = make_indexed_dataset(4);
+  nn::DataLoader loader(data, {});
+  nn::Sample batch;
+  EXPECT_THROW(loader.next(batch), std::logic_error);
+}
+
+TEST(DataLoader, PropagatesRendererExceptions) {
+  const nn::LazyDataset data(8, [](std::int64_t i) {
+    if (i == 5) throw std::runtime_error("render failed");
+    return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
+  });
+  for (const std::int64_t depth : {0, 2}) {
+    nn::DataLoaderConfig cfg;
+    cfg.batch_size = 4;
+    cfg.prefetch = depth;
+    nn::DataLoader loader(data, cfg);
+    loader.start_epoch();
+    nn::Sample batch;
+    EXPECT_THROW(
+        {
+          while (loader.next(batch)) {
+          }
+        },
+        std::runtime_error)
+        << "prefetch depth " << depth;
+  }
+}
+
+TEST(Dataset, GetBatchRejectsTransposedSampleShapes) {
+  // Same element count, different shape — the element-count check the
+  // seed make_batch used would wave this through.
+  std::vector<nn::Sample> samples;
+  samples.push_back({Tensor({2, 3}), Tensor({1})});
+  samples.push_back({Tensor({3, 2}), Tensor({1})});
+  const nn::VectorDataset vec(std::move(samples));
+  EXPECT_THROW(vec.get_batch({0, 1}, 0, 2), std::runtime_error);
+
+  const nn::LazyDataset lazy(
+      2,
+      [](std::int64_t i) {
+        return nn::Sample{i == 0 ? Tensor({2, 3}) : Tensor({3, 2}),
+                          Tensor({1})};
+      },
+      nn::BatchMode::Parallel);
+  EXPECT_THROW(lazy.get_batch({0, 1}, 0, 2), std::runtime_error);
+}
+
+TEST(Dataset, ParallelGetBatchMatchesSerial) {
+  PoolWidthGuard guard;
+  const nn::LazyDataset serial = make_indexed_dataset(12);
+  const nn::LazyDataset parallel =
+      make_indexed_dataset(12, nn::BatchMode::Parallel);
+  const std::vector<std::int64_t> indices = {7, 2, 11, 0, 5, 9, 3};
+  set_num_threads(4);
+  const nn::Sample threaded = parallel.get_batch(indices, 1, 5);
+  set_num_threads(1);
+  const nn::Sample reference = serial.get_batch(indices, 1, 5);
+  EXPECT_TRUE(same_bytes(reference.x, threaded.x));
+  EXPECT_TRUE(same_bytes(reference.y, threaded.y));
+}
+
+TEST(Dataset, SubsetDelegatesBatchToBase) {
+  const nn::LazyDataset base = make_indexed_dataset(20, nn::BatchMode::Parallel);
+  const nn::SubsetDataset subset(base, {19, 3, 8, 14, 1});
+  const nn::Sample batch = subset.get_batch({0, 1, 2, 3, 4}, 1, 3);
+  ASSERT_EQ(batch.x.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(batch.y[0], 3.0f);
+  EXPECT_FLOAT_EQ(batch.y[1], 8.0f);
+  EXPECT_FLOAT_EQ(batch.y[2], 14.0f);
+}
+
+TEST(Dataset, MaterializeUsesChunkedLoader) {
+  PoolWidthGuard guard;
+  set_num_threads(4);
+  // More samples than one loader chunk (64) to cross a chunk boundary.
+  const nn::LazyDataset lazy = make_indexed_dataset(130, nn::BatchMode::Parallel);
+  const nn::VectorDataset dense = nn::materialize(lazy);
+  ASSERT_EQ(dense.size(), 130);
+  for (std::int64_t i = 0; i < dense.size(); ++i) {
+    const nn::Sample s = dense.get(i);
+    ASSERT_EQ(s.x.shape(), (Shape{2}));
+    EXPECT_FLOAT_EQ(s.x[0], static_cast<float>(i));
+    EXPECT_FLOAT_EQ(s.x[1], 2.0f * static_cast<float>(i));
+    EXPECT_FLOAT_EQ(s.y[0], static_cast<float>(i));
+  }
+}
+
+// ---- bitwise parity with the pre-refactor serial training loop ----
+
+// The seed Trainer::fit, inlined: identity order reshuffled per epoch
+// with one persistent Rng, batches assembled one get() at a time on the
+// training thread, every batch through Trainer::train_batch.
+std::vector<nn::EpochStats> reference_fit(nn::Trainer& trainer,
+                                          const nn::Dataset& train,
+                                          const nn::TrainConfig& config) {
+  Rng shuffle_rng(config.shuffle_seed);
+  std::vector<nn::EpochStats> history;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<std::size_t> order(static_cast<std::size_t>(train.size()));
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    shuffle_rng.shuffle(order);
+
+    double loss_sum = 0.0;
+    std::int64_t seen = 0;
+    for (std::size_t first = 0; first < order.size();
+         first += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t count = std::min(
+          static_cast<std::size_t>(config.batch_size), order.size() - first);
+      // Serial stacking, exactly as the seed make_batch did it.
+      nn::Sample proto = train.get(static_cast<std::int64_t>(order[first]));
+      Shape x_shape = proto.x.shape();
+      Shape y_shape = proto.y.shape();
+      x_shape.insert(x_shape.begin(), static_cast<std::int64_t>(count));
+      y_shape.insert(y_shape.begin(), static_cast<std::int64_t>(count));
+      nn::Sample batch{Tensor(std::move(x_shape)), Tensor(std::move(y_shape))};
+      const std::int64_t x_stride = proto.x.size();
+      const std::int64_t y_stride = proto.y.size();
+      for (std::size_t k = 0; k < count; ++k) {
+        const nn::Sample s =
+            k == 0 ? std::move(proto)
+                   : train.get(static_cast<std::int64_t>(order[first + k]));
+        std::copy(s.x.data(), s.x.data() + x_stride,
+                  batch.x.data() + static_cast<std::int64_t>(k) * x_stride);
+        std::copy(s.y.data(), s.y.data() + y_stride,
+                  batch.y.data() + static_cast<std::int64_t>(k) * y_stride);
+      }
+      const float batch_loss = trainer.train_batch(batch, config.grad_clip);
+      loss_sum += static_cast<double>(batch_loss) * static_cast<double>(count);
+      seen += static_cast<std::int64_t>(count);
+    }
+    nn::EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = static_cast<float>(loss_sum / seen);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+struct FluxFixture {
+  sim::SnDataset data;
+  std::vector<core::FluxPairItem> items;
+
+  FluxFixture() : data(build_data()) {
+    items = core::enumerate_flux_pairs(data, {0, 1, 2, 3, 4, 5, 6, 7}, 27.5);
+    if (items.size() > 20) items.resize(20);
+  }
+
+  static sim::SnDataset build_data() {
+    sim::SnDataset::Config cfg;
+    cfg.num_samples = 8;
+    cfg.catalog.count = 50;
+    return sim::SnDataset::build(cfg);
+  }
+
+  nn::LazyDataset pairs() const {
+    return core::make_flux_pair_dataset(data, items, 36);
+  }
+};
+
+struct TrainOutcome {
+  std::vector<nn::EpochStats> history;
+  std::vector<float> params;
+  Tensor predictions;
+};
+
+// Trains a freshly seeded flux CNN on the fixture's pairs. use_loader
+// selects Trainer::fit (DataLoader path) vs the inlined seed loop.
+TrainOutcome run_training(const FluxFixture& fx, bool use_loader,
+                          std::int64_t prefetch, int threads) {
+  set_num_threads(threads);
+  core::BandCnnConfig cfg;
+  cfg.input_size = 36;
+  Rng model_rng(21);
+  core::BandCnn cnn(cfg, model_rng);
+  nn::Adam opt(cnn.params(), 1e-3f);
+  nn::Trainer trainer(cnn, opt, nn::mse_loss);
+
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  tc.grad_clip = 5.0f;
+  tc.shuffle_seed = 31;
+  tc.prefetch = prefetch;
+
+  const nn::LazyDataset pairs = fx.pairs();
+  TrainOutcome out;
+  out.history = use_loader ? trainer.fit(pairs, nullptr, tc)
+                           : reference_fit(trainer, pairs, tc);
+  for (nn::Param* p : cnn.params()) {
+    for (std::int64_t i = 0; i < p->value.size(); ++i) {
+      out.params.push_back(p->value[i]);
+    }
+  }
+  out.predictions = trainer.predict(pairs, 8);
+  set_num_threads(1);
+  return out;
+}
+
+TEST(DataLoaderDeterminism, FitBitwiseIdenticalAcrossPrefetchAndThreads) {
+  PoolWidthGuard guard;
+  const FluxFixture fx;
+  const TrainOutcome seed = run_training(fx, /*use_loader=*/false, 0, 1);
+
+  for (const std::int64_t prefetch : {std::int64_t{0}, std::int64_t{1},
+                                      std::int64_t{4}}) {
+    for (const int threads : {1, 4}) {
+      const TrainOutcome loader =
+          run_training(fx, /*use_loader=*/true, prefetch, threads);
+      ASSERT_EQ(loader.history.size(), seed.history.size());
+      for (std::size_t e = 0; e < seed.history.size(); ++e) {
+        EXPECT_TRUE(same_bits(loader.history[e].train_loss,
+                              seed.history[e].train_loss))
+            << "prefetch " << prefetch << " threads " << threads
+            << " epoch " << e;
+      }
+      ASSERT_EQ(loader.params.size(), seed.params.size());
+      for (std::size_t i = 0; i < seed.params.size(); ++i) {
+        ASSERT_TRUE(same_bits(loader.params[i], seed.params[i]))
+            << "prefetch " << prefetch << " threads " << threads
+            << " param element " << i;
+      }
+      EXPECT_TRUE(same_bytes(loader.predictions, seed.predictions))
+          << "prefetch " << prefetch << " threads " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sne
