@@ -12,6 +12,7 @@
 #include "eval/roc.h"
 #include "infer/session.h"
 #include "nn/nn.h"
+#include "obs/obs.h"
 #include "sim/dataset_builder.h"
 #include "sim/difference.h"
 #include "sim/image_ops.h"
@@ -310,6 +311,57 @@ BENCHMARK_REGISTER_F(DatasetFixture, FluxCnnEpoch)
     ->Args({0, 4})
     ->Args({1, 1})
     ->Args({1, 4});
+
+// Instrumentation overhead: the same flux-CNN epoch with obs tracing
+// disabled (argument 0 — every span is a single relaxed atomic load) and
+// enabled (argument 1 — spans are recorded into per-thread buffers).
+// The /0 and /1 rows should agree to within ~1%; the gap IS the cost of
+// shipping the telemetry layer always-on.
+BENCHMARK_DEFINE_F(DatasetFixture, FluxCnnEpochObsOverhead)
+(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  std::vector<std::int64_t> samples(32);
+  for (std::int64_t k = 0; k < 32; ++k) samples[k] = k;
+  auto items = core::enumerate_flux_pairs(*data, samples, 27.5);
+  if (items.size() > 64) items.resize(64);
+  const nn::LazyDataset pairs =
+      core::make_flux_pair_dataset(*data, items, kServeStamp);
+
+  Rng rng(8);
+  core::BandCnnConfig cfg;
+  cfg.input_size = kServeStamp;
+  core::BandCnn cnn(cfg, rng);
+  nn::Adam opt(cnn.params(), 1e-3f);
+  nn::Trainer trainer(cnn, opt, nn::mse_loss);
+  nn::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 16;
+  tc.shuffle_seed = 9;
+  tc.prefetch = 1;
+
+  if (traced) obs::enable();
+  for (auto _ : state) {
+    auto history = trainer.fit(pairs, nullptr, tc);
+    benchmark::DoNotOptimize(history.data());
+    // Keep the span buffers from growing across iterations so the traced
+    // row measures recording cost, not reallocation of an ever-larger log.
+    if (traced) {
+      state.PauseTiming();
+      obs::reset();
+      obs::enable();
+      state.ResumeTiming();
+    }
+  }
+  if (traced) {
+    obs::disable();
+    obs::reset();
+  }
+  state.SetItemsProcessed(state.iterations() * pairs.size());
+}
+BENCHMARK_REGISTER_F(DatasetFixture, FluxCnnEpochObsOverhead)
+    ->UseRealTime()
+    ->Arg(0)
+    ->Arg(1);
 
 BENCHMARK_F(DatasetFixture, MeasuredLightCurve)(benchmark::State& state) {
   std::int64_t i = 0;

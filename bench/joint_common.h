@@ -20,7 +20,9 @@ struct JointBenchConfig {
   std::int64_t epoch_subset = 0;  ///< which single-epoch subset feeds it
   /// DataLoader prefetch depth for every training stage (0 disables the
   /// render/train overlap; statistics are identical at any depth).
-  std::int64_t prefetch = 1;
+  /// Negative (the default) defers to RuntimeConfig::current().prefetch,
+  /// which already honours SNE_PREFETCH — no per-bench env hook needed.
+  std::int64_t prefetch = -1;
   std::uint64_t seed = 600;
 };
 
@@ -31,7 +33,6 @@ inline JointBenchConfig joint_config_from_env() {
   cfg.pretrain_epochs = eval::env_int64("PRETRAIN_EPOCHS",
                                         cfg.pretrain_epochs);
   cfg.joint_epochs = eval::env_int64("EPOCHS", cfg.joint_epochs);
-  cfg.prefetch = eval::env_int64("PREFETCH", cfg.prefetch);
   return cfg;
 }
 

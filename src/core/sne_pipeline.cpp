@@ -6,11 +6,20 @@
 
 #include "core/inference.h"
 #include "nn/model_io.h"
+#include "obs/obs.h"
 #include "sim/image_ops.h"
 
 namespace sne::core {
 
 namespace {
+
+// Adapts the pipeline's stage-tagged progress sink to one stage's
+// per-epoch callback.
+nn::EpochSink stage_sink(const SnePipelineConfig& config, const char* stage) {
+  if (!config.progress) return nullptr;
+  auto sink = config.progress;
+  return [sink, stage](const nn::EpochStats& stats) { sink(stage, stats); };
+}
 
 // The config fields that determine the architecture are serialized as a
 // tensor so the save file is self-describing.
@@ -45,12 +54,15 @@ SnePipelineReport SnePipeline::train(
     throw std::invalid_argument("SnePipeline::train: no training samples");
   }
   SnePipelineReport report;
+  obs::Span train_span("pipeline.train",
+                       static_cast<std::int64_t>(train_samples.size()));
 
   // Stage 1 — pre-train the band-wise flux CNN on image pairs.
   Rng rng_cnn(config_.seed + 1);
   BandCnnConfig cnn_cfg = joint_->config().cnn;
   BandCnn cnn(cnn_cfg, rng_cnn);
   {
+    obs::Span span("pipeline.flux_pretrain");
     auto items =
         enumerate_flux_pairs(data, train_samples, config_.flux_max_mag);
     if (static_cast<std::int64_t>(items.size()) > config_.flux_pairs) {
@@ -65,6 +77,7 @@ SnePipelineReport SnePipeline::train(
     tc.batch_size = 16;
     tc.shuffle_seed = config_.seed + 2;
     tc.prefetch = config_.prefetch;
+    tc.on_epoch = stage_sink(config_, "flux");
     report.flux_history = trainer.fit(pairs, nullptr, tc);
     // Photometric zero-point calibration (see calibrate_flux_zero_point).
     calibrate_flux_zero_point(cnn, pairs);
@@ -76,6 +89,7 @@ SnePipelineReport SnePipeline::train(
   LcClassifierConfig clf_cfg = joint_->config().classifier;
   LcClassifier clf(clf_cfg, rng_clf);
   {
+    obs::Span span("pipeline.classifier_pretrain");
     FeatureConfig features;
     features.epochs = 1;
     features.noisy = true;  // match the measurement error of CNN estimates
@@ -97,6 +111,7 @@ SnePipelineReport SnePipeline::train(
     tc.batch_size = 64;
     tc.shuffle_seed = config_.seed + 4;
     tc.prefetch = config_.prefetch;
+    tc.on_epoch = stage_sink(config_, "classifier");
     report.classifier_history =
         trainer.fit(train, val ? &*val : nullptr, tc);
   }
@@ -104,6 +119,7 @@ SnePipelineReport SnePipeline::train(
   // Stage 3 — transplant and fine-tune jointly on images.
   init_joint_from_pretrained(*joint_, cnn, clf);
   if (config_.joint_epochs > 0) {
+    obs::Span span("pipeline.joint_finetune");
     const nn::LazyDataset train = make_joint_dataset(
         data, train_samples, config_.epoch_subset, config_.stamp_size, {});
     std::optional<nn::LazyDataset> val;
@@ -120,6 +136,7 @@ SnePipelineReport SnePipeline::train(
     tc.grad_clip = 5.0f;
     tc.shuffle_seed = config_.seed + 5;
     tc.prefetch = config_.prefetch;
+    tc.on_epoch = stage_sink(config_, "joint");
     report.joint_history = trainer.fit(train, val ? &*val : nullptr, tc);
   }
 

@@ -6,6 +6,7 @@
 // it single-epoch image sets for scoring forever after.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,8 +35,16 @@ struct SnePipelineConfig {
   /// DataLoader prefetch depth used by every training stage: stamps for
   /// batch k+1 render on background workers while batch k trains.
   /// Statistics are bitwise identical at any depth; 0 disables overlap.
-  std::int64_t prefetch = 1;
+  /// Negative (the default) defers to sne::RuntimeConfig::current()
+  /// .prefetch — this field survives only as a deprecated per-pipeline
+  /// override.
+  std::int64_t prefetch = -1;
   std::uint64_t seed = 1;
+  /// Stage progress sink: called after every epoch of every training
+  /// stage with the stage name ("flux" / "classifier" / "joint") and
+  /// that epoch's statistics. Null (default) = silent; the library never
+  /// writes to stdout itself.
+  std::function<void(const char* stage, const nn::EpochStats&)> progress;
 };
 
 /// Per-stage training diagnostics returned by train().

@@ -1,25 +1,15 @@
 #include "eval/experiment.h"
 
 #include <cstdio>
-#include <cstdlib>
 
 namespace sne::eval {
 
 std::int64_t env_int64(const std::string& name, std::int64_t fallback) {
-  const char* raw = std::getenv(("SNE_" + name).c_str());
-  if (raw == nullptr) return fallback;
-  char* end = nullptr;
-  const long long v = std::strtoll(raw, &end, 10);
-  return (end == raw || *end != '\0') ? fallback
-                                      : static_cast<std::int64_t>(v);
+  return env::int64(name, fallback);
 }
 
 double env_double(const std::string& name, double fallback) {
-  const char* raw = std::getenv(("SNE_" + name).c_str());
-  if (raw == nullptr) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
-  return (end == raw || *end != '\0') ? fallback : v;
+  return env::float64(name, fallback);
 }
 
 void print_banner(const std::string& experiment, const std::string& note) {

@@ -7,13 +7,16 @@
 #include <cstdint>
 #include <string>
 
+#include "tensor/env.h"
+
 namespace sne::eval {
 
-/// Integer override from the environment: SNE_<NAME>; falls back to
-/// `fallback` when unset or unparsable.
+/// Deprecated alias for sne::env::int64 — the env-override parsing moved
+/// to tensor/env.h so the thread pool, RuntimeConfig, and the benches
+/// share one implementation (with the ERANGE fallback fix).
 std::int64_t env_int64(const std::string& name, std::int64_t fallback);
 
-/// Floating-point override from the environment.
+/// Deprecated alias for sne::env::float64.
 double env_double(const std::string& name, double fallback);
 
 /// Simple wall-clock stopwatch.

@@ -1,14 +1,32 @@
 #include "infer/plan.h"
 
+#include <cxxabi.h>
+
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "nn/activation.h"
 #include "nn/batchnorm.h"
+#include "obs/obs.h"
 
 namespace sne::infer {
 
 namespace {
+
+// "sne::nn::Conv2d" → "Conv2d": the span label for one plan step.
+std::string layer_type_name(const nn::Module& layer) {
+  int status = 0;
+  char* demangled =
+      abi::__cxa_demangle(typeid(layer).name(), nullptr, nullptr, &status);
+  std::string name =
+      (status == 0 && demangled != nullptr) ? demangled : typeid(layer).name();
+  std::free(demangled);
+  const std::size_t pos = name.rfind("::");
+  if (pos != std::string::npos) name.erase(0, pos + 2);
+  return name;
+}
 
 // Folds BN(conv(x)) into a single convolution. With per-channel running
 // statistics (μ, σ²), scale γ and shift β:
@@ -69,6 +87,9 @@ InferencePlan::InferencePlan(const nn::Sequential& net,
 
     cur = layer.infer_shape(cur);  // BN is shape-preserving, so this holds
     step.sample_out = cur;
+    step.trace_name = obs::intern(
+        "infer." + std::to_string(steps_.size()) + "." +
+        layer_type_name(layer) + (step.folded ? "+bn" : ""));
     steps_.push_back(std::move(step));
   }
 

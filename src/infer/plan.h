@@ -54,6 +54,10 @@ class InferencePlan {
     const nn::Conv2d* conv = nullptr;  ///< set when folded
     Tensor weight;  ///< folded weight [Cout, Cin·k·k]
     Tensor bias;    ///< folded bias [Cout]
+    /// Interned obs span label ("infer.<i>.<layer type>"), stable for
+    /// the process — safe to reference from trace records that outlive
+    /// the plan.
+    const char* trace_name = nullptr;
   };
 
   Shape input_shape_;

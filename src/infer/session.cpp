@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace sne::infer {
 
 InferenceSession::InferenceSession(std::shared_ptr<const InferencePlan> plan)
@@ -34,6 +36,11 @@ void InferenceSession::run(const Tensor& batch, Tensor& out) {
   }
   const std::int64_t n = batch.extent(0);
 
+  // Warmup (arena/scratch sizing happens inside) is traced under its own
+  // name so steady-state latency reads clean in the summary.
+  obs::Span run_span(warmed_ ? "infer.run" : "infer.run.warmup", n);
+  warmed_ = true;
+
   // Walk the plan ping-ponging between the two arena buffers; the last
   // computing step writes straight into `out`. Flatten steps on an arena
   // buffer are in-place metadata changes (Tensor::resize with an equal
@@ -42,6 +49,7 @@ void InferenceSession::run(const Tensor& batch, Tensor& out) {
   Tensor* cur_buf = nullptr;  // arena buffer holding *cur, if any
   for (std::size_t s = 0; s < plan.steps_.size(); ++s) {
     const auto& step = plan.steps_[s];
+    obs::Span step_span(step.trace_name);
     const bool last = (s + 1 == plan.steps_.size());
     if (step.reshape_only) {
       shape_scratch_.assign(step.sample_out.begin(), step.sample_out.end());
@@ -96,6 +104,7 @@ void JointSession::run(const Tensor& batch, Tensor& out) {
                                 batch.shape_string());
   }
   const std::int64_t n = batch.extent(0);
+  obs::Span span("infer.joint", n);
 
   images_.resize({n * nb, 2, stamp, stamp});
   for (std::int64_t i = 0; i < n; ++i) {

@@ -41,6 +41,7 @@ class InferenceSession {
   Tensor ping_;
   Tensor pong_;
   Shape shape_scratch_;  ///< reused per-step shape, batch axis rescaled
+  bool warmed_ = false;  ///< first run() sizes the arena; traced apart
 };
 
 /// Layout/normalization constants the joint image→class model glues its

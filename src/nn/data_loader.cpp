@@ -9,7 +9,34 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
+#include "tensor/runtime.h"
+
 namespace sne::nn {
+
+namespace {
+
+// Loader telemetry. Batches rendered, queue occupancy after each
+// producer push (max = how full the prefetch buffer actually runs), and
+// stalls (producer found the queue full and had to wait — the training
+// thread is the bottleneck; consumer-side waits show up as the
+// caller's data-wait span instead).
+obs::Counter& batches_counter() {
+  static obs::Counter& c = obs::counter("loader.batches");
+  return c;
+}
+
+obs::Counter& stall_counter() {
+  static obs::Counter& c = obs::counter("loader.prefetch_stalls");
+  return c;
+}
+
+obs::Gauge& queue_gauge() {
+  static obs::Gauge& g = obs::gauge("loader.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 // Background batch renderer: one worker thread walks the epoch order and
 // pushes finished batches into a bounded queue (capacity = prefetch
@@ -36,6 +63,7 @@ struct DataLoader::Prefetcher {
     if (!queue_.empty()) {
       out = std::move(queue_.front());
       queue_.pop_front();
+      queue_gauge().set(static_cast<std::int64_t>(queue_.size()));
       not_full_.notify_one();
       return true;
     }
@@ -59,17 +87,30 @@ struct DataLoader::Prefetcher {
            first += batch_size_) {
         {
           std::unique_lock<std::mutex> lock(mutex_);
-          not_full_.wait(lock,
-                         [&] { return cancel_ || queue_.size() < depth_; });
+          if (queue_.size() >= depth_ && !cancel_) {
+            // Queue full: rendering is ahead of consumption, the
+            // producer stalls until the training thread drains a batch.
+            stall_counter().add(1);
+            obs::Span stall("loader.prefetch_stall");
+            not_full_.wait(lock,
+                           [&] { return cancel_ || queue_.size() < depth_; });
+          }
           if (cancel_) break;
         }
         const std::size_t count =
             std::min(batch_size_, order_->size() - first);
-        Sample batch = data_->get_batch(*order_, first, count);
+        Sample batch;
+        {
+          obs::Span span("loader.render",
+                         static_cast<std::int64_t>(first / batch_size_));
+          batch = data_->get_batch(*order_, first, count);
+        }
+        batches_counter().add(1);
         {
           std::lock_guard<std::mutex> lock(mutex_);
           if (cancel_) break;
           queue_.push_back(std::move(batch));
+          queue_gauge().set(static_cast<std::int64_t>(queue_.size()));
         }
         not_empty_.notify_one();
       }
@@ -107,9 +148,8 @@ DataLoader::DataLoader(const Dataset& data, DataLoaderConfig config)
   if (config_.batch_size <= 0) {
     throw std::invalid_argument("DataLoader: batch_size must be positive");
   }
-  if (config_.prefetch < 0) {
-    throw std::invalid_argument("DataLoader: prefetch must be >= 0");
-  }
+  // Negative = unset: resolve through the process-wide runtime config.
+  config_.prefetch = RuntimeConfig::resolve_prefetch(config_.prefetch);
   if (n_ <= 0) {
     throw std::invalid_argument("DataLoader: empty dataset");
   }
@@ -163,7 +203,15 @@ bool DataLoader::next(Sample& batch) {
   const std::size_t count =
       std::min(static_cast<std::size_t>(config_.batch_size),
                order_.size() - cursor_);
-  batch = data_->get_batch(order_, cursor_, count);
+  {
+    // Synchronous path: rendering happens on the consumer thread, so
+    // the whole batch synthesis is visible as loader.render here.
+    obs::Span span("loader.render",
+                   static_cast<std::int64_t>(
+                       cursor_ / static_cast<std::size_t>(config_.batch_size)));
+    batch = data_->get_batch(order_, cursor_, count);
+  }
+  batches_counter().add(1);
   cursor_ += count;
   return true;
 }

@@ -26,7 +26,10 @@ struct DataLoaderConfig {
   /// Number of batches rendered ahead of consumption on a background
   /// thread (1 = double buffering). 0 renders synchronously on the
   /// calling thread. Any depth yields bitwise-identical batches.
-  std::int64_t prefetch = 1;
+  /// Negative (the default) defers to sne::RuntimeConfig::current()
+  /// .prefetch — the unified knob every loader consumer resolves
+  /// through; set a value >= 0 here only to pin this loader explicitly.
+  std::int64_t prefetch = -1;
   /// Reshuffle the epoch order before each start_epoch(). The shuffle
   /// stream advances exactly one permutation per epoch, so epoch k's
   /// order is independent of how (or whether) earlier epochs were read.

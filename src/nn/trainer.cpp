@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace sne::nn {
 
 namespace {
@@ -23,6 +25,15 @@ DataLoaderConfig sequential_loader_config(std::int64_t batch_size) {
 
 }  // namespace
 
+EpochSink stdout_epoch_sink() {
+  return [](const EpochStats& stats) {
+    std::printf("epoch %3lld  train_loss %.5f  val_loss %.5f\n",
+                static_cast<long long>(stats.epoch), stats.train_loss,
+                stats.val_loss);
+    std::fflush(stdout);
+  };
+}
+
 Trainer::Trainer(Module& model, Optimizer& optimizer, LossFn loss,
                  MetricFn metric)
     : model_(model),
@@ -36,11 +47,22 @@ float Trainer::train_batch(const Sample& batch, float grad_clip,
                            Tensor* prediction_out) {
   model_.set_training(true);
   optimizer_.zero_grad();
-  Tensor prediction = model_.forward(batch.x);
-  const LossResult loss = loss_(prediction, batch.y);
-  model_.backward(loss.grad);
-  if (grad_clip > 0.0f) optimizer_.clip_grad_norm(grad_clip);
-  optimizer_.step();
+  Tensor prediction;
+  LossResult loss;
+  {
+    obs::Span span("train.forward");
+    prediction = model_.forward(batch.x);
+    loss = loss_(prediction, batch.y);
+  }
+  {
+    obs::Span span("train.backward");
+    model_.backward(loss.grad);
+  }
+  {
+    obs::Span span("train.step");
+    if (grad_clip > 0.0f) optimizer_.clip_grad_norm(grad_clip);
+    optimizer_.step();
+  }
   if (prediction_out != nullptr) *prediction_out = std::move(prediction);
   return loss.value;
 }
@@ -62,7 +84,12 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
   std::vector<EpochStats> history;
   history.reserve(static_cast<std::size_t>(config.epochs));
 
+  // Deprecated TrainConfig::verbose forwards to the default sink.
+  EpochSink sink = config.on_epoch;
+  if (!sink && config.verbose) sink = stdout_epoch_sink();
+
   for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::Span epoch_span("train.epoch", epoch);
     model_.set_training(true);
     double loss_sum = 0.0;
     double metric_sum = 0.0;
@@ -70,7 +97,16 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
 
     loader.start_epoch();
     Sample batch;
-    while (loader.next(batch)) {
+    for (;;) {
+      bool more;
+      {
+        // Time the training thread spends waiting on data — the render
+        // itself when prefetch is 0, queue wait when batches come from
+        // the background thread.
+        obs::Span wait("train.data_wait");
+        more = loader.next(batch);
+      }
+      if (!more) break;
       const std::int64_t count = batch.x.extent(0);
       Tensor prediction;
       const float batch_loss = train_batch(
@@ -91,6 +127,7 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
         metric_ ? static_cast<float>(metric_sum / seen)
                 : std::numeric_limits<float>::quiet_NaN();
     if (val != nullptr && val->size() > 0) {
+      obs::Span span("train.validate", epoch);
       const EvalStats v = evaluate(*val);
       stats.val_loss = v.loss;
       stats.val_metric = v.metric;
@@ -98,12 +135,7 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
       stats.val_loss = std::numeric_limits<float>::quiet_NaN();
       stats.val_metric = std::numeric_limits<float>::quiet_NaN();
     }
-    if (config.verbose) {
-      std::printf("epoch %3lld  train_loss %.5f  val_loss %.5f\n",
-                  static_cast<long long>(epoch), stats.train_loss,
-                  stats.val_loss);
-      std::fflush(stdout);
-    }
+    if (sink) sink(stats);
     if (config.lr_decay != 1.0f) {
       optimizer_.set_learning_rate(optimizer_.learning_rate() *
                                    config.lr_decay);
@@ -115,6 +147,7 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
 
 EvalStats Trainer::evaluate(const Dataset& data, std::int64_t batch_size) {
   if (data.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  obs::Span span("trainer.evaluate", data.size());
   const bool was_training = model_.is_training();
   model_.set_training(false);
 
@@ -147,6 +180,7 @@ EvalStats Trainer::evaluate(const Dataset& data, std::int64_t batch_size) {
 
 Tensor Trainer::predict(const Dataset& data, std::int64_t batch_size) {
   if (data.size() == 0) throw std::invalid_argument("predict: empty dataset");
+  obs::Span span("trainer.predict", data.size());
   const bool was_training = model_.is_training();
   model_.set_training(false);
 

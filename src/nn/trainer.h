@@ -28,19 +28,6 @@ using LossFn = std::function<LossResult(const Tensor&, const Tensor&)>;
 /// Optional scalar metric (e.g. binary accuracy) computed alongside loss.
 using MetricFn = std::function<float(const Tensor&, const Tensor&)>;
 
-struct TrainConfig {
-  std::int64_t epochs = 10;
-  std::int64_t batch_size = 32;
-  float grad_clip = 0.0f;   ///< 0 disables clipping
-  float lr_decay = 1.0f;    ///< learning rate ×= lr_decay after each epoch
-  std::uint64_t shuffle_seed = 1;
-  /// DataLoader prefetch depth: batches rendered ahead of the training
-  /// step on a background thread (0 = synchronous). Purely a throughput
-  /// knob — statistics are bitwise identical at any depth.
-  std::int64_t prefetch = 1;
-  bool verbose = false;     ///< print one line per epoch to stdout
-};
-
 /// Per-epoch statistics; validation fields are NaN when no validation set
 /// was supplied.
 struct EpochStats {
@@ -49,6 +36,34 @@ struct EpochStats {
   float val_loss = 0.0f;
   float train_metric = 0.0f;
   float val_metric = 0.0f;
+};
+
+/// Epoch-event sink: fit() invokes it after every epoch with the fresh
+/// statistics. The library never writes to stdout itself — attach
+/// stdout_epoch_sink() (or your own progress bar / logger) to observe
+/// training.
+using EpochSink = std::function<void(const EpochStats&)>;
+
+/// The classic one-line-per-epoch stdout reporter
+/// ("epoch %3d  train_loss %.5f  val_loss %.5f").
+EpochSink stdout_epoch_sink();
+
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  float grad_clip = 0.0f;   ///< 0 disables clipping
+  float lr_decay = 1.0f;    ///< learning rate ×= lr_decay after each epoch
+  std::uint64_t shuffle_seed = 1;
+  /// DataLoader prefetch depth: batches rendered ahead of the training
+  /// step on a background thread (0 = synchronous). Purely a throughput
+  /// knob — statistics are bitwise identical at any depth. Negative (the
+  /// default) defers to sne::RuntimeConfig::current().prefetch.
+  std::int64_t prefetch = -1;
+  /// Called after every epoch. Null = silent (unless `verbose`, below).
+  EpochSink on_epoch;
+  /// Deprecated alias: verbose == true with no on_epoch sink attaches
+  /// stdout_epoch_sink(). Prefer setting on_epoch directly.
+  bool verbose = false;
 };
 
 /// Aggregate result of evaluate(): mean loss (and metric) over a dataset.

@@ -1,0 +1,335 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+
+namespace sne::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Trace epoch: set on the first enable() so exported timestamps start
+// near zero. Zero until then (now_ns() is still monotonic).
+std::atomic<std::int64_t> g_epoch{0};
+
+// Per-thread span log. Registered with (and kept alive by) the registry,
+// so a snapshot can outlive the thread. The mutex is per-log: recording
+// threads never contend with each other, only with a concurrent
+// snapshot/reset.
+struct ThreadLog {
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::set<std::string, std::less<>> interned;
+
+  static Registry& instance() {
+    static Registry* r = new Registry;  // leaked: usable during shutdown
+    return *r;
+  }
+};
+
+ThreadLog& thread_log() {
+  thread_local std::shared_ptr<ThreadLog> log = [] {
+    auto l = std::make_shared<ThreadLog>();
+    Registry& r = Registry::instance();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    l->tid = static_cast<std::uint32_t>(r.logs.size());
+    r.logs.push_back(l);
+    return l;
+  }();
+  return *log;
+}
+
+// Span nesting depth of the current thread (only spans that were active
+// at construction count, so enable/disable races cannot unbalance it).
+thread_local std::int32_t tls_depth = 0;
+
+void record_span(const char* name, std::int64_t start, std::int64_t end,
+                 std::int64_t arg, std::int32_t depth) {
+  ThreadLog& log = thread_log();
+  SpanRecord rec;
+  rec.name = name;
+  rec.start_ns = start;
+  rec.dur_ns = end - start;
+  rec.arg = arg;
+  rec.tid = log.tid;
+  rec.depth = depth;
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.spans.push_back(rec);
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void enable() {
+  std::int64_t expected = 0;
+  g_epoch.compare_exchange_strong(expected, steady_ns(),
+                                  std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->spans.clear();
+  }
+  for (auto& [name, c] : r.counters) {
+    c.v_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : r.gauges) {
+    g.v_.store(0, std::memory_order_relaxed);
+    g.max_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t now_ns() noexcept {
+  return steady_ns() - g_epoch.load(std::memory_order_relaxed);
+}
+
+const char* intern(std::string_view name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.interned.emplace(name).first->c_str();
+}
+
+Span::Span(const char* name) noexcept : Span(name, kNoArg) {}
+
+Span::Span(const char* name, std::int64_t arg) noexcept {
+  if (!enabled()) return;  // single relaxed load + branch when disabled
+  name_ = name;
+  arg_ = arg;
+  start_ = now_ns();
+  active_ = true;
+  ++tls_depth;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::int32_t depth = --tls_depth;
+  record_span(name_, start_, now_ns(), arg_, depth);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.counters.find(name);
+  if (it != r.counters.end()) return it->second;
+  return r.counters.emplace(std::piecewise_construct,
+                            std::forward_as_tuple(name),
+                            std::forward_as_tuple())
+      .first->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.gauges.find(name);
+  if (it != r.gauges.end()) return it->second;
+  return r.gauges.emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple())
+      .first->second;
+}
+
+std::vector<SpanRecord> snapshot_spans() {
+  Registry& r = Registry::instance();
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    logs = r.logs;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mutex);
+    out.insert(out.end(), log->spans.begin(), log->spans.end());
+  }
+  return out;
+}
+
+std::vector<CounterRecord> snapshot_counters() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<CounterRecord> out;
+  out.reserve(r.counters.size() + r.gauges.size());
+  for (const auto& [name, c] : r.counters) {
+    CounterRecord rec;
+    rec.name = name;
+    rec.value = c.value();
+    out.push_back(std::move(rec));
+  }
+  for (const auto& [name, g] : r.gauges) {
+    CounterRecord rec;
+    rec.name = name;
+    rec.value = g.value();
+    rec.is_gauge = true;
+    rec.max = g.max();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+namespace {
+
+struct NameStats {
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t min_ns = INT64_MAX;
+  std::int64_t max_ns = 0;
+};
+
+std::string format_row(const char* name, const NameStats& s,
+                       double wall_ns) {
+  char buf[192];
+  const double total_ms = static_cast<double>(s.total_ns) * 1e-6;
+  const double share =
+      wall_ns > 0.0 ? 100.0 * static_cast<double>(s.total_ns) / wall_ns : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "  %-32s %8lld  %10.3f ms  %9.3f ms  %9.3f ms  %9.3f ms"
+                "  %5.1f%%\n",
+                name, static_cast<long long>(s.count), total_ms,
+                total_ms / static_cast<double>(s.count),
+                static_cast<double>(s.min_ns) * 1e-6,
+                static_cast<double>(s.max_ns) * 1e-6, share);
+  return buf;
+}
+
+}  // namespace
+
+std::string summary_table() {
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  std::map<std::string, NameStats> by_name;
+  std::int64_t first_start = INT64_MAX;
+  std::int64_t last_end = 0;
+  for (const SpanRecord& s : spans) {
+    NameStats& stats = by_name[s.name];
+    ++stats.count;
+    stats.total_ns += s.dur_ns;
+    stats.min_ns = std::min(stats.min_ns, s.dur_ns);
+    stats.max_ns = std::max(stats.max_ns, s.dur_ns);
+    first_start = std::min(first_start, s.start_ns);
+    last_end = std::max(last_end, s.start_ns + s.dur_ns);
+  }
+  const double wall_ns =
+      spans.empty() ? 0.0 : static_cast<double>(last_end - first_start);
+
+  std::string out;
+  out += "spans (wall ";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f ms):\n", wall_ns * 1e-6);
+    out += buf;
+  }
+  out +=
+      "  name                                count       total          "
+      "mean        min        max   wall\n";
+  for (const auto& [name, stats] : by_name) {
+    out += format_row(name.c_str(), stats, wall_ns);
+  }
+  const std::vector<CounterRecord> counters = snapshot_counters();
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterRecord& c : counters) {
+      char buf[160];
+      if (c.is_gauge) {
+        std::snprintf(buf, sizeof(buf), "  %-32s %12lld  (max %lld)\n",
+                      c.name.c_str(), static_cast<long long>(c.value),
+                      static_cast<long long>(c.max));
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %-32s %12lld\n", c.name.c_str(),
+                      static_cast<long long>(c.value));
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  std::vector<SpanRecord> spans = snapshot_spans();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata rows so the tracks read as "thread 0..N".
+  std::set<std::uint32_t> tids;
+  for (const SpanRecord& s : spans) tids.insert(s.tid);
+  char buf[256];
+  for (const std::uint32_t tid : tids) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"thread %u\"}}",
+                  first ? "" : ",", tid, tid);
+    os << buf;
+    first = false;
+  }
+  for (const SpanRecord& s : spans) {
+    // Span names are literals or interned identifiers (no quotes or
+    // backslashes), so they embed into JSON without escaping.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                  first ? "" : ",", s.name,
+                  static_cast<double>(s.start_ns) * 1e-3,
+                  static_cast<double>(s.dur_ns) * 1e-3, s.tid);
+    os << buf;
+    if (s.arg != kNoArg) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg\":%lld}",
+                    static_cast<long long>(s.arg));
+      os << buf;
+    }
+    os << "}";
+    first = false;
+  }
+  // Counters ride along as a final instant-event summary per name.
+  const std::int64_t ts = spans.empty() ? 0 : now_ns();
+  for (const CounterRecord& c : snapshot_counters()) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+                  "\"args\":{\"value\":%lld}}",
+                  first ? "" : ",", c.name.c_str(),
+                  static_cast<double>(ts) * 1e-3,
+                  static_cast<long long>(c.value));
+    os << buf;
+    first = false;
+  }
+  os << "]}\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace sne::obs

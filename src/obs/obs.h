@@ -1,0 +1,162 @@
+// obs.h — lightweight, thread-safe telemetry: RAII Span scoped timers
+// with per-thread nesting, named monotonic Counters and Gauges, a
+// process-wide Registry behind free functions, and two exporters (a
+// human-readable summary table and chrome://tracing JSON with one track
+// per thread).
+//
+// Cost contract: the instrumentation is designed to live in hot loops
+// permanently. While tracing is disabled every Span constructor and
+// Counter::add is a single relaxed atomic load and a branch — no clock
+// read, no allocation, no lock. Enabling mid-process (obs::enable())
+// needs no recompilation; spans and counts start flowing from the next
+// call site hit. While enabled, completed spans append to per-thread
+// buffers under an uncontended per-buffer mutex, so concurrent threads
+// never serialize against each other on a shared log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sne::obs {
+
+/// True while telemetry is being captured. One relaxed atomic load.
+bool enabled() noexcept;
+
+/// Starts capturing. Also (re)bases the trace clock on the first call so
+/// exported timestamps are relative to the first enable().
+void enable();
+
+/// Stops capturing. Already-collected spans and counter values survive
+/// until reset().
+void disable();
+
+/// Drops every collected span and zeroes all counters and gauges.
+/// Capture state (enabled/disabled) is unchanged.
+void reset();
+
+/// Monotonic nanoseconds (steady clock) since the trace epoch.
+std::int64_t now_ns() noexcept;
+
+/// Interns a dynamically built name and returns a stable pointer that
+/// lives for the process. Use for span/counter names that are not string
+/// literals (e.g. per-plan-step labels). Thread-safe; O(log n) + one
+/// allocation on the first sighting, lookup afterwards.
+const char* intern(std::string_view name);
+
+constexpr std::int64_t kNoArg = INT64_MIN;
+
+/// RAII scoped timer. The constructor samples the clock and pushes one
+/// level of per-thread nesting; the destructor records a completed span
+/// (name, interval, thread, depth, optional integer argument). Name must
+/// outlive the process (string literal or intern()).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  Span(const char* name, std::int64_t arg) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ = 0;
+  std::int64_t arg_ = kNoArg;
+  bool active_ = false;
+};
+
+/// Named monotonic counter. Obtain through obs::counter() and keep the
+/// reference (typically a function-local static) so the registry lookup
+/// happens once per call site. add() is a relaxed-atomic branch when
+/// disabled and a relaxed fetch_add when enabled — exact under
+/// concurrent increments either way.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  Counter() = default;  // prefer obs::counter(): detached counters are
+                        // invisible to the exporters
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend void reset();
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Named gauge: records the most recent value and the high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  Gauge() = default;  // prefer obs::gauge(), as with Counter
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend void reset();
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Registry lookup (create on first use). The returned reference is
+/// stable for the process lifetime.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+
+/// One completed span, as collected.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;  ///< relative to the trace epoch
+  std::int64_t dur_ns = 0;
+  std::int64_t arg = kNoArg;  ///< kNoArg when none was given
+  std::uint32_t tid = 0;      ///< dense per-process thread id, 0 = first seen
+  std::int32_t depth = 0;     ///< nesting depth on its thread, 0 = root
+};
+
+struct CounterRecord {
+  std::string name;
+  std::int64_t value = 0;
+  bool is_gauge = false;
+  std::int64_t max = 0;  ///< high-water mark (gauges only)
+};
+
+/// Copies of everything collected so far (order: per thread, in
+/// completion order). Safe to call while other threads keep recording.
+std::vector<SpanRecord> snapshot_spans();
+std::vector<CounterRecord> snapshot_counters();
+
+/// Human-readable aggregation: one row per span name (count, total,
+/// mean, min, max, wall-clock share) followed by counters and gauges.
+std::string summary_table();
+
+/// chrome://tracing / Perfetto "traceEvents" JSON. Each thread gets its
+/// own track; spans are complete ("ph":"X") events in microseconds.
+void write_chrome_trace(std::ostream& os);
+
+/// Convenience: writes the trace to a file. Returns false (and writes
+/// nothing) if the file cannot be opened.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace sne::obs

@@ -4,11 +4,19 @@
 #include <stdexcept>
 
 #include "astro/photometry.h"
+#include "obs/obs.h"
 #include "tensor/thread_pool.h"
 
 namespace sne::sim {
 
 namespace {
+
+// Total stamps produced by the batched renderers below, across all bands
+// and epochs — the raw throughput figure for the simulation side.
+obs::Counter& stamps_counter() {
+  static obs::Counter& c = obs::counter("sim.stamps");
+  return c;
+}
 
 std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
   // SplitMix-style combiner: decorrelates derived streams.
@@ -159,6 +167,9 @@ FluxMeasurement SnDataset::measured_point(std::int64_t i, astro::Band b,
 
 std::vector<Tensor> SnDataset::reference_images(
     const std::vector<std::int64_t>& samples, astro::Band b) const {
+  obs::Span span("sim.reference_images",
+                 static_cast<std::int64_t>(samples.size()));
+  stamps_counter().add(static_cast<std::int64_t>(samples.size()));
   std::vector<Tensor> out(samples.size());
   parallel_for(0, static_cast<std::int64_t>(samples.size()),
                [&](std::int64_t k) {
@@ -171,6 +182,9 @@ std::vector<Tensor> SnDataset::reference_images(
 std::vector<Tensor> SnDataset::observation_images(
     const std::vector<std::int64_t>& samples, astro::Band b,
     std::int64_t e) const {
+  obs::Span span("sim.observation_images",
+                 static_cast<std::int64_t>(samples.size()));
+  stamps_counter().add(static_cast<std::int64_t>(samples.size()));
   std::vector<Tensor> out(samples.size());
   parallel_for(0, static_cast<std::int64_t>(samples.size()),
                [&](std::int64_t k) {
@@ -183,6 +197,9 @@ std::vector<Tensor> SnDataset::observation_images(
 std::vector<Tensor> SnDataset::matched_reference_images(
     const std::vector<std::int64_t>& samples, astro::Band b,
     std::int64_t e) const {
+  obs::Span span("sim.matched_reference_images",
+                 static_cast<std::int64_t>(samples.size()));
+  stamps_counter().add(static_cast<std::int64_t>(samples.size()));
   std::vector<Tensor> out(samples.size());
   parallel_for(0, static_cast<std::int64_t>(samples.size()),
                [&](std::int64_t k) {
@@ -195,6 +212,9 @@ std::vector<Tensor> SnDataset::matched_reference_images(
 std::vector<Tensor> SnDataset::difference_images(
     const std::vector<std::int64_t>& samples, astro::Band b,
     std::int64_t e) const {
+  obs::Span span("sim.difference_images",
+                 static_cast<std::int64_t>(samples.size()));
+  stamps_counter().add(static_cast<std::int64_t>(samples.size()));
   std::vector<Tensor> out(samples.size());
   parallel_for(0, static_cast<std::int64_t>(samples.size()),
                [&](std::int64_t k) {

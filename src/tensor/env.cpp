@@ -1,0 +1,33 @@
+#include "tensor/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace sne::env {
+
+std::int64_t int64(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(("SNE_" + name).c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double float64(const std::string& name, double fallback) {
+  const char* raw = std::getenv(("SNE_" + name).c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE) return fallback;
+  return v;
+}
+
+std::string string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(("SNE_" + name).c_str());
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+}  // namespace sne::env

@@ -1,0 +1,24 @@
+// env.h — the one place `SNE_*` environment overrides are parsed. Used
+// by the thread pool (SNE_NUM_THREADS), RuntimeConfig (SNE_PREFETCH,
+// SNE_TRACE), the bench binaries' scale knobs, and the eval library's
+// deprecated forwarding wrappers. Values that fail to parse — including
+// out-of-range ones (ERANGE), which strtoll/strtod would otherwise
+// silently clamp to LLONG_MAX/HUGE_VAL — fall back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sne::env {
+
+/// Integer override: reads SNE_<name>; returns `fallback` when the
+/// variable is unset, unparsable, has trailing junk, or overflows.
+std::int64_t int64(const std::string& name, std::int64_t fallback);
+
+/// Floating-point override with the same fallback rules.
+double float64(const std::string& name, double fallback);
+
+/// String override: reads SNE_<name>; returns `fallback` when unset.
+std::string string(const std::string& name, const std::string& fallback);
+
+}  // namespace sne::env

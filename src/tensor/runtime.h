@@ -1,0 +1,55 @@
+// runtime.h — sne::RuntimeConfig: the one surface for process-wide
+// runtime knobs (pool width, DataLoader prefetch depth, tracing) and the
+// one place their SNE_* environment overrides are resolved. Before this
+// existed the prefetch depth was plumbed separately through
+// TrainConfig::prefetch, SnePipelineConfig::prefetch,
+// DataLoaderConfig::prefetch and an ad-hoc PREFETCH env hook in the
+// joint benches; those fields survive as deprecated aliases whose
+// sentinel default (-1) defers to RuntimeConfig::current().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sne {
+
+struct RuntimeConfig {
+  /// Thread-pool width. <= 0 means auto (hardware_concurrency). Env:
+  /// SNE_NUM_THREADS.
+  int threads = 0;
+
+  /// Default DataLoader prefetch depth (batches rendered ahead on the
+  /// background thread; 0 = synchronous). Any config whose prefetch
+  /// field is left at its -1 sentinel resolves to this. Env:
+  /// SNE_PREFETCH.
+  std::int64_t prefetch = 1;
+
+  /// Telemetry capture (obs::enable()) on/off. Env: SNE_TRACE — unset,
+  /// "" or "0" leaves tracing off; "1" enables capture; any other value
+  /// enables capture AND names the chrome-trace output path.
+  bool trace = false;
+
+  /// Where sne_cli (and anything else that calls
+  /// obs::write_chrome_trace(current().trace_path)) writes the trace.
+  /// Empty = no file.
+  std::string trace_path;
+
+  /// Reads every SNE_* override on top of the defaults above.
+  static RuntimeConfig from_env();
+
+  /// The process-wide active config. First access initializes it from
+  /// the environment and, when trace is requested there, enables
+  /// telemetry capture. Mutate through set_current() (main thread,
+  /// outside parallel regions).
+  static const RuntimeConfig& current();
+
+  /// Replaces the active config and applies it: resizes the thread pool
+  /// and enables/disables telemetry capture.
+  static void set_current(RuntimeConfig config);
+
+  /// Resolves a possibly-sentinel prefetch knob: `requested` >= 0 wins,
+  /// anything negative defers to current().prefetch.
+  static std::int64_t resolve_prefetch(std::int64_t requested);
+};
+
+}  // namespace sne

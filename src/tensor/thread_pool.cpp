@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/obs.h"
+#include "tensor/runtime.h"
 
 namespace sne {
 
@@ -18,11 +20,24 @@ namespace {
 // pool (which would deadlock the region they are part of).
 thread_local bool tls_in_parallel_region = false;
 
+// Pool telemetry: jobs submitted to the pool and the summed time every
+// participating thread (workers + caller) spent draining them. Idle time
+// of a worker over a window is width × wall − busy. Counters only move
+// while obs::enabled(), so the disabled hot path stays a branch.
+obs::Counter& pool_jobs_counter() {
+  static obs::Counter& c = obs::counter("pool.jobs");
+  return c;
+}
+
+obs::Counter& pool_busy_counter() {
+  static obs::Counter& c = obs::counter("pool.busy_ns");
+  return c;
+}
+
 int default_num_threads() {
-  if (const char* env = std::getenv("SNE_NUM_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(v);
-  }
+  // SNE_NUM_THREADS arrives through the unified RuntimeConfig surface.
+  const int configured = RuntimeConfig::current().threads;
+  if (configured >= 1) return configured;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
@@ -63,6 +78,8 @@ struct ThreadPool::Impl {
   // and that transition releases the caller.
   void drain(Job& job) {
     tls_in_parallel_region = true;
+    const bool timed = obs::enabled();
+    const std::int64_t t0 = timed ? obs::now_ns() : 0;
     for (;;) {
       const std::int64_t i =
           job.cursor.fetch_add(1, std::memory_order_relaxed);
@@ -79,6 +96,7 @@ struct ThreadPool::Impl {
         finished.notify_all();
       }
     }
+    if (timed) pool_busy_counter().add(obs::now_ns() - t0);
     tls_in_parallel_region = false;
   }
 
@@ -162,6 +180,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
   // One job at a time: a second external caller waits for the first job
   // to finish rather than interleaving with its state.
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  pool_jobs_counter().add(1);
 
   auto job = std::make_shared<Job>();
   // The job's cursor runs over [0, count); the wrapper adds `begin` back.

@@ -15,6 +15,7 @@
 #include "core/band_cnn.h"
 #include "core/pipeline.h"
 #include "nn/nn.h"
+#include "obs/obs.h"
 #include "sim/dataset_builder.h"
 #include "tensor/thread_pool.h"
 
@@ -351,6 +352,33 @@ TEST(DataLoaderDeterminism, FitBitwiseIdenticalAcrossPrefetchAndThreads) {
           << "prefetch " << prefetch << " threads " << threads;
     }
   }
+
+  // Telemetry capture must be a pure observer: the traced run reproduces
+  // the seed statistics bit for bit, and the spans it records cover the
+  // training phases.
+  obs::enable();
+  const TrainOutcome traced = run_training(fx, /*use_loader=*/true, 2, 4);
+  obs::disable();
+  ASSERT_EQ(traced.history.size(), seed.history.size());
+  for (std::size_t e = 0; e < seed.history.size(); ++e) {
+    EXPECT_TRUE(
+        same_bits(traced.history[e].train_loss, seed.history[e].train_loss))
+        << "traced epoch " << e;
+  }
+  ASSERT_EQ(traced.params.size(), seed.params.size());
+  for (std::size_t i = 0; i < seed.params.size(); ++i) {
+    ASSERT_TRUE(same_bits(traced.params[i], seed.params[i]))
+        << "traced param element " << i;
+  }
+  EXPECT_TRUE(same_bytes(traced.predictions, seed.predictions));
+  bool saw_forward = false, saw_render = false;
+  for (const obs::SpanRecord& s : obs::snapshot_spans()) {
+    if (std::strcmp(s.name, "train.forward") == 0) saw_forward = true;
+    if (std::strcmp(s.name, "loader.render") == 0) saw_render = true;
+  }
+  EXPECT_TRUE(saw_forward);
+  EXPECT_TRUE(saw_render);
+  obs::reset();
 }
 
 }  // namespace

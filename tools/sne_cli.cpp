@@ -18,7 +18,9 @@
 #include "core/sne_pipeline.h"
 #include "eval/roc.h"
 #include "eval/tables.h"
+#include "obs/obs.h"
 #include "sim/dataset_io.h"
+#include "tensor/runtime.h"
 
 using namespace sne;
 
@@ -46,6 +48,11 @@ struct Args {
   }
 };
 
+// Options that are flags: present or absent, no value token.
+bool is_flag(const std::string& name) {
+  return name == "timing" || name == "progress";
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc < 2) throw std::runtime_error("no command given");
@@ -55,12 +62,52 @@ Args parse_args(int argc, char** argv) {
     if (token.rfind("--", 0) != 0) {
       throw std::runtime_error("unexpected argument: " + token);
     }
+    const std::string name = token.substr(2);
+    if (is_flag(name)) {
+      args.options[name] = "1";
+      continue;
+    }
     if (i + 1 >= argc) {
       throw std::runtime_error("option " + token + " needs a value");
     }
-    args.options[token.substr(2)] = argv[++i];
+    args.options[name] = argv[++i];
   }
   return args;
+}
+
+// Global run-time knobs shared by every command: --threads/--prefetch
+// feed RuntimeConfig (same defaults and SNE_* env overrides as the
+// library), --trace/--timing turn telemetry capture on. Returns true if
+// anything should be reported after the command finishes.
+bool apply_runtime_options(const Args& args) {
+  RuntimeConfig rc = RuntimeConfig::current();
+  rc.threads = static_cast<int>(args.get_int("threads", rc.threads));
+  rc.prefetch = args.get_int("prefetch", rc.prefetch);
+  if (args.has("trace")) {
+    rc.trace = true;
+    rc.trace_path = args.get("trace", "");
+  }
+  if (args.has("timing")) rc.trace = true;
+  RuntimeConfig::set_current(rc);
+  return rc.trace;
+}
+
+// After a traced command: chrome trace to --trace's path, summary table
+// to stdout when --timing was given.
+void report_telemetry(const Args& args) {
+  const std::string path = args.get("trace", "");
+  if (!path.empty()) {
+    if (obs::write_chrome_trace(path)) {
+      std::printf("wrote trace %s (open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write trace %s\n", path.c_str());
+    }
+  }
+  if (args.has("timing")) {
+    std::printf("%s", obs::summary_table().c_str());
+  }
 }
 
 int cmd_generate(const Args& args) {
@@ -93,6 +140,14 @@ int cmd_train(const Args& args) {
   config.classifier_epochs = args.get_int("classifier-epochs", 30);
   config.joint_epochs = args.get_int("joint-epochs", 2);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("progress")) {
+    config.progress = [](const char* stage, const nn::EpochStats& s) {
+      std::printf("  [%s] epoch %3lld  train_loss %.5f  val_loss %.5f\n",
+                  stage, static_cast<long long>(s.epoch), s.train_loss,
+                  s.val_loss);
+      std::fflush(stdout);
+    };
+  }
 
   // 90/10 train/val split over the dataset.
   std::vector<std::int64_t> all(static_cast<std::size_t>(data.size()));
@@ -197,8 +252,16 @@ void print_usage() {
       "  train    --dataset FILE.snds --out FILE.snet [--stamp 44]\n"
       "           [--units 100] [--flux-epochs 3] [--flux-pairs 2000]\n"
       "           [--classifier-epochs 30] [--joint-epochs 2] [--seed 1]\n"
+      "           [--progress]\n"
       "  score    --dataset FILE.snds --model FILE.snet [--top 20]\n"
-      "  info     --dataset FILE.snds | --model FILE.snet\n");
+      "  info     --dataset FILE.snds | --model FILE.snet\n\n"
+      "global options (any command):\n"
+      "  --threads N      worker threads (default: hardware, or "
+      "SNE_NUM_THREADS)\n"
+      "  --prefetch N     DataLoader prefetch depth (default 1, or "
+      "SNE_PREFETCH)\n"
+      "  --trace FILE     capture spans, write chrome://tracing JSON\n"
+      "  --timing         capture spans, print a summary table on exit\n");
 }
 
 }  // namespace
@@ -206,13 +269,19 @@ void print_usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "score") return cmd_score(args);
-    if (args.command == "info") return cmd_info(args);
-    if (args.command == "help" || args.command == "--help") {
+    const bool traced = apply_runtime_options(args);
+    int rc = -1;
+    if (args.command == "generate") rc = cmd_generate(args);
+    else if (args.command == "train") rc = cmd_train(args);
+    else if (args.command == "score") rc = cmd_score(args);
+    else if (args.command == "info") rc = cmd_info(args);
+    else if (args.command == "help" || args.command == "--help") {
       print_usage();
       return 0;
+    }
+    if (rc >= 0) {
+      if (traced) report_telemetry(args);
+      return rc;
     }
     std::fprintf(stderr, "unknown command: %s\n\n", args.command.c_str());
     print_usage();
