@@ -50,6 +50,61 @@ BENCHMARK(BM_Sgemm)
     ->Args({256, 2})
     ->Args({256, 4});
 
+// Kernel-tier pairs: the same single-threaded GEMM with dispatch pinned to
+// the scalar bit-reference kernel (second arg 0) vs the AVX2+FMA
+// register-blocked micro-kernel (second arg 1). The /0 vs /1 ratio at each
+// size IS the micro-kernel speedup tracked in BENCH_GEMM.json; the scalar
+// rows also pin that the fallback tier's cost is unchanged over time.
+void BM_SgemmKernelTier(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto tier = static_cast<GemmTier>(state.range(1));
+  if (!gemm_tier_supported(tier)) {
+    state.SkipWithError("kernel tier not supported on this CPU");
+    return;
+  }
+  const GemmTier prev = gemm_tier();
+  set_gemm_tier(tier);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    sgemm_serial(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_gemm_tier(prev);
+}
+BENCHMARK(BM_SgemmKernelTier)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+// 1×1 convolution inference: the pointwise fast path feeds the input
+// straight to GEMM (no im2col pass, no column buffer), with bias in the
+// epilogue. Same tier pairing as BM_SgemmKernelTier.
+void BM_Conv1x1Infer(benchmark::State& state) {
+  const auto tier = static_cast<GemmTier>(state.range(0));
+  if (!gemm_tier_supported(tier)) {
+    state.SkipWithError("kernel tier not supported on this CPU");
+    return;
+  }
+  const GemmTier prev = gemm_tier();
+  set_gemm_tier(tier);
+  Rng rng(2);
+  nn::Conv2d conv(30, 30, 1, rng);
+  const Tensor x = Tensor::randn({8, 30, 44, 44}, rng);
+  Tensor y;
+  for (auto _ : state) {
+    conv.infer_into(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.extent(0));
+  set_gemm_tier(prev);
+}
+BENCHMARK(BM_Conv1x1Infer)->Arg(0)->Arg(1);
+
 void BM_ConvForward(benchmark::State& state) {
   const auto size = state.range(0);
   set_num_threads(static_cast<int>(state.range(1)));
@@ -176,6 +231,36 @@ BENCHMARK(BM_BandCnnInferSession)
     ->UseRealTime()
     ->Args({kServeBatch, 1})
     ->Args({kServeBatch, 4});
+
+// End-to-end tier pair: one serving session scoring a batch through the
+// fused Conv+BN+PReLU plan with the GEMM dispatch pinned to scalar (0) vs
+// AVX2+FMA (1). The /0 vs /1 ratio is the end-to-end half of the
+// BENCH_GEMM.json speedup pair.
+void BM_BandCnnInferSessionTier(benchmark::State& state) {
+  const auto tier = static_cast<GemmTier>(state.range(0));
+  if (!gemm_tier_supported(tier)) {
+    state.SkipWithError("kernel tier not supported on this CPU");
+    return;
+  }
+  const GemmTier prev = gemm_tier();
+  set_gemm_tier(tier);
+  Rng rng(7);
+  core::BandCnnConfig cfg;
+  cfg.input_size = kServeStamp;
+  core::BandCnn cnn(cfg, rng);
+  cnn.set_training(false);
+  const Tensor x =
+      Tensor::randn({kServeBatch, 2, kServeStamp, kServeStamp}, rng);
+  infer::InferenceSession session = core::make_session(cnn);
+  Tensor out;
+  for (auto _ : state) {
+    session.run(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kServeBatch);
+  set_gemm_tier(prev);
+}
+BENCHMARK(BM_BandCnnInferSessionTier)->Arg(0)->Arg(1);
 
 void BM_SersicRender(benchmark::State& state) {
   sim::SersicProfile p;

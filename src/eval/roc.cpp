@@ -18,8 +18,20 @@ void check_inputs(std::span<const float> scores,
   }
   bool has_pos = false;
   bool has_neg = false;
-  for (const float l : labels) {
-    (l > 0.5f ? has_pos : has_neg) = true;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    // A NaN score would break the tie-group sweep in compute_roc: NaN
+    // compares unequal to itself, so the group cursor never advances and
+    // the outer loop spins forever. Reject non-finite values up front with
+    // a diagnosable error instead.
+    if (!std::isfinite(scores[i])) {
+      throw std::invalid_argument("roc: non-finite score at index " +
+                                  std::to_string(i));
+    }
+    if (!std::isfinite(labels[i])) {
+      throw std::invalid_argument("roc: non-finite label at index " +
+                                  std::to_string(i));
+    }
+    (labels[i] > 0.5f ? has_pos : has_neg) = true;
   }
   if (!has_pos || !has_neg) {
     throw std::invalid_argument("roc: need both classes present");
@@ -173,9 +185,26 @@ AucInterval bootstrap_auc(std::span<const float> scores,
 }
 
 double tpr_at_fpr(const RocCurve& curve, double max_fpr) {
+  // The curve's points are vertices of a piecewise-linear curve with
+  // nondecreasing FPR; the operating point at a fixed FPR budget lies ON
+  // the curve, so when max_fpr falls inside a segment the achievable TPR
+  // is the linear interpolation along that segment (realized by randomized
+  // thresholding between the bracketing cuts). Taking only the best vertex
+  // with fpr <= max_fpr — the old behaviour — systematically
+  // underestimates TPR on coarse curves, where segments are long.
   double best_tpr = 0.0;
-  for (const RocPoint& p : curve.points) {
-    if (p.fpr <= max_fpr) best_tpr = std::max(best_tpr, p.tpr);
+  const auto& pts = curve.points;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].fpr <= max_fpr) {
+      best_tpr = std::max(best_tpr, pts[i].tpr);
+    } else if (i > 0 && pts[i - 1].fpr <= max_fpr) {
+      // This segment crosses the budget: pts[i-1].fpr <= max_fpr <
+      // pts[i].fpr, so the span is strictly positive.
+      const double span = pts[i].fpr - pts[i - 1].fpr;
+      const double t = (max_fpr - pts[i - 1].fpr) / span;
+      best_tpr = std::max(best_tpr,
+                          pts[i - 1].tpr + t * (pts[i].tpr - pts[i - 1].tpr));
+    }
   }
   return best_tpr;
 }

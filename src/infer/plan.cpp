@@ -85,11 +85,28 @@ InferencePlan::InferencePlan(const nn::Sequential& net,
       step.reshape_only = true;
     }
 
-    cur = layer.infer_shape(cur);  // BN is shape-preserving, so this holds
+    // A per-channel PReLU right after the conv (or the absorbed BN) rides
+    // in the convolution's GEMM epilogue: conv→BN→PReLU becomes one step.
+    // Bitwise identical to a separate activation pass, so fusing is
+    // unconditionally safe when the channel counts line up.
+    bool fused_prelu = false;
+    if (conv != nullptr && options.fuse_prelu && i + 1 < net.size()) {
+      const auto* prelu = dynamic_cast<const nn::PReLU*>(&net.layer(i + 1));
+      if (prelu != nullptr && prelu->channels() == conv->out_channels()) {
+        step.conv = conv;
+        step.prelu = prelu->slope().value;
+        ++num_fused_prelu_;
+        ++i;  // the activation is absorbed; skip its step
+        fused_prelu = true;
+      }
+    }
+
+    cur = layer.infer_shape(cur);  // BN/PReLU preserve shape, so this holds
     step.sample_out = cur;
     step.trace_name = obs::intern(
         "infer." + std::to_string(steps_.size()) + "." +
-        layer_type_name(layer) + (step.folded ? "+bn" : ""));
+        layer_type_name(layer) + (step.folded ? "+bn" : "") +
+        (fused_prelu ? "+prelu" : ""));
     steps_.push_back(std::move(step));
   }
 

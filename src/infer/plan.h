@@ -1,11 +1,15 @@
 // plan.h — ahead-of-time execution plan for serving a trained Sequential.
 // The training path's forward() caches every activation for backward; the
 // serving path needs none of that, so the plan walks the layer stack once,
-// computes every intermediate shape, decides which steps are pure
-// reshapes, and folds each Conv2d → BatchNorm2d pair into a single
-// convolution with adjusted weights. The plan is immutable and borrows
-// the network: build it once from a trained model, then share it across
-// any number of InferenceSessions (one per serving thread).
+// computes every intermediate shape (validating it — a network that would
+// throw at execution time fails here, at plan time), decides which steps
+// are pure reshapes, folds each Conv2d → BatchNorm2d pair into a single
+// convolution with adjusted weights, and fuses a following per-channel
+// PReLU into that convolution's GEMM epilogue — so the paper's
+// conv→BN→PReLU module executes as ONE fused step per stage. The plan is
+// immutable and borrows the network: build it once from a trained model,
+// then share it across any number of InferenceSessions (one per serving
+// thread).
 #pragma once
 
 #include <memory>
@@ -24,6 +28,13 @@ struct PlanOptions {
   /// trained model is not modified; the folded parameters live in the
   /// plan. Exact for inference semantics up to float rounding.
   bool fold_batchnorm = true;
+  /// Fuse a per-channel PReLU that immediately follows a Conv2d (or a
+  /// folded Conv2d→BatchNorm2d pair) into the convolution's GEMM epilogue,
+  /// so Conv+BN+PReLU executes as one plan step. Bitwise identical to
+  /// running the activation as its own step — the epilogue applies the
+  /// same elementwise operation — it just removes one full pass over the
+  /// activation tensor and one arena ping-pong.
+  bool fuse_prelu = true;
 };
 
 /// One executable step of the plan. Either a layer invocation (possibly
@@ -42,6 +53,8 @@ class InferencePlan {
   std::size_t num_steps() const noexcept { return steps_.size(); }
   /// Number of Conv2d→BatchNorm2d pairs folded at plan time.
   std::size_t num_folded() const noexcept { return num_folded_; }
+  /// Number of PReLU activations fused into a convolution epilogue.
+  std::size_t num_fused_prelu() const noexcept { return num_fused_prelu_; }
 
  private:
   friend class InferenceSession;
@@ -51,9 +64,14 @@ class InferencePlan {
     Shape sample_out;  ///< output shape of this step at batch size 1
     bool reshape_only = false;  ///< Flatten: in-place metadata change
     bool folded = false;        ///< run conv with substitute parameters
-    const nn::Conv2d* conv = nullptr;  ///< set when folded
-    Tensor weight;  ///< folded weight [Cout, Cin·k·k]
-    Tensor bias;    ///< folded bias [Cout]
+    /// Set when folded and/or a PReLU is fused: the step runs through
+    /// Conv2d::infer_with instead of the generic infer_into.
+    const nn::Conv2d* conv = nullptr;
+    Tensor weight;  ///< folded weight [Cout, Cin·k·k] (folded only)
+    Tensor bias;    ///< folded bias [Cout] (folded only)
+    /// Per-channel PReLU slopes [Cout] fused into the conv's GEMM
+    /// epilogue; empty when no activation was fused.
+    Tensor prelu;
     /// Interned obs span label ("infer.<i>.<layer type>"), stable for
     /// the process — safe to reference from trace records that outlive
     /// the plan.
@@ -64,6 +82,7 @@ class InferencePlan {
   Shape output_shape_;
   std::vector<Step> steps_;
   std::size_t num_folded_ = 0;
+  std::size_t num_fused_prelu_ = 0;
 };
 
 }  // namespace sne::infer

@@ -68,8 +68,13 @@ void InferenceSession::run(const Tensor& batch, Tensor& out) {
       continue;
     }
     Tensor* dst = last ? &out : (cur_buf == &ping_ ? &pong_ : &ping_);
-    if (step.folded) {
-      step.conv->infer_with(step.weight, step.bias, *cur, *dst);
+    if (step.conv != nullptr) {
+      // Conv step, possibly with substitute (BN-folded) parameters and a
+      // fused PReLU applied in the GEMM epilogue.
+      const Tensor& w = step.folded ? step.weight : step.conv->weight().value;
+      const Tensor& b = step.folded ? step.bias : step.conv->bias().value;
+      step.conv->infer_with(w, b, *cur, *dst,
+                            step.prelu.empty() ? nullptr : &step.prelu);
     } else {
       step.layer->infer_into(*cur, *dst);
     }

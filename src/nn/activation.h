@@ -21,6 +21,11 @@ class PReLU final : public Module {
   std::vector<Param*> params() override { return {&slope_}; }
   std::vector<const Param*> params() const override { return {&slope_}; }
 
+  std::int64_t channels() const noexcept { return channels_; }
+  /// Per-channel slopes [C]; the inference planner reads these to fuse the
+  /// activation into the preceding convolution's GEMM epilogue.
+  const Param& slope() const noexcept { return slope_; }
+
  private:
   std::int64_t channels_;
   Param slope_;  // [C]

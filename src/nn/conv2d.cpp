@@ -49,11 +49,32 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::int64_t out_hw = out_h * out_w;
 
   // backward only needs the input's shape (the pixels it reads come from
-  // cached_columns_), so caching the shape alone halves the layer's
-  // per-batch activation memory.
+  // cached_columns_ / cached_input_), so caching the shape alone halves
+  // the layer's per-batch activation memory.
   cached_in_shape_ = x.shape();
-  cached_columns_ = Tensor({n, col_rows, out_hw});
   Tensor y({n, out_channels_, out_h, out_w});
+  // Bias rides in the GEMM epilogue: same per-element operations as a
+  // separate broadcast pass, but applied while the output panel is still
+  // cache-hot.
+  const GemmEpilogue bias_ep{bias_.value.data(), nullptr};
+
+  if (is_pointwise()) {
+    // 1×1/stride-1/no-pad: the column matrix IS the input sample, so feed
+    // it straight to GEMM — no im2col pass, no column buffer. backward
+    // reads the columns, so cache the input itself instead.
+    cached_columns_ = Tensor();
+    cached_input_ = x;
+    const std::int64_t chw = in_channels_ * h * w;
+    parallel_for(0, n, [&](std::int64_t i) {
+      sgemm(out_channels_, out_hw, col_rows, 1.0f, weight_.value.data(),
+            x.data() + i * chw, 0.0f, y.data() + i * out_channels_ * out_hw,
+            bias_ep);
+    });
+    return y;
+  }
+
+  cached_input_ = Tensor();
+  cached_columns_ = Tensor({n, col_rows, out_hw});
 
   // Samples are independent: each writes its own slice of the column
   // buffer and of y.
@@ -61,15 +82,9 @@ Tensor Conv2d::forward(const Tensor& x) {
     float* cols = cached_columns_.data() + i * col_rows * out_hw;
     im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_,
            kernel_, pad_, stride_, cols);
-    float* yi = y.data() + i * out_channels_ * out_hw;
-    // y_i[Cout, H'W'] = W[Cout, col_rows] · cols[col_rows, H'W']
+    // y_i[Cout, H'W'] = W[Cout, col_rows] · cols[col_rows, H'W'] + bias
     sgemm(out_channels_, out_hw, col_rows, 1.0f, weight_.value.data(), cols,
-          0.0f, yi);
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      const float b = bias_.value[c];
-      float* plane = yi + c * out_hw;
-      for (std::int64_t p = 0; p < out_hw; ++p) plane[p] += b;
-    }
+          0.0f, y.data() + i * out_channels_ * out_hw, bias_ep);
   });
   return y;
 }
@@ -79,7 +94,8 @@ void Conv2d::infer_into(const Tensor& x, Tensor& out) const {
 }
 
 void Conv2d::infer_with(const Tensor& weight, const Tensor& bias,
-                        const Tensor& x, Tensor& out) const {
+                        const Tensor& x, Tensor& out,
+                        const Tensor* prelu) const {
   if (x.rank() != 4 || x.extent(1) != in_channels_) {
     throw std::invalid_argument("Conv2d::infer_with: expected [N, " +
                                 std::to_string(in_channels_) +
@@ -98,6 +114,24 @@ void Conv2d::infer_with(const Tensor& weight, const Tensor& bias,
 
   out.resize({n, out_channels_, out_h, out_w});
 
+  // Bias — and, when the planner fused the following activation, the
+  // per-channel PReLU — run in the GEMM epilogue, bitwise identical to the
+  // separate passes they replace.
+  const GemmEpilogue ep{bias.data(),
+                        prelu != nullptr ? prelu->data() : nullptr};
+
+  if (is_pointwise()) {
+    // 1×1 fast path: the input sample is already the column matrix. No
+    // im2col, and no column buffer at all on this path.
+    const std::int64_t chw = in_channels_ * h * w;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sgemm_serial(out_channels_, out_hw, col_rows, 1.0f, weight.data(),
+                   x.data() + i * chw, 0.0f,
+                   out.data() + i * out_channels_ * out_hw, ep);
+    }
+    return;
+  }
+
   // Serial per-sample loop with a per-thread, grow-only column buffer for
   // just one sample (the training path keeps the whole batch's columns for
   // backward). No pool dispatch, no allocation after warmup: concurrency
@@ -108,14 +142,9 @@ void Conv2d::infer_with(const Tensor& weight, const Tensor& bias,
   for (std::int64_t i = 0; i < n; ++i) {
     im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w, kernel_,
            kernel_, pad_, stride_, cols.data());
-    float* yi = out.data() + i * out_channels_ * out_hw;
     sgemm_serial(out_channels_, out_hw, col_rows, 1.0f, weight.data(),
-                 cols.data(), 0.0f, yi);
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      const float b = bias[c];
-      float* plane = yi + c * out_hw;
-      for (std::int64_t p = 0; p < out_hw; ++p) plane[p] += b;
-    }
+                 cols.data(), 0.0f,
+                 out.data() + i * out_channels_ * out_hw, ep);
   }
 }
 
@@ -123,8 +152,17 @@ Shape Conv2d::infer_shape(const Shape& in) const {
   if (in.size() != 4 || in[1] != in_channels_) {
     throw std::invalid_argument("Conv2d::infer_shape: bad input shape");
   }
-  return {in[0], out_channels_, conv_out_extent(in[2], kernel_, pad_, stride_),
-          conv_out_extent(in[3], kernel_, pad_, stride_)};
+  const std::int64_t out_h = conv_out_extent(in[2], kernel_, pad_, stride_);
+  const std::int64_t out_w = conv_out_extent(in[3], kernel_, pad_, stride_);
+  // Validate exactly like forward/infer_with: a plan built over a
+  // kernel-larger-than-input shape must fail at plan time, not explode
+  // when the session first runs.
+  if (out_h <= 0 || out_w <= 0) {
+    throw std::invalid_argument(
+        "Conv2d::infer_shape: kernel larger than input for [" +
+        std::to_string(in[2]) + ", " + std::to_string(in[3]) + "]");
+  }
+  return {in[0], out_channels_, out_h, out_w};
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
@@ -155,11 +193,14 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   std::vector<float> dw(static_cast<std::size_t>(n * wsize));
   std::vector<float> db(static_cast<std::size_t>(n * out_channels_));
 
+  const bool pointwise = is_pointwise();
   parallel_for(0, n, [&](std::int64_t i) {
-    thread_local std::vector<float> grad_cols;
-    grad_cols.resize(static_cast<std::size_t>(col_rows * out_hw));
     const float* gy = grad_output.data() + i * out_channels_ * out_hw;
-    const float* cols = cached_columns_.data() + i * col_rows * out_hw;
+    // On the 1×1 fast path the cached input doubles as the column matrix
+    // (no im2col ran in forward).
+    const float* cols =
+        pointwise ? cached_input_.data() + i * in_channels_ * h * w
+                  : cached_columns_.data() + i * col_rows * out_hw;
     // dW_i[Cout, col_rows] = gy[Cout, H'W'] · colsᵀ
     sgemm_bt(out_channels_, col_rows, out_hw, 1.0f, gy, cols, 0.0f,
              dw.data() + i * wsize);
@@ -171,11 +212,21 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       db[static_cast<std::size_t>(i * out_channels_ + c)] =
           static_cast<float>(s);
     }
-    // dcols[col_rows, H'W'] = Wᵀ · gy, then scatter back with col2im.
-    sgemm_at(col_rows, out_hw, out_channels_, 1.0f, weight_.value.data(), gy,
-             0.0f, grad_cols.data());
-    col2im(grad_cols.data(), in_channels_, h, w, kernel_, kernel_, pad_,
-           stride_, grad_input.data() + i * in_channels_ * h * w);
+    if (pointwise) {
+      // col2im is the identity for 1×1/stride-1/no-pad, so Wᵀ · gy is the
+      // input gradient itself: write it straight into grad_input, no
+      // scratch buffer and no scatter.
+      sgemm_at(col_rows, out_hw, out_channels_, 1.0f, weight_.value.data(),
+               gy, 0.0f, grad_input.data() + i * in_channels_ * h * w);
+    } else {
+      thread_local std::vector<float> grad_cols;
+      grad_cols.resize(static_cast<std::size_t>(col_rows * out_hw));
+      // dcols[col_rows, H'W'] = Wᵀ · gy, then scatter back with col2im.
+      sgemm_at(col_rows, out_hw, out_channels_, 1.0f, weight_.value.data(),
+               gy, 0.0f, grad_cols.data());
+      col2im(grad_cols.data(), in_channels_, h, w, kernel_, kernel_, pad_,
+             stride_, grad_input.data() + i * in_channels_ * h * w);
+    }
   });
 
   // Deterministic reduction: fixed sample order, on the calling thread.

@@ -29,12 +29,21 @@ class Conv2d final : public Module {
   /// this to run a batch-norm-folded convolution through the layer's own
   /// kernel without mutating the trained weights. `weight` must be
   /// [Cout, Cin·k·k] and `bias` [Cout], like the layer's own parameters.
+  /// When `prelu` is non-null it must be [Cout] per-channel PReLU slopes;
+  /// they are applied in the GEMM epilogue, bitwise identical to running a
+  /// separate PReLU pass over the conv output.
   void infer_with(const Tensor& weight, const Tensor& bias, const Tensor& x,
-                  Tensor& out) const;
+                  Tensor& out, const Tensor* prelu = nullptr) const;
 
   std::int64_t in_channels() const noexcept { return in_channels_; }
   std::int64_t out_channels() const noexcept { return out_channels_; }
   std::int64_t kernel() const noexcept { return kernel_; }
+  /// 1×1/stride-1/no-pad: the im2col matrix equals the input sample, so
+  /// both forward and inference feed the input straight to GEMM with no
+  /// column buffer.
+  bool is_pointwise() const noexcept {
+    return kernel_ == 1 && stride_ == 1 && pad_ == 0;
+  }
   const Param& weight() const noexcept { return weight_; }
   const Param& bias() const noexcept { return bias_; }
 
@@ -48,6 +57,9 @@ class Conv2d final : public Module {
   Param bias_;    // [Cout]
   Shape cached_in_shape_;  // backward needs only the forward input's shape
   Tensor cached_columns_;  // im2col of the whole batch: [N, Cin·k·k, H'·W']
+                           // (empty on the 1×1 fast path)
+  Tensor cached_input_;    // 1×1 fast path: the input doubles as the column
+                           // matrix, so backward caches it instead
 };
 
 }  // namespace sne::nn

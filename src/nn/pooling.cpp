@@ -118,6 +118,13 @@ Shape MaxPool2d::infer_shape(const Shape& in) const {
   if (in.size() != 4) {
     throw std::invalid_argument("MaxPool2d::infer_shape: bad input shape");
   }
+  // Same validation as the execution paths (check_pool_input): the
+  // planner's AOT shape walk must reject a window larger than the input
+  // rather than plan a non-positive extent.
+  if (in[2] < kernel_ || in[3] < kernel_) {
+    throw std::invalid_argument(
+        "MaxPool2d::infer_shape: window larger than input");
+  }
   return {in[0], in[1], pooled_extent(in[2], kernel_, stride_),
           pooled_extent(in[3], kernel_, stride_)};
 }
@@ -207,6 +214,10 @@ void AvgPool2d::infer_into(const Tensor& x, Tensor& out) const {
 Shape AvgPool2d::infer_shape(const Shape& in) const {
   if (in.size() != 4) {
     throw std::invalid_argument("AvgPool2d::infer_shape: bad input shape");
+  }
+  if (in[2] < kernel_ || in[3] < kernel_) {
+    throw std::invalid_argument(
+        "AvgPool2d::infer_shape: window larger than input");
   }
   return {in[0], in[1], pooled_extent(in[2], kernel_, stride_),
           pooled_extent(in[3], kernel_, stride_)};

@@ -1,10 +1,20 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "tensor/env.h"
 #include "tensor/thread_pool.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SNE_GEMM_X86 1
+#include <immintrin.h>
+#else
+#define SNE_GEMM_X86 0
+#endif
 
 namespace sne {
 
@@ -15,8 +25,9 @@ constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 256;
 constexpr std::int64_t kBlockK = 256;
 
-// Inner kernel: C[mb×nb] += A[mb×k_len] · B[k_len×nb], with B rows
-// contiguous so the compiler can vectorize the n loop.
+// Scalar inner kernel: C[mb×nb] += A[mb×k_len] · B[k_len×nb], with B rows
+// contiguous so the compiler can vectorize the n loop. This kernel is the
+// determinism bit-reference: its accumulation order must never change.
 void gemm_block(std::int64_t mb, std::int64_t nb, std::int64_t kb,
                 const float* a, std::int64_t lda, const float* b,
                 std::int64_t ldb, float* c, std::int64_t ldc) {
@@ -46,6 +57,274 @@ void gemm_block(std::int64_t mb, std::int64_t nb, std::int64_t kb,
   }
 }
 
+#if SNE_GEMM_X86
+
+// AVX2+FMA inner kernel: 6×16 register tiles of C held in twelve ymm
+// accumulators across the whole k reduction (12 accumulators + 2 B
+// vectors + 1 broadcast = 15 of the 16 ymm registers), so C is read and
+// written once per block instead of once per four k steps. Ragged
+// rows/columns fall back to narrower tiles and finally scalar loops;
+// every path has a fixed accumulation order, so the tier stays bitwise
+// deterministic (it just differs from the scalar tier by reassociation of
+// the k sum).
+__attribute__((target("avx2,fma"))) void gemm_block_avx2(
+    std::int64_t mb, std::int64_t nb, std::int64_t kb, const float* a,
+    std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+    std::int64_t ldc) {
+  std::int64_t i = 0;
+  for (; i + 6 <= mb; i += 6) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    const float* a4 = a + (i + 4) * lda;
+    const float* a5 = a + (i + 5) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    float* c4 = c + (i + 4) * ldc;
+    float* c5 = c + (i + 5) * ldc;
+    std::int64_t j = 0;
+    for (; j + 16 <= nb; j += 16) {
+      __m256 acc0l = _mm256_loadu_ps(c0 + j);
+      __m256 acc0h = _mm256_loadu_ps(c0 + j + 8);
+      __m256 acc1l = _mm256_loadu_ps(c1 + j);
+      __m256 acc1h = _mm256_loadu_ps(c1 + j + 8);
+      __m256 acc2l = _mm256_loadu_ps(c2 + j);
+      __m256 acc2h = _mm256_loadu_ps(c2 + j + 8);
+      __m256 acc3l = _mm256_loadu_ps(c3 + j);
+      __m256 acc3h = _mm256_loadu_ps(c3 + j + 8);
+      __m256 acc4l = _mm256_loadu_ps(c4 + j);
+      __m256 acc4h = _mm256_loadu_ps(c4 + j + 8);
+      __m256 acc5l = _mm256_loadu_ps(c5 + j);
+      __m256 acc5h = _mm256_loadu_ps(c5 + j + 8);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float* bp = b + p * ldb + j;
+        const __m256 bl = _mm256_loadu_ps(bp);
+        const __m256 bh = _mm256_loadu_ps(bp + 8);
+        __m256 av = _mm256_set1_ps(a0[p]);
+        acc0l = _mm256_fmadd_ps(av, bl, acc0l);
+        acc0h = _mm256_fmadd_ps(av, bh, acc0h);
+        av = _mm256_set1_ps(a1[p]);
+        acc1l = _mm256_fmadd_ps(av, bl, acc1l);
+        acc1h = _mm256_fmadd_ps(av, bh, acc1h);
+        av = _mm256_set1_ps(a2[p]);
+        acc2l = _mm256_fmadd_ps(av, bl, acc2l);
+        acc2h = _mm256_fmadd_ps(av, bh, acc2h);
+        av = _mm256_set1_ps(a3[p]);
+        acc3l = _mm256_fmadd_ps(av, bl, acc3l);
+        acc3h = _mm256_fmadd_ps(av, bh, acc3h);
+        av = _mm256_set1_ps(a4[p]);
+        acc4l = _mm256_fmadd_ps(av, bl, acc4l);
+        acc4h = _mm256_fmadd_ps(av, bh, acc4h);
+        av = _mm256_set1_ps(a5[p]);
+        acc5l = _mm256_fmadd_ps(av, bl, acc5l);
+        acc5h = _mm256_fmadd_ps(av, bh, acc5h);
+      }
+      _mm256_storeu_ps(c0 + j, acc0l);
+      _mm256_storeu_ps(c0 + j + 8, acc0h);
+      _mm256_storeu_ps(c1 + j, acc1l);
+      _mm256_storeu_ps(c1 + j + 8, acc1h);
+      _mm256_storeu_ps(c2 + j, acc2l);
+      _mm256_storeu_ps(c2 + j + 8, acc2h);
+      _mm256_storeu_ps(c3 + j, acc3l);
+      _mm256_storeu_ps(c3 + j + 8, acc3h);
+      _mm256_storeu_ps(c4 + j, acc4l);
+      _mm256_storeu_ps(c4 + j + 8, acc4h);
+      _mm256_storeu_ps(c5 + j, acc5l);
+      _mm256_storeu_ps(c5 + j + 8, acc5h);
+    }
+    for (; j + 8 <= nb; j += 8) {
+      __m256 acc0 = _mm256_loadu_ps(c0 + j);
+      __m256 acc1 = _mm256_loadu_ps(c1 + j);
+      __m256 acc2 = _mm256_loadu_ps(c2 + j);
+      __m256 acc3 = _mm256_loadu_ps(c3 + j);
+      __m256 acc4 = _mm256_loadu_ps(c4 + j);
+      __m256 acc5 = _mm256_loadu_ps(c5 + j);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const __m256 bv = _mm256_loadu_ps(b + p * ldb + j);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[p]), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[p]), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[p]), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[p]), bv, acc3);
+        acc4 = _mm256_fmadd_ps(_mm256_set1_ps(a4[p]), bv, acc4);
+        acc5 = _mm256_fmadd_ps(_mm256_set1_ps(a5[p]), bv, acc5);
+      }
+      _mm256_storeu_ps(c0 + j, acc0);
+      _mm256_storeu_ps(c1 + j, acc1);
+      _mm256_storeu_ps(c2 + j, acc2);
+      _mm256_storeu_ps(c3 + j, acc3);
+      _mm256_storeu_ps(c4 + j, acc4);
+      _mm256_storeu_ps(c5 + j, acc5);
+    }
+    for (; j < nb; ++j) {
+      float s0 = c0[j], s1 = c1[j], s2 = c2[j];
+      float s3 = c3[j], s4 = c4[j], s5 = c5[j];
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float bv = b[p * ldb + j];
+        s0 += a0[p] * bv;
+        s1 += a1[p] * bv;
+        s2 += a2[p] * bv;
+        s3 += a3[p] * bv;
+        s4 += a4[p] * bv;
+        s5 += a5[p] * bv;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+      c4[j] = s4;
+      c5[j] = s5;
+    }
+  }
+  for (; i + 4 <= mb; i += 4) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    std::int64_t j = 0;
+    for (; j + 16 <= nb; j += 16) {
+      __m256 acc0l = _mm256_loadu_ps(c0 + j);
+      __m256 acc0h = _mm256_loadu_ps(c0 + j + 8);
+      __m256 acc1l = _mm256_loadu_ps(c1 + j);
+      __m256 acc1h = _mm256_loadu_ps(c1 + j + 8);
+      __m256 acc2l = _mm256_loadu_ps(c2 + j);
+      __m256 acc2h = _mm256_loadu_ps(c2 + j + 8);
+      __m256 acc3l = _mm256_loadu_ps(c3 + j);
+      __m256 acc3h = _mm256_loadu_ps(c3 + j + 8);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float* bp = b + p * ldb + j;
+        const __m256 bl = _mm256_loadu_ps(bp);
+        const __m256 bh = _mm256_loadu_ps(bp + 8);
+        __m256 av = _mm256_set1_ps(a0[p]);
+        acc0l = _mm256_fmadd_ps(av, bl, acc0l);
+        acc0h = _mm256_fmadd_ps(av, bh, acc0h);
+        av = _mm256_set1_ps(a1[p]);
+        acc1l = _mm256_fmadd_ps(av, bl, acc1l);
+        acc1h = _mm256_fmadd_ps(av, bh, acc1h);
+        av = _mm256_set1_ps(a2[p]);
+        acc2l = _mm256_fmadd_ps(av, bl, acc2l);
+        acc2h = _mm256_fmadd_ps(av, bh, acc2h);
+        av = _mm256_set1_ps(a3[p]);
+        acc3l = _mm256_fmadd_ps(av, bl, acc3l);
+        acc3h = _mm256_fmadd_ps(av, bh, acc3h);
+      }
+      _mm256_storeu_ps(c0 + j, acc0l);
+      _mm256_storeu_ps(c0 + j + 8, acc0h);
+      _mm256_storeu_ps(c1 + j, acc1l);
+      _mm256_storeu_ps(c1 + j + 8, acc1h);
+      _mm256_storeu_ps(c2 + j, acc2l);
+      _mm256_storeu_ps(c2 + j + 8, acc2h);
+      _mm256_storeu_ps(c3 + j, acc3l);
+      _mm256_storeu_ps(c3 + j + 8, acc3h);
+    }
+    for (; j + 8 <= nb; j += 8) {
+      __m256 acc0 = _mm256_loadu_ps(c0 + j);
+      __m256 acc1 = _mm256_loadu_ps(c1 + j);
+      __m256 acc2 = _mm256_loadu_ps(c2 + j);
+      __m256 acc3 = _mm256_loadu_ps(c3 + j);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const __m256 bv = _mm256_loadu_ps(b + p * ldb + j);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[p]), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[p]), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[p]), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[p]), bv, acc3);
+      }
+      _mm256_storeu_ps(c0 + j, acc0);
+      _mm256_storeu_ps(c1 + j, acc1);
+      _mm256_storeu_ps(c2 + j, acc2);
+      _mm256_storeu_ps(c3 + j, acc3);
+    }
+    for (; j < nb; ++j) {
+      float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float bv = b[p * ldb + j];
+        s0 += a0[p] * bv;
+        s1 += a1[p] * bv;
+        s2 += a2[p] * bv;
+        s3 += a3[p] * bv;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  for (; i < mb; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    std::int64_t j = 0;
+    for (; j + 16 <= nb; j += 16) {
+      __m256 accl = _mm256_loadu_ps(ci + j);
+      __m256 acch = _mm256_loadu_ps(ci + j + 8);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const __m256 av = _mm256_set1_ps(ai[p]);
+        accl = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + p * ldb + j), accl);
+        acch = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + p * ldb + j + 8), acch);
+      }
+      _mm256_storeu_ps(ci + j, accl);
+      _mm256_storeu_ps(ci + j + 8, acch);
+    }
+    for (; j + 8 <= nb; j += 8) {
+      __m256 acc = _mm256_loadu_ps(ci + j);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(ai[p]),
+                              _mm256_loadu_ps(b + p * ldb + j), acc);
+      }
+      _mm256_storeu_ps(ci + j, acc);
+    }
+    for (; j < nb; ++j) {
+      float s = ci[j];
+      for (std::int64_t p = 0; p < kb; ++p) s += ai[p] * b[p * ldb + j];
+      ci[j] = s;
+    }
+  }
+}
+
+#endif  // SNE_GEMM_X86
+
+bool cpu_has_avx2_fma() noexcept {
+#if SNE_GEMM_X86
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// -1 = unresolved; otherwise a GemmTier value. Resolution happens at most
+// once per process unless set_gemm_tier overrides it.
+std::atomic<int> g_gemm_tier{-1};
+
+GemmTier clamp_to_supported(GemmTier tier) noexcept {
+  return gemm_tier_supported(tier) ? tier : GemmTier::Scalar;
+}
+
+GemmTier resolve_default_tier() {
+  const std::string v = env::string("GEMM_KERNEL", "auto");
+  if (v == "scalar") return GemmTier::Scalar;
+  if (v == "avx2") return clamp_to_supported(GemmTier::Avx2Fma);
+  // "auto" (and anything unrecognized, which falls back like the other
+  // SNE_* env knobs): best supported tier.
+  return clamp_to_supported(GemmTier::Avx2Fma);
+}
+
+using BlockKernel = void (*)(std::int64_t, std::int64_t, std::int64_t,
+                             const float*, std::int64_t, const float*,
+                             std::int64_t, float*, std::int64_t);
+
+BlockKernel active_block_kernel() {
+#if SNE_GEMM_X86
+  if (gemm_tier() == GemmTier::Avx2Fma) return gemm_block_avx2;
+#endif
+  return gemm_block;
+}
+
 void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
   if (beta == 1.0f) return;
   if (beta == 0.0f) {
@@ -55,12 +334,36 @@ void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
   for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
 }
 
-// One row panel of C: the k/n-blocked accumulation for rows [i0, i0+mb).
-// Shared by the parallel and serial drivers so their math (and bits) are
-// identical; `a_panel` is caller-provided scratch, reused across calls.
+// Per-row bias add and PReLU over rows [i0, i0+mb) of C. Runs right after
+// a row panel's k accumulation finishes (C still cache-hot), in the same
+// element order and with the same operations as the separate passes it
+// replaces — fusing the epilogue changes no bits.
+void apply_epilogue(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                    float* c, const GemmEpilogue& ep) {
+  for (std::int64_t i = i0; i < i0 + mb; ++i) {
+    float* row = c + i * n;
+    if (ep.bias != nullptr) {
+      const float bv = ep.bias[i];
+      for (std::int64_t j = 0; j < n; ++j) row[j] += bv;
+    }
+    if (ep.prelu != nullptr) {
+      const float s = ep.prelu[i];
+      for (std::int64_t j = 0; j < n; ++j) {
+        row[j] = row[j] > 0.0f ? row[j] : s * row[j];
+      }
+    }
+  }
+}
+
+// One row panel of C: the k/n-blocked accumulation for rows [i0, i0+mb),
+// then the epilogue for those rows. Shared by the parallel and serial
+// drivers so their math (and bits) are identical; `a_panel` is
+// caller-provided scratch, reused across calls. `kernel` is the dispatched
+// inner kernel, captured once per driver call.
 void sgemm_panel(std::int64_t i0, std::int64_t mb, std::int64_t n,
                  std::int64_t k, float alpha, const float* a, const float* b,
-                 float* c, std::vector<float>& a_panel) {
+                 float* c, std::vector<float>& a_panel, BlockKernel kernel,
+                 const GemmEpilogue& epilogue) {
   for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
     const std::int64_t kb = std::min(kBlockK, k - p0);
     a_panel.assign(static_cast<std::size_t>(mb * kb), 0.0f);
@@ -71,45 +374,98 @@ void sgemm_panel(std::int64_t i0, std::int64_t mb, std::int64_t n,
     }
     for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
       const std::int64_t nb = std::min(kBlockN, n - j0);
-      gemm_block(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
-                 c + i0 * n + j0, n);
+      kernel(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
+             c + i0 * n + j0, n);
     }
   }
+  if (!epilogue.empty()) apply_epilogue(i0, mb, n, c, epilogue);
 }
 
 }  // namespace
 
-void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-           const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+GemmTier gemm_tier() {
+  int t = g_gemm_tier.load(std::memory_order_acquire);
+  if (t < 0) {
+    int expected = -1;
+    const int resolved = static_cast<int>(resolve_default_tier());
+    if (!g_gemm_tier.compare_exchange_strong(expected, resolved,
+                                             std::memory_order_acq_rel)) {
+      return static_cast<GemmTier>(expected);
+    }
+    t = resolved;
+  }
+  return static_cast<GemmTier>(t);
+}
 
-  // Row panels are independent (each writes a disjoint row range of C), so
-  // they distribute across the pool; the k/n blocking inside one panel
-  // stays serial, which keeps each C element's accumulation order — and
-  // therefore the result bits — independent of the thread count. alpha is
-  // folded into a scaled copy of the A panel so the inner kernel stays a
-  // pure FMA loop; the scratch panel is per-thread and reused.
+void set_gemm_tier(GemmTier tier) {
+  g_gemm_tier.store(static_cast<int>(clamp_to_supported(tier)),
+                    std::memory_order_release);
+}
+
+bool gemm_tier_supported(GemmTier tier) noexcept {
+  switch (tier) {
+    case GemmTier::Scalar:
+      return true;
+    case GemmTier::Avx2Fma: {
+      static const bool supported = cpu_has_avx2_fma();
+      return supported;
+    }
+  }
+  return false;
+}
+
+const char* gemm_tier_name(GemmTier tier) noexcept {
+  return tier == GemmTier::Avx2Fma ? "avx2" : "scalar";
+}
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c,
+           const GemmEpilogue& epilogue) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) {
+    // No accumulation, but the epilogue still applies to the scaled C.
+    if (!epilogue.empty() && m > 0 && n > 0) apply_epilogue(0, m, n, c,
+                                                            epilogue);
+    return;
+  }
+
+  // Row panels are independent (each writes a disjoint row range of C and
+  // applies the epilogue to its own rows), so they distribute across the
+  // pool; the k/n blocking inside one panel stays serial, which keeps each
+  // C element's accumulation order — and therefore the result bits —
+  // independent of the thread count. alpha is folded into a scaled copy of
+  // the A panel so the inner kernel stays a pure FMA loop; the scratch
+  // panel is per-thread and reused. The inner kernel is resolved once per
+  // call, so a concurrent set_gemm_tier cannot mix tiers within one GEMM.
+  const BlockKernel kernel = active_block_kernel();
   const std::int64_t num_panels = (m + kBlockM - 1) / kBlockM;
   parallel_for(0, num_panels, [&](std::int64_t panel) {
     thread_local std::vector<float> a_panel;
     const std::int64_t i0 = panel * kBlockM;
-    sgemm_panel(i0, std::min(kBlockM, m - i0), n, k, alpha, a, b, c, a_panel);
+    sgemm_panel(i0, std::min(kBlockM, m - i0), n, k, alpha, a, b, c, a_panel,
+                kernel, epilogue);
   });
 }
 
 void sgemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-                  const float* a, const float* b, float beta, float* c) {
+                  const float* a, const float* b, float beta, float* c,
+                  const GemmEpilogue& epilogue) {
   scale_c(m, n, beta, c);
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) {
+    if (!epilogue.empty() && m > 0 && n > 0) apply_epilogue(0, m, n, c,
+                                                            epilogue);
+    return;
+  }
 
   // Same panels as sgemm, walked on the calling thread. The scratch panel
   // grows once per thread and is then reused, so steady-state calls do not
   // touch the allocator (the std::function conversion inside parallel_for
   // would; that is why this is not just sgemm with a 1-wide pool).
+  const BlockKernel kernel = active_block_kernel();
   thread_local std::vector<float> a_panel;
   for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    sgemm_panel(i0, std::min(kBlockM, m - i0), n, k, alpha, a, b, c, a_panel);
+    sgemm_panel(i0, std::min(kBlockM, m - i0), n, k, alpha, a, b, c, a_panel,
+                kernel, epilogue);
   }
 }
 
@@ -122,6 +478,7 @@ void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 
   // Same parallel decomposition as sgemm: independent row panels of C,
   // per-thread transpose scratch, serial k accumulation within a panel.
+  const BlockKernel kernel = active_block_kernel();
   const std::int64_t num_panels = (m + kBlockM - 1) / kBlockM;
   parallel_for(0, num_panels, [&](std::int64_t panel) {
     thread_local std::vector<float> a_panel;
@@ -138,8 +495,8 @@ void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
       }
       for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
         const std::int64_t nb = std::min(kBlockN, n - j0);
-        gemm_block(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
-                   c + i0 * n + j0, n);
+        kernel(mb, nb, kb, a_panel.data(), kb, b + p0 * n + j0, n,
+               c + i0 * n + j0, n);
       }
     }
   });

@@ -2,30 +2,78 @@
 // lowering used by the convolution layers. These are the hot loops of the
 // whole training pipeline; everything else in the nn library reduces to
 // calls into this file.
+//
+// The inner panel kernel is runtime-dispatched: a portable scalar kernel
+// (the bit-reference — its accumulation order has never changed and the
+// determinism tests pin it) and an AVX2+FMA register-blocked kernel picked
+// by CPUID at first use. Within either tier results are bitwise identical
+// across thread counts and repeated runs; across tiers they agree only to
+// float tolerance (the vector kernel re-associates the k reduction).
+// Force a tier with SNE_GEMM_KERNEL=scalar|avx2|auto or set_gemm_tier().
 #pragma once
 
 #include <cstdint>
 
 namespace sne {
 
-/// C[m×n] = alpha * A[m×k] · B[k×n] + beta * C.
-/// Row-major, contiguous. Cache-blocked with an unrolled inner kernel and
-/// parallelized across row panels of C on the shared thread pool (see
-/// tensor/thread_pool.h). Each panel's accumulation stays serial, so the
-/// result is bitwise identical for any thread count — determinism of
-/// accumulation order is a test invariant.
+/// Kernel tier for the GEMM panel micro-kernel.
+enum class GemmTier {
+  Scalar = 0,   ///< portable unrolled kernel; the determinism bit-reference
+  Avx2Fma = 1,  ///< 6×16 register-blocked AVX2+FMA micro-kernel
+};
+
+/// The tier all GEMM calls currently dispatch to. Resolved once on first
+/// use: SNE_GEMM_KERNEL if set ("scalar" | "avx2" | "auto"), otherwise the
+/// best tier the CPU supports. An unsupported request falls back to Scalar.
+GemmTier gemm_tier();
+
+/// Overrides the dispatch tier for the whole process (test/bench hook).
+/// Requests for an unsupported tier are clamped to Scalar. Not intended to
+/// be raced against in-flight GEMM calls: switch tiers only at quiescence.
+void set_gemm_tier(GemmTier tier);
+
+/// True when the running CPU can execute `tier`.
+bool gemm_tier_supported(GemmTier tier) noexcept;
+
+/// "scalar" / "avx2" — stable names, matching the SNE_GEMM_KERNEL values.
+const char* gemm_tier_name(GemmTier tier) noexcept;
+
+/// Optional per-row epilogue fused into the GEMM drivers: applied to each
+/// finished row panel of C while it is still cache-hot, after the full k
+/// accumulation (and after beta scaling). Element order and operations are
+/// identical to running the equivalent separate passes over C, so fusing
+/// changes no bits — only memory traffic. Pointers are borrowed and must
+/// cover [0, m).
+struct GemmEpilogue {
+  /// Per-row additive bias: C[i][j] += bias[i]. Null to skip.
+  const float* bias = nullptr;
+  /// Per-row PReLU negative slope, applied after the bias:
+  /// C[i][j] = C[i][j] > 0 ? C[i][j] : prelu[i] * C[i][j]. Null to skip.
+  const float* prelu = nullptr;
+
+  bool empty() const noexcept { return bias == nullptr && prelu == nullptr; }
+};
+
+/// C[m×n] = alpha * A[m×k] · B[k×n] + beta * C, then the epilogue (if any).
+/// Row-major, contiguous. Cache-blocked with a runtime-dispatched inner
+/// kernel and parallelized across row panels of C on the shared thread pool
+/// (see tensor/thread_pool.h). Each panel's accumulation stays serial, so
+/// within a dispatch tier the result is bitwise identical for any thread
+/// count — determinism of accumulation order is a test invariant.
 void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-           const float* a, const float* b, float beta, float* c);
+           const float* a, const float* b, float beta, float* c,
+           const GemmEpilogue& epilogue = {});
 
 /// sgemm with the identical blocking and accumulation order, but guaranteed
 /// never to dispatch to the thread pool and heap-allocation-free after its
-/// per-thread scratch panel has warmed up. Bitwise identical to sgemm (the
-/// parallel version keeps each panel's accumulation serial). This is the
-/// GEMM substrate of the inference path, whose run() contract is zero
-/// allocations after warmup; parallelism there comes from running whole
-/// sessions on separate pool workers instead.
+/// per-thread scratch panel has warmed up. Bitwise identical to sgemm at
+/// the same tier (the parallel version keeps each panel's accumulation
+/// serial). This is the GEMM substrate of the inference path, whose run()
+/// contract is zero allocations after warmup; parallelism there comes from
+/// running whole sessions on separate pool workers instead.
 void sgemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-                  const float* a, const float* b, float beta, float* c);
+                  const float* a, const float* b, float beta, float* c,
+                  const GemmEpilogue& epilogue = {});
 
 /// C[m×n] = alpha * Aᵀ (A is k×m) · B[k×n] + beta * C.
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,

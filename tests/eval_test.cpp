@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "eval/metrics.h"
 #include "eval/roc.h"
@@ -89,6 +90,28 @@ TEST(Roc, RejectsDegenerateInputs) {
   EXPECT_THROW(auc(s, one_class), std::invalid_argument);
 }
 
+TEST(Roc, RejectsNonFiniteScores) {
+  // Regression: a NaN score used to hang compute_roc — NaN compares
+  // unequal to itself, so the tie-group cursor never advanced and the
+  // sweep spun forever. The fix rejects non-finite inputs up front; this
+  // test completing at all (instead of timing out) is the point.
+  const std::vector<float> nan_scores{0.9f, std::nanf(""), 0.2f};
+  const std::vector<float> labels{1, 0, 0};
+  EXPECT_THROW(auc(nan_scores, labels), std::invalid_argument);
+  EXPECT_THROW(compute_roc(nan_scores, labels), std::invalid_argument);
+  EXPECT_THROW(best_accuracy(nan_scores, labels), std::invalid_argument);
+  EXPECT_THROW(bootstrap_auc(nan_scores, labels, 50, 0.95, 1),
+               std::invalid_argument);
+
+  const std::vector<float> inf_scores{
+      0.9f, std::numeric_limits<float>::infinity(), 0.2f};
+  EXPECT_THROW(auc(inf_scores, labels), std::invalid_argument);
+
+  const std::vector<float> scores{0.9f, 0.5f, 0.2f};
+  const std::vector<float> nan_labels{1.0f, std::nanf(""), 0.0f};
+  EXPECT_THROW(auc(scores, nan_labels), std::invalid_argument);
+}
+
 TEST(Roc, AccuracyAtThreshold) {
   const std::vector<float> scores{0.9f, 0.4f, 0.6f, 0.1f};
   const std::vector<float> labels{1, 1, 0, 0};
@@ -102,6 +125,21 @@ TEST(Roc, TprAtFprOperatingPoint) {
   const RocCurve curve = compute_roc(scores, labels);
   EXPECT_NEAR(tpr_at_fpr(curve, 0.0), 2.0 / 3.0, 1e-9);
   EXPECT_NEAR(tpr_at_fpr(curve, 1.0), 1.0, 1e-9);
+}
+
+TEST(Roc, TprAtFprInterpolatesBetweenVertices) {
+  // A big tie group makes the curve coarse: its vertices are
+  // (0,0) → (0,1/3) → (2/3,1) → (1,1). An FPR budget of 1/3 lands in the
+  // middle of the diagonal segment, where the achievable operating point
+  // (randomized thresholding between the bracketing cuts) has TPR 2/3.
+  // The old best-vertex-below rule reported only 1/3.
+  const std::vector<float> scores{0.9f, 0.5f, 0.5f, 0.5f, 0.5f, 0.3f};
+  const std::vector<float> labels{1, 1, 1, 0, 0, 0};
+  const RocCurve curve = compute_roc(scores, labels);
+  EXPECT_NEAR(tpr_at_fpr(curve, 1.0 / 3.0), 2.0 / 3.0, 1e-9);
+  // At a vertex the interpolation must coincide with the vertex itself.
+  EXPECT_NEAR(tpr_at_fpr(curve, 2.0 / 3.0), 1.0, 1e-9);
+  EXPECT_NEAR(tpr_at_fpr(curve, 0.0), 1.0 / 3.0, 1e-9);
 }
 
 TEST(Metrics, MseMaeBias) {

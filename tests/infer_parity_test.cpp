@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <stdexcept>
 #include <string>
 
 #include "core/band_cnn.h"
@@ -213,6 +214,77 @@ TEST(InferParity, SetTrainingPropagatesThroughComposites) {
   hw.set_training(false);
   EXPECT_FALSE(hw.transform().is_training());
   EXPECT_FALSE(hw.gate().is_training());
+}
+
+TEST(InferParity, FusedPreluSessionMatchesUnfusedBitwise) {
+  Rng rng(19);
+  BandCnn cnn(small_cnn_config(), rng);
+  warm_running_stats(cnn, rng);
+
+  const Tensor x =
+      Tensor::rand_uniform({6, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
+
+  infer::PlanOptions unfused_opts;
+  unfused_opts.fuse_prelu = false;
+  infer::InferenceSession unfused = make_session(cnn, unfused_opts);
+  infer::InferenceSession fused = make_session(cnn);  // fusion on by default
+
+  EXPECT_EQ(unfused.plan().num_fused_prelu(), 0u);
+  // One PReLU per conv stage rides the GEMM epilogue; the FC-stage PReLUs
+  // follow Linears and stay standalone steps.
+  EXPECT_EQ(fused.plan().num_fused_prelu(), 3u);
+  EXPECT_EQ(fused.plan().num_steps() + 3, unfused.plan().num_steps());
+
+  // The epilogue applies the same elementwise operations in the same order
+  // as the standalone activation pass, so fusion changes no bits.
+  EXPECT_TRUE(fused.run(x).equals(unfused.run(x)));
+}
+
+TEST(InferParity, PreluFusesIntoUnfoldedAndPointwiseConvs) {
+  // Fusion does not require a folded BN: any Conv2d directly followed by a
+  // channel-matched PReLU absorbs it — including the 1×1 fast path, whose
+  // GEMM runs straight off the input with no column buffer.
+  Rng rng(20);
+  nn::Sequential net;
+  net.emplace<nn::Conv2d>(2, 8, 3, rng);
+  net.emplace<nn::PReLU>(8, 0.25f);
+  net.emplace<nn::Conv2d>(8, 4, 1, rng);  // pointwise
+  net.emplace<nn::PReLU>(4, 0.25f);
+  net.set_training(false);
+
+  const Shape sample{2, 10, 10};
+  const Tensor x = Tensor::rand_uniform({5, 2, 10, 10}, rng, -2.0f, 2.0f);
+
+  infer::InferenceSession fused(net, sample);
+  EXPECT_EQ(fused.plan().num_folded(), 0u);
+  EXPECT_EQ(fused.plan().num_fused_prelu(), 2u);
+  EXPECT_EQ(fused.plan().num_steps(), 2u);
+
+  infer::PlanOptions off;
+  off.fuse_prelu = false;
+  infer::InferenceSession unfused(net, sample, off);
+  EXPECT_EQ(unfused.plan().num_fused_prelu(), 0u);
+  EXPECT_EQ(unfused.plan().num_steps(), 4u);
+
+  EXPECT_TRUE(fused.run(x).equals(unfused.run(x)));
+}
+
+TEST(InferParity, PlanValidatesShapesAtPlanTime) {
+  Rng rng(21);
+  // Layer-level: infer_shape mirrors the execution-path validation instead
+  // of returning impossible non-positive extents.
+  nn::Conv2d conv(2, 4, 5, rng);
+  EXPECT_THROW(conv.infer_shape({1, 2, 3, 3}), std::invalid_argument);
+  nn::MaxPool2d max_pool(2);
+  EXPECT_THROW(max_pool.infer_shape({1, 2, 1, 1}), std::invalid_argument);
+  nn::AvgPool2d avg_pool(2);
+  EXPECT_THROW(avg_pool.infer_shape({1, 2, 1, 1}), std::invalid_argument);
+
+  // Plan-level: a network that cannot run on the sample shape is rejected
+  // when the plan is built, not when the first batch arrives.
+  nn::Sequential net;
+  net.emplace<nn::Conv2d>(2, 4, 5, rng);
+  EXPECT_THROW(infer::InferencePlan(net, {2, 4, 4}), std::invalid_argument);
 }
 
 TEST(InferParity, SteadyStateRunIsAllocationFree) {
