@@ -23,10 +23,10 @@ int main() {
   // --- flux-CNN ablations (input transform, pooling) ---
   bench::FluxRunConfig base;
   base.input_size = 44;
-  base.train_pairs = eval::env_int64("PAIRS", 1200);
+  base.train_pairs = env::int64("PAIRS", 1200);
   base.val_pairs = 300;
   base.test_pairs = 300;
-  base.epochs = eval::env_int64("EPOCHS", 4);
+  base.epochs = env::int64("EPOCHS", 4);
 
   eval::TextTable cnn_table({"flux CNN variant", "test loss", "test MAE"});
   double loss_signed = 0.0;
@@ -146,7 +146,7 @@ int main() {
   // --- classifier ablation (highway vs plain FC) ---
   eval::TextTable clf_table({"classifier variant", "AUC"});
   core::FeatureConfig features;
-  const std::int64_t clf_epochs = eval::env_int64("CLF_EPOCHS", 40);
+  const std::int64_t clf_epochs = env::int64("CLF_EPOCHS", 40);
   const bench::ClassifierRun highway = bench::train_lc_classifier(
       data, splits, features, 100, clf_epochs, 900, /*use_highway=*/true);
   const bench::ClassifierRun plain = bench::train_lc_classifier(

@@ -73,7 +73,7 @@ int main() {
   nn::Trainer trainer(model, opt, nn::bce_with_logits_loss,
                       nn::binary_accuracy);
   nn::TrainConfig tc;
-  tc.epochs = eval::env_int64("EPOCHS", 5);
+  tc.epochs = env::int64("EPOCHS", 5);
   tc.batch_size = 32;
   const eval::Stopwatch timer;
   const auto history = trainer.fit(train, nullptr, tc);

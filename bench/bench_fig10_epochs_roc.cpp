@@ -16,7 +16,7 @@ int main() {
 
   const sim::SnDataset data = bench::make_dataset(4000);
   const bench::Splits splits = bench::paper_splits(data, 4);
-  const std::int64_t epochs = eval::env_int64("EPOCHS", 40);
+  const std::int64_t epochs = env::int64("EPOCHS", 40);
 
   eval::TextTable table({"obs epochs", "feature dim", "AUC"});
   double auc_first = 0.0;

@@ -21,10 +21,10 @@ int main() {
 
   bench::FluxRunConfig cfg;
   cfg.input_size = 60;
-  cfg.train_pairs = eval::env_int64("PAIRS", 2000);
+  cfg.train_pairs = env::int64("PAIRS", 2000);
   cfg.val_pairs = 400;
   cfg.test_pairs = 600;
-  cfg.epochs = eval::env_int64("EPOCHS", 5);
+  cfg.epochs = env::int64("EPOCHS", 5);
   const bench::FluxRun run = bench::train_flux_cnn(data, splits, cfg);
 
   // Per-bin scatter: mean |error| and bias in 1.5-mag bins of the truth.

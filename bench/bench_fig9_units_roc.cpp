@@ -16,7 +16,7 @@ int main() {
 
   const sim::SnDataset data = bench::make_dataset(4000);
   const bench::Splits splits = bench::paper_splits(data, 3);
-  const std::int64_t epochs = eval::env_int64("EPOCHS", 40);
+  const std::int64_t epochs = env::int64("EPOCHS", 40);
 
   core::FeatureConfig features;
   features.epochs = 1;

@@ -4,11 +4,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/band_cnn.h"
 #include "core/inference.h"
 #include "core/pipeline.h"
+#include "data/snapshot.h"
 #include "eval/roc.h"
 #include "infer/session.h"
 #include "nn/nn.h"
@@ -167,6 +171,12 @@ BENCHMARK(BM_BandCnnForward)->Arg(36)->Arg(60)->Arg(65);
 
 constexpr std::int64_t kServeBatch = 16;
 constexpr std::int64_t kServeStamp = 44;
+
+// Scratch file for the snapshot-replay ingest benchmark.
+std::string testing_snapshot_path() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp ? tmp : "/tmp") + "/sne_bench_ingest.snap";
+}
 
 void BM_BandCnnTrainingForward(benchmark::State& state) {
   set_num_threads(static_cast<int>(state.range(1)));
@@ -396,6 +406,50 @@ BENCHMARK_REGISTER_F(DatasetFixture, FluxCnnEpoch)
     ->Args({0, 4})
     ->Args({1, 1})
     ->Args({1, 4});
+
+// Epoch ingest: one iteration walks every batch of the flux-pair dataset
+// through get_batch_into. Argument 0 renders each sample live from the
+// simulator (what every epoch costs without a cache); argument 1 replays
+// the same samples from an mmap-backed snapshot written once in setup —
+// pure pointer arithmetic plus one memcpy per row, zero allocations
+// after the first batch. The /1 over /0 ratio is the per-epoch speedup
+// a snapshot buys (pinned in BENCH_SNAPSHOT.json); the batches
+// themselves are bitwise identical on both paths.
+BENCHMARK_DEFINE_F(DatasetFixture, EpochIngest)(benchmark::State& state) {
+  const bool replay = state.range(0) != 0;
+  std::vector<std::int64_t> samples(32);
+  for (std::int64_t k = 0; k < 32; ++k) samples[k] = k;
+  auto items = core::enumerate_flux_pairs(*data, samples, 27.5);
+  if (items.size() > 64) items.resize(64);
+  const nn::LazyDataset pairs =
+      core::make_flux_pair_dataset(*data, items, kServeStamp);
+  std::unique_ptr<::sne::data::SnapshotDataset> snap;
+  if (replay) {
+    const std::string path = testing_snapshot_path();
+    ::sne::data::write_snapshot(path, pairs, 16);
+    snap = std::make_unique<::sne::data::SnapshotDataset>(path);
+  }
+  const nn::Dataset& src =
+      replay ? static_cast<const nn::Dataset&>(*snap) : pairs;
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(src.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+  nn::Sample batch;
+  for (auto _ : state) {
+    for (std::size_t first = 0; first < order.size(); first += 16) {
+      const std::size_t count = std::min<std::size_t>(16, order.size() - first);
+      src.get_batch_into(order, first, count, batch);
+      benchmark::DoNotOptimize(batch.x.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * src.size());
+}
+BENCHMARK_REGISTER_F(DatasetFixture, EpochIngest)
+    ->UseRealTime()
+    ->Arg(0)
+    ->Arg(1);
 
 // Instrumentation overhead: the same flux-CNN epoch with obs tracing
 // disabled (argument 0 — every span is a single relaxed atomic load) and

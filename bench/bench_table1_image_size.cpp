@@ -21,15 +21,15 @@ int main() {
   const bench::Splits splits = bench::paper_splits(data, 1);
 
   bench::FluxRunConfig base;
-  base.train_pairs = eval::env_int64("PAIRS", 1500);
+  base.train_pairs = env::int64("PAIRS", 1500);
   base.val_pairs = base.train_pairs / 4;
   base.test_pairs = base.train_pairs / 4;
-  base.epochs = eval::env_int64("EPOCHS", 4);
+  base.epochs = env::int64("EPOCHS", 4);
 
   // SNE_SEEDS > 1 averages the whole row over independent inits — the
   // per-size differences are comparable to seed noise (they are in the
   // paper's Table 1 too, where the ± std columns overlap).
-  const std::int64_t n_seeds = eval::env_int64("SEEDS", 1);
+  const std::int64_t n_seeds = env::int64("SEEDS", 1);
 
   eval::TextTable table(
       {"size", "train loss", "val loss", "test loss", "test MAE (mag)"});

@@ -137,7 +137,7 @@ int main() {
   const sim::SnDataset data = bench::make_dataset(2000);
   const bench::Splits splits = bench::paper_splits(data, 5);
   const auto test_labels = labels_of(data, splits.test);
-  const std::int64_t nn_epochs = eval::env_int64("EPOCHS", 30);
+  const std::int64_t nn_epochs = env::int64("EPOCHS", 30);
 
   eval::TextTable table({"method", "features", "AUC", "best acc"});
   const eval::Stopwatch total;

@@ -39,7 +39,7 @@ inline Splits paper_splits(const sim::SnDataset& data, std::uint64_t seed) {
 inline sim::SnDataset make_dataset(std::int64_t default_samples,
                                    std::uint64_t seed = 20171130) {
   sim::SnDataset::Config cfg;
-  cfg.num_samples = eval::env_int64("SAMPLES", default_samples);
+  cfg.num_samples = env::int64("SAMPLES", default_samples);
   cfg.seed = seed;
   cfg.catalog.count = std::max<std::int64_t>(1000, cfg.num_samples);
   return sim::SnDataset::build(cfg);

@@ -28,11 +28,11 @@ struct JointBenchConfig {
 
 inline JointBenchConfig joint_config_from_env() {
   JointBenchConfig cfg;
-  cfg.stamp = eval::env_int64("SIZE", cfg.stamp);
-  cfg.pretrain_pairs = eval::env_int64("PAIRS", cfg.pretrain_pairs);
-  cfg.pretrain_epochs = eval::env_int64("PRETRAIN_EPOCHS",
+  cfg.stamp = env::int64("SIZE", cfg.stamp);
+  cfg.pretrain_pairs = env::int64("PAIRS", cfg.pretrain_pairs);
+  cfg.pretrain_epochs = env::int64("PRETRAIN_EPOCHS",
                                         cfg.pretrain_epochs);
-  cfg.joint_epochs = eval::env_int64("EPOCHS", cfg.joint_epochs);
+  cfg.joint_epochs = env::int64("EPOCHS", cfg.joint_epochs);
   return cfg;
 }
 

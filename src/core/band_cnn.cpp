@@ -105,7 +105,7 @@ Tensor RawDiffCrop::forward(const Tensor& x) {
   return out;
 }
 
-void RawDiffCrop::infer_into(const Tensor& x, Tensor& out) const {
+void RawDiffCrop::infer_into(ConstTensorView x, Tensor& out) const {
   if (x.rank() != 4 || x.extent(1) != 2 || x.extent(2) < crop_ ||
       x.extent(3) < crop_) {
     throw std::invalid_argument("RawDiffCrop: bad input " + x.shape_string());

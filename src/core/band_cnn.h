@@ -36,7 +36,7 @@ class BandCnn final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override {
+  void infer_into(ConstTensorView x, Tensor& out) const override {
     net_.infer_into(x, out);
   }
   Shape infer_shape(const Shape& in) const override {
@@ -76,7 +76,7 @@ class RawDiffCrop final : public nn::Module {
   explicit RawDiffCrop(std::int64_t crop_size);
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   Shape infer_shape(const Shape& in) const override;
 
  private:

@@ -93,7 +93,7 @@ Tensor JointModel::backward(const Tensor& grad_output) {
   return grad_x;
 }
 
-void JointModel::infer_into(const Tensor& x, Tensor& out) const {
+void JointModel::infer_into(ConstTensorView x, Tensor& out) const {
   const std::int64_t expected = input_dim(stamp_);
   if (x.rank() != 2 || x.extent(1) != expected) {
     throw std::invalid_argument("JointModel::infer_into: expected [N, " +

@@ -31,7 +31,7 @@ class JointModel final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   Shape infer_shape(const Shape& in) const override;
   std::vector<nn::Param*> params() override;
   std::vector<const nn::Param*> params() const override;

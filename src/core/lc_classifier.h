@@ -23,7 +23,7 @@ class LcClassifier final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override {
+  void infer_into(ConstTensorView x, Tensor& out) const override {
     net_.infer_into(x, out);
   }
   Shape infer_shape(const Shape& in) const override {

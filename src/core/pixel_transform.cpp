@@ -51,7 +51,7 @@ Tensor DiffSignedLogCrop::forward(const Tensor& x) {
   return out;
 }
 
-void DiffSignedLogCrop::infer_into(const Tensor& x, Tensor& out) const {
+void DiffSignedLogCrop::infer_into(ConstTensorView x, Tensor& out) const {
   if (x.rank() != 4 || x.extent(1) != 2 || x.extent(2) < crop_ ||
       x.extent(3) < crop_) {
     throw std::invalid_argument(

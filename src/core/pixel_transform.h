@@ -18,7 +18,7 @@ class DiffSignedLogCrop final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   Shape infer_shape(const Shape& in) const override;
 
   std::int64_t crop_size() const noexcept { return crop_; }

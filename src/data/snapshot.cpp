@@ -1,0 +1,316 @@
+#include "data/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+
+#include "tensor/serialize.h"
+#include "tensor/view.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sne::data {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'E', 'S', 'N', 'A', 'P', '\0'};
+constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kDtypeF32 = 1;
+constexpr std::uint64_t kMaxRank = 8;
+constexpr std::uint64_t kMaxCount = 100'000'000;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is) throw std::runtime_error("snapshot: truncated header");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// Reads rank + extents, guarding both against a corrupt header: the rank
+// is capped and the element count of the shape must stay far below any
+// plausible payload.
+Shape read_shape(std::istream& is) {
+  const std::uint64_t rank = read_u64(is);
+  if (rank == 0 || rank > kMaxRank) {
+    throw std::runtime_error("snapshot: implausible shape rank");
+  }
+  Shape shape;
+  shape.reserve(rank);
+  std::uint64_t numel = 1;
+  for (std::uint64_t a = 0; a < rank; ++a) {
+    const std::uint64_t e = read_u64(is);
+    if (e == 0 || numel > (1ULL << 40) / e) {
+      throw std::runtime_error("snapshot: implausible extent");
+    }
+    numel *= e;
+    shape.push_back(static_cast<std::int64_t>(e));
+  }
+  return shape;
+}
+
+std::int64_t numel(const Shape& s) {
+  return std::accumulate(s.begin(), s.end(), std::int64_t{1},
+                         std::multiplies<>());
+}
+
+// Resizes `t` to [count, ...sample_shape] without building a Shape on
+// the heap: the extents go through an inline array and the span resize
+// overload, so a warm tensor makes this allocation-free.
+void resize_with_batch_axis(Tensor& t, const Shape& sample_shape,
+                            std::size_t count) {
+  std::array<std::int64_t, kMaxRank + 1> sh;
+  sh[0] = static_cast<std::int64_t>(count);
+  std::copy(sample_shape.begin(), sample_shape.end(), sh.begin() + 1);
+  t.resize(std::span<const std::int64_t>(sh.data(), sample_shape.size() + 1));
+}
+
+// Parses and validates the header; on return the stream is positioned at
+// the offset table. Every count read out of the header is checked
+// against the bytes actually remaining in the file before it is used to
+// size an allocation — the same discipline as the SNDS/SNET readers.
+SnapshotInfo read_header(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::memcmp(magic, kMagic, 8) != 0) {
+    throw std::runtime_error("snapshot: bad magic");
+  }
+  SnapshotInfo info;
+  info.version = read_u64(is);
+  if (info.version != kVersion) {
+    throw std::runtime_error("snapshot: unsupported version " +
+                             std::to_string(info.version));
+  }
+  const std::uint64_t dtype = read_u64(is);
+  if (dtype != kDtypeF32) {
+    throw std::runtime_error("snapshot: unsupported dtype " +
+                             std::to_string(dtype));
+  }
+  info.x_shape = read_shape(is);
+  info.y_shape = read_shape(is);
+  const std::uint64_t count = read_u64(is);
+  if (count == 0 || count > kMaxCount) {
+    throw std::runtime_error("snapshot: implausible sample count");
+  }
+  info.count = static_cast<std::int64_t>(count);
+  const std::uint64_t record_bytes =
+      (static_cast<std::uint64_t>(numel(info.x_shape)) +
+       static_cast<std::uint64_t>(numel(info.y_shape))) *
+      sizeof(float);
+  // Offset table + payload must fit in what is left of the file.
+  require_stream_bytes(is, count * (8 + record_bytes), "snapshot");
+  return info;
+}
+
+}  // namespace
+
+std::int64_t SnapshotInfo::x_numel() const noexcept { return numel(x_shape); }
+std::int64_t SnapshotInfo::y_numel() const noexcept { return numel(y_shape); }
+
+void write_snapshot(const std::string& path, const nn::Dataset& data,
+                    std::int64_t batch_size) {
+  const std::int64_t n = data.size();
+  if (n <= 0) {
+    throw std::invalid_argument("write_snapshot: empty dataset");
+  }
+  if (batch_size <= 0) {
+    throw std::invalid_argument("write_snapshot: batch_size must be positive");
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("write_snapshot: cannot open " + path);
+  }
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+
+  // The first batch determines the per-sample shapes (every later batch
+  // is checked against them by get_batch_into's own stacking contract).
+  nn::Sample batch;
+  data.get_batch_into(order, 0,
+                      static_cast<std::size_t>(std::min(batch_size, n)),
+                      batch);
+  const Shape x_shape(batch.x.shape().begin() + 1, batch.x.shape().end());
+  const Shape y_shape(batch.y.shape().begin() + 1, batch.y.shape().end());
+  const std::int64_t xn = numel(x_shape);
+  const std::int64_t yn = numel(y_shape);
+  const std::uint64_t record_bytes =
+      static_cast<std::uint64_t>(xn + yn) * sizeof(float);
+
+  os.write(kMagic, 8);
+  write_u64(os, kVersion);
+  write_u64(os, kDtypeF32);
+  write_u64(os, static_cast<std::uint64_t>(x_shape.size()));
+  for (const std::int64_t e : x_shape) {
+    write_u64(os, static_cast<std::uint64_t>(e));
+  }
+  write_u64(os, static_cast<std::uint64_t>(y_shape.size()));
+  for (const std::int64_t e : y_shape) {
+    write_u64(os, static_cast<std::uint64_t>(e));
+  }
+  write_u64(os, static_cast<std::uint64_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    write_u64(os, static_cast<std::uint64_t>(i) * record_bytes);
+  }
+
+  // Stream the payload batch by batch; samples were already rendered for
+  // the first chunk.
+  for (std::int64_t first = 0; first < n; first += batch_size) {
+    const auto count = static_cast<std::size_t>(
+        std::min(batch_size, n - first));
+    if (first != 0) {
+      data.get_batch_into(order, static_cast<std::size_t>(first), count,
+                          batch);
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto row = static_cast<std::int64_t>(k);
+      os.write(reinterpret_cast<const char*>(batch.x.data() + row * xn),
+               static_cast<std::streamsize>(xn * sizeof(float)));
+      os.write(reinterpret_cast<const char*>(batch.y.data() + row * yn),
+               static_cast<std::streamsize>(yn * sizeof(float)));
+    }
+  }
+  if (!os) {
+    throw std::runtime_error("write_snapshot: stream failure writing " + path);
+  }
+}
+
+SnapshotInfo read_snapshot_info(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("snapshot: cannot open " + path);
+  }
+  return read_header(is);
+}
+
+SnapshotDataset::SnapshotDataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("snapshot: cannot open " + path);
+  }
+  info_ = read_header(is);
+  x_numel_ = info_.x_numel();
+  y_numel_ = info_.y_numel();
+  const std::uint64_t record_bytes =
+      static_cast<std::uint64_t>(x_numel_ + y_numel_) * sizeof(float);
+  const auto count = static_cast<std::uint64_t>(info_.count);
+
+  offsets_.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    offsets_[i] = read_u64(is);
+  }
+  const std::uint64_t payload_bytes = count * record_bytes;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (offsets_[i] % sizeof(float) != 0 ||
+        offsets_[i] > payload_bytes - record_bytes) {
+      throw std::runtime_error("snapshot: offset table entry out of range");
+    }
+  }
+  const auto payload_start = static_cast<std::uint64_t>(is.tellg());
+
+#ifndef _WIN32
+  // mmap the whole file read-only; the payload pointer is the mapping
+  // plus the header size. MAP_SHARED would also work (nothing writes),
+  // but MAP_PRIVATE read-only is the conventional spelling for a cache.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) >=
+            payload_start + payload_bytes) {
+      void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base != MAP_FAILED) {
+        map_base_ = base;
+        map_len_ = static_cast<std::size_t>(st.st_size);
+        payload_ = reinterpret_cast<const float*>(
+            static_cast<const char*>(base) + payload_start);
+      }
+    }
+    ::close(fd);  // the mapping survives the descriptor
+  }
+#endif
+
+  if (payload_ == nullptr) {
+    // Fallback: read the payload into an owned buffer once.
+    owned_.resize(payload_bytes / sizeof(float));
+    is.read(reinterpret_cast<char*>(owned_.data()),
+            static_cast<std::streamsize>(payload_bytes));
+    if (!is) {
+      throw std::runtime_error("snapshot: truncated payload in " + path);
+    }
+    payload_ = owned_.data();
+  }
+}
+
+SnapshotDataset::~SnapshotDataset() {
+#ifndef _WIN32
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_len_);
+  }
+#endif
+}
+
+const float* SnapshotDataset::record(std::int64_t index) const {
+  if (index < 0 || index >= info_.count) {
+    throw std::out_of_range("snapshot: sample index out of range");
+  }
+  return payload_ +
+         offsets_[static_cast<std::size_t>(index)] / sizeof(float);
+}
+
+nn::Sample SnapshotDataset::get(std::int64_t index) const {
+  const float* rec = record(index);
+  nn::Sample s;
+  s.x = Tensor(info_.x_shape);
+  s.y = Tensor(info_.y_shape);
+  std::memcpy(s.x.data(), rec,
+              static_cast<std::size_t>(x_numel_) * sizeof(float));
+  std::memcpy(s.y.data(), rec + x_numel_,
+              static_cast<std::size_t>(y_numel_) * sizeof(float));
+  return s;
+}
+
+void SnapshotDataset::get_batch_into(const std::vector<std::int64_t>& indices,
+                                     std::size_t first, std::size_t count,
+                                     nn::Sample& out) const {
+  if (count == 0 || first + count > indices.size()) {
+    throw std::invalid_argument("snapshot: bad batch range");
+  }
+  // Shape the batch buffers: leading batch axis plus the per-sample
+  // shape. resize() reuses capacity, so a warm buffer allocates nothing.
+  resize_with_batch_axis(out.x, info_.x_shape, count);
+  resize_with_batch_axis(out.y, info_.y_shape, count);
+  float* xdst = out.x.data();
+  float* ydst = out.y.data();
+  for (std::size_t k = 0; k < count; ++k) {
+    const float* rec = record(indices[first + k]);
+    std::memcpy(xdst + static_cast<std::int64_t>(k) * x_numel_, rec,
+                static_cast<std::size_t>(x_numel_) * sizeof(float));
+    std::memcpy(ydst + static_cast<std::int64_t>(k) * y_numel_,
+                rec + x_numel_,
+                static_cast<std::size_t>(y_numel_) * sizeof(float));
+  }
+}
+
+}  // namespace sne::data

@@ -4,14 +4,6 @@
 
 namespace sne::eval {
 
-std::int64_t env_int64(const std::string& name, std::int64_t fallback) {
-  return env::int64(name, fallback);
-}
-
-double env_double(const std::string& name, double fallback) {
-  return env::float64(name, fallback);
-}
-
 void print_banner(const std::string& experiment, const std::string& note) {
   std::printf("=== %s ===\n%s\n\n", experiment.c_str(), note.c_str());
   std::fflush(stdout);

@@ -11,14 +11,6 @@
 
 namespace sne::eval {
 
-/// Deprecated alias for sne::env::int64 — the env-override parsing moved
-/// to tensor/env.h so the thread pool, RuntimeConfig, and the benches
-/// share one implementation (with the ERANGE fallback fix).
-std::int64_t env_int64(const std::string& name, std::int64_t fallback);
-
-/// Deprecated alias for sne::env::float64.
-double env_double(const std::string& name, double fallback);
-
 /// Simple wall-clock stopwatch.
 class Stopwatch {
  public:

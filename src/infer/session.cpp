@@ -21,7 +21,7 @@ InferenceSession::InferenceSession(const nn::Sequential& net,
     : InferenceSession(std::make_shared<const InferencePlan>(
           net, std::move(sample_input_shape), options)) {}
 
-void InferenceSession::run(const Tensor& batch, Tensor& out) {
+void InferenceSession::run(ConstTensorView batch, Tensor& out) {
   const InferencePlan& plan = *plan_;
   const Shape& in = plan.input_shape_;
   const auto in_rank = static_cast<std::int64_t>(in.size()) + 1;
@@ -41,12 +41,22 @@ void InferenceSession::run(const Tensor& batch, Tensor& out) {
   obs::Span run_span(warmed_ ? "infer.run" : "infer.run.warmup", n);
   warmed_ = true;
 
+  // A strided view (e.g. a non-leading-axis slice) is gathered into the
+  // arena once; contiguous views — whole tensors or row slices of a
+  // larger batch — run with zero input copies.
+  ConstTensorView cur = batch;
+  Tensor* cur_buf = nullptr;  // arena buffer holding cur's data, if any
+  if (!batch.is_contiguous()) {
+    batch.copy_to(ping_);
+    cur = ConstTensorView(ping_);
+    cur_buf = &ping_;
+  }
+
   // Walk the plan ping-ponging between the two arena buffers; the last
   // computing step writes straight into `out`. Flatten steps on an arena
   // buffer are in-place metadata changes (Tensor::resize with an equal
-  // element count reuses the buffer), so they cost nothing.
-  const Tensor* cur = &batch;
-  Tensor* cur_buf = nullptr;  // arena buffer holding *cur, if any
+  // element count reuses the buffer); a Flatten over the caller's batch
+  // is a pure view reinterpretation — the step costs nothing either way.
   for (std::size_t s = 0; s < plan.steps_.size(); ++s) {
     const auto& step = plan.steps_[s];
     obs::Span step_span(step.trace_name);
@@ -56,14 +66,17 @@ void InferenceSession::run(const Tensor& batch, Tensor& out) {
       shape_scratch_[0] = n;
       if (cur_buf != nullptr && !last) {
         cur_buf->resize(shape_scratch_);
+        cur = ConstTensorView(*cur_buf);
+      } else if (!last) {
+        // Data still lives in the caller's batch: reinterpret the view.
+        cur = cur.reshaped(shape_scratch_);
       } else {
-        // The data lives in the caller's batch (or must end up in the
-        // caller's out), so a copy is unavoidable for this step.
-        Tensor* dst = last ? &out : &ping_;
-        dst->resize(shape_scratch_);
-        std::copy(cur->data(), cur->data() + cur->size(), dst->data());
-        cur = dst;
-        cur_buf = last ? nullptr : dst;
+        // The result must end up in the caller's out, so this single
+        // degenerate case (reshape as final step) stays a copy.
+        out.resize(shape_scratch_);
+        cur.copy_to(out.data());
+        cur = ConstTensorView(out);
+        cur_buf = nullptr;
       }
       continue;
     }
@@ -73,17 +86,17 @@ void InferenceSession::run(const Tensor& batch, Tensor& out) {
       // fused PReLU applied in the GEMM epilogue.
       const Tensor& w = step.folded ? step.weight : step.conv->weight().value;
       const Tensor& b = step.folded ? step.bias : step.conv->bias().value;
-      step.conv->infer_with(w, b, *cur, *dst,
+      step.conv->infer_with(w, b, cur, *dst,
                             step.prelu.empty() ? nullptr : &step.prelu);
     } else {
-      step.layer->infer_into(*cur, *dst);
+      step.layer->infer_into(cur, *dst);
     }
-    cur = dst;
+    cur = ConstTensorView(*dst);
     cur_buf = last ? nullptr : dst;
   }
 }
 
-Tensor InferenceSession::run(const Tensor& batch) {
+Tensor InferenceSession::run(ConstTensorView batch) {
   Tensor out;
   run(batch, out);
   return out;
@@ -111,11 +124,10 @@ void JointSession::run(const Tensor& batch, Tensor& out) {
   const std::int64_t n = batch.extent(0);
   obs::Span span("infer.joint", n);
 
+  // The image columns of every row, as one strided [N, image_block] view;
+  // the gather into the CNN batch is a single per-row-memcpy copy_to.
   images_.resize({n * nb, 2, stamp, stamp});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* src = batch.data() + i * expected;
-    std::copy(src, src + image_block, images_.data() + i * image_block);
-  }
+  batch.view().slice(1, 0, image_block).copy_to(images_.data());
 
   cnn_.run(images_, mags_);  // [N·bands, 1]
 

@@ -31,10 +31,18 @@ class InferenceSession {
   /// Runs the planned network over `batch` (shape [N, ...sample shape])
   /// and resizes `out` to [N, ...output shape]. Reusing the same `out`
   /// tensor across calls keeps the steady state allocation-free.
-  void run(const Tensor& batch, Tensor& out);
+  ///
+  /// `batch` is a non-owning view: a Tensor converts implicitly, and a
+  /// contiguous row slice of a larger batch (view().slice(0, lo, hi))
+  /// scores directly with no shard copy — the serving shard pattern. A
+  /// strided view is gathered once into the arena, then runs as usual.
+  /// Reshape-only (Flatten) steps at the head of the plan are executed
+  /// as view reinterpretations of the caller's buffer: zero copies until
+  /// the first computing step.
+  void run(ConstTensorView batch, Tensor& out);
 
   /// Allocating convenience overload.
-  Tensor run(const Tensor& batch);
+  Tensor run(ConstTensorView batch);
 
  private:
   std::shared_ptr<const InferencePlan> plan_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace sne::nn {
 
@@ -37,7 +38,7 @@ Tensor PReLU::forward(const Tensor& x) {
   return y;
 }
 
-void PReLU::infer_into(const Tensor& x, Tensor& out) const {
+void PReLU::infer_into(ConstTensorView x, Tensor& out) const {
   if (x.rank() < 2 || x.extent(1) != channels_) {
     throw std::invalid_argument("PReLU: axis-1 extent must be " +
                                 std::to_string(channels_) + ", got " +
@@ -96,10 +97,11 @@ Tensor ReLU::forward(const Tensor& x) {
   return y;
 }
 
-void ReLU::infer_into(const Tensor& x, Tensor& out) const {
+void ReLU::infer_into(ConstTensorView x, Tensor& out) const {
   out.resize(x.shape());
+  const float* src = x.data();  // enforces a contiguous view
   for (std::int64_t i = 0; i < x.size(); ++i) {
-    out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    out[i] = src[i] > 0.0f ? src[i] : 0.0f;
   }
 }
 
@@ -122,10 +124,11 @@ Tensor Sigmoid::forward(const Tensor& x) {
   return y;
 }
 
-void Sigmoid::infer_into(const Tensor& x, Tensor& out) const {
+void Sigmoid::infer_into(ConstTensorView x, Tensor& out) const {
   out.resize(x.shape());
+  const float* src = x.data();  // enforces a contiguous view
   for (std::int64_t i = 0; i < x.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    out[i] = 1.0f / (1.0f + std::exp(-src[i]));
   }
 }
 
@@ -149,9 +152,10 @@ Tensor Tanh::forward(const Tensor& x) {
   return y;
 }
 
-void Tanh::infer_into(const Tensor& x, Tensor& out) const {
+void Tanh::infer_into(ConstTensorView x, Tensor& out) const {
   out.resize(x.shape());
-  for (std::int64_t i = 0; i < x.size(); ++i) out[i] = std::tanh(x[i]);
+  const float* src = x.data();  // enforces a contiguous view
+  for (std::int64_t i = 0; i < x.size(); ++i) out[i] = std::tanh(src[i]);
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
@@ -175,7 +179,22 @@ Tensor Flatten::forward(const Tensor& x) {
   return x.reshaped({x.extent(0), -1});
 }
 
-void Flatten::infer_into(const Tensor& x, Tensor& out) const {
+Tensor Flatten::forward_moved(Tensor&& x) {
+  if (x.rank() < 2) {
+    throw std::invalid_argument("Flatten: rank must be >= 2");
+  }
+  cached_shape_ = x.shape();
+  return std::move(x).reshaped({cached_shape_[0], -1});
+}
+
+Tensor Flatten::backward_moved(Tensor&& grad_output) {
+  if (cached_shape_.empty()) {
+    throw std::logic_error("Flatten::backward before forward");
+  }
+  return std::move(grad_output).reshaped(cached_shape_);
+}
+
+void Flatten::infer_into(ConstTensorView x, Tensor& out) const {
   if (x.rank() < 2) {
     throw std::invalid_argument("Flatten: rank must be >= 2");
   }

@@ -17,7 +17,7 @@ class PReLU final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   std::vector<Param*> params() override { return {&slope_}; }
   std::vector<const Param*> params() const override { return {&slope_}; }
 
@@ -37,7 +37,7 @@ class ReLU final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
 
  private:
   Tensor cached_input_;
@@ -48,7 +48,7 @@ class Sigmoid final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
 
  private:
   Tensor cached_output_;
@@ -59,7 +59,7 @@ class Tanh final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
 
  private:
   Tensor cached_output_;
@@ -71,7 +71,13 @@ class Flatten final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  /// Zero-copy variants for owned activations: a flatten is a pure
+  /// metadata change, so when the caller owns the tensor (Sequential owns
+  /// every intermediate) the buffer is moved, not copied. Bitwise
+  /// identical to forward()/backward().
+  Tensor forward_moved(Tensor&& x);
+  Tensor backward_moved(Tensor&& grad_output);
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   Shape infer_shape(const Shape& in) const override;
 
  private:

@@ -21,7 +21,7 @@ BatchNormBase::BatchNormBase(std::int64_t channels, float momentum, float eps,
   }
 }
 
-void BatchNorm1d::check_input(const Tensor& x) const {
+void BatchNorm1d::check_input(ConstTensorView x) const {
   if (x.rank() != 2 || x.extent(1) != channels_) {
     throw std::invalid_argument("BatchNorm1d: expected [N, " +
                                 std::to_string(channels_) + "], got " +
@@ -29,7 +29,7 @@ void BatchNorm1d::check_input(const Tensor& x) const {
   }
 }
 
-void BatchNorm2d::check_input(const Tensor& x) const {
+void BatchNorm2d::check_input(ConstTensorView x) const {
   if (x.rank() != 4 || x.extent(1) != channels_) {
     throw std::invalid_argument("BatchNorm2d: expected [N, " +
                                 std::to_string(channels_) + ", H, W], got " +
@@ -104,7 +104,7 @@ Tensor BatchNormBase::forward(const Tensor& x) {
   return y;
 }
 
-void BatchNormBase::infer_into(const Tensor& x, Tensor& out) const {
+void BatchNormBase::infer_into(ConstTensorView x, Tensor& out) const {
   check_input(x);
   const std::int64_t n = x.extent(0);
   const std::int64_t spatial = x.rank() == 4 ? x.extent(2) * x.extent(3) : 1;

@@ -16,7 +16,7 @@ class BatchNormBase : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::vector<const Param*> params() const override {
     return {&gamma_, &beta_};
@@ -43,7 +43,7 @@ class BatchNormBase : public Module {
   /// Number of elements sharing channel statistics (N or N·H·W), and the
   /// per-element channel stride layout: rank must be 2 ([N, C]) or
   /// 4 ([N, C, H, W]).
-  virtual void check_input(const Tensor& x) const = 0;
+  virtual void check_input(ConstTensorView x) const = 0;
 
   std::int64_t channels_;
   float momentum_;
@@ -67,7 +67,7 @@ class BatchNorm1d final : public BatchNormBase {
       : BatchNormBase(features, momentum, eps, std::move(name)) {}
 
  private:
-  void check_input(const Tensor& x) const override;
+  void check_input(ConstTensorView x) const override;
 };
 
 /// Batch norm over [N, C, H, W] inputs (per-channel statistics).
@@ -78,7 +78,7 @@ class BatchNorm2d final : public BatchNormBase {
       : BatchNormBase(channels, momentum, eps, std::move(name)) {}
 
  private:
-  void check_input(const Tensor& x) const override;
+  void check_input(ConstTensorView x) const override;
 };
 
 }  // namespace sne::nn

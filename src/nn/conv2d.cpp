@@ -89,12 +89,12 @@ Tensor Conv2d::forward(const Tensor& x) {
   return y;
 }
 
-void Conv2d::infer_into(const Tensor& x, Tensor& out) const {
+void Conv2d::infer_into(ConstTensorView x, Tensor& out) const {
   infer_with(weight_.value, bias_.value, x, out);
 }
 
 void Conv2d::infer_with(const Tensor& weight, const Tensor& bias,
-                        const Tensor& x, Tensor& out,
+                        ConstTensorView x, Tensor& out,
                         const Tensor* prelu) const {
   if (x.rank() != 4 || x.extent(1) != in_channels_) {
     throw std::invalid_argument("Conv2d::infer_with: expected [N, " +

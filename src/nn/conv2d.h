@@ -18,7 +18,7 @@ class Conv2d final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   Shape infer_shape(const Shape& in) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::vector<const Param*> params() const override {
@@ -32,7 +32,7 @@ class Conv2d final : public Module {
   /// When `prelu` is non-null it must be [Cout] per-channel PReLU slopes;
   /// they are applied in the GEMM epilogue, bitwise identical to running a
   /// separate PReLU pass over the conv output.
-  void infer_with(const Tensor& weight, const Tensor& bias, const Tensor& x,
+  void infer_with(const Tensor& weight, const Tensor& bias, ConstTensorView x,
                   Tensor& out, const Tensor* prelu = nullptr) const;
 
   std::int64_t in_channels() const noexcept { return in_channels_; }

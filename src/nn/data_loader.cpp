@@ -206,10 +206,13 @@ bool DataLoader::next(Sample& batch) {
   {
     // Synchronous path: rendering happens on the consumer thread, so
     // the whole batch synthesis is visible as loader.render here.
+    // Writing into the caller's batch (instead of returning a fresh
+    // Sample) reuses its capacity — steady-state epochs over in-memory
+    // or snapshot datasets allocate nothing.
     obs::Span span("loader.render",
                    static_cast<std::int64_t>(
                        cursor_ / static_cast<std::size_t>(config_.batch_size)));
-    batch = data_->get_batch(order_, cursor_, count);
+    data_->get_batch_into(order_, cursor_, count, batch);
   }
   batches_counter().add(1);
   cursor_ += count;

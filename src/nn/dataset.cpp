@@ -5,6 +5,7 @@
 
 #include "nn/data_loader.h"
 #include "tensor/thread_pool.h"
+#include "tensor/view.h"
 
 namespace sne::nn {
 
@@ -17,14 +18,17 @@ void check_batch_range(const std::vector<std::int64_t>& indices,
   }
 }
 
-// Allocates batch tensors whose leading axis is `count` and whose
-// remaining axes are the prototype sample's shapes.
-Sample allocate_batch(const Sample& proto, std::size_t count) {
-  Shape x_shape = proto.x.shape();
-  Shape y_shape = proto.y.shape();
+// Resizes the caller's batch tensors to a leading axis of `count` over
+// the prototype sample shapes. Tensor::resize reuses capacity, so a warm
+// batch buffer makes this allocation-free.
+void resize_batch(Sample& out, const Shape& proto_x, const Shape& proto_y,
+                  std::size_t count) {
+  Shape x_shape = proto_x;
+  Shape y_shape = proto_y;
   x_shape.insert(x_shape.begin(), static_cast<std::int64_t>(count));
   y_shape.insert(y_shape.begin(), static_cast<std::int64_t>(count));
-  return Sample{Tensor(std::move(x_shape)), Tensor(std::move(y_shape))};
+  out.x.resize(x_shape);
+  out.y.resize(y_shape);
 }
 
 std::string shape_string(const Shape& shape) {
@@ -47,53 +51,62 @@ void check_sample_shapes(const Sample& s, const Shape& x_shape,
   }
 }
 
+// Writes the sample into batch row k through subviews: the row slice is
+// reshaped back to the sample shape and the copy lands directly in the
+// parent batch buffer (contiguous rows, so it is one memcpy per tensor).
 void copy_into_row(Sample& batch, const Sample& s, std::size_t k) {
-  const std::int64_t x_stride = s.x.size();
-  const std::int64_t y_stride = s.y.size();
-  std::copy(s.x.data(), s.x.data() + x_stride,
-            batch.x.data() + static_cast<std::int64_t>(k) * x_stride);
-  std::copy(s.y.data(), s.y.data() + y_stride,
-            batch.y.data() + static_cast<std::int64_t>(k) * y_stride);
+  const auto row = static_cast<std::int64_t>(k);
+  batch.x.slice(0, row, row + 1).reshaped(s.x.shape()).copy_from(s.x);
+  batch.y.slice(0, row, row + 1).reshaped(s.y.shape()).copy_from(s.y);
 }
 
 }  // namespace
 
-Sample Dataset::get_batch(const std::vector<std::int64_t>& indices,
-                          std::size_t first, std::size_t count) const {
+void Dataset::get_batch_into(const std::vector<std::int64_t>& indices,
+                             std::size_t first, std::size_t count,
+                             Sample& out) const {
   check_batch_range(indices, first, count);
   Sample proto = get(indices[first]);
   const Shape x_shape = proto.x.shape();
   const Shape y_shape = proto.y.shape();
-  Sample batch = allocate_batch(proto, count);
+  resize_batch(out, x_shape, y_shape, count);
   for (std::size_t k = 0; k < count; ++k) {
     const Sample s = k == 0 ? std::move(proto) : get(indices[first + k]);
     check_sample_shapes(s, x_shape, y_shape);
-    copy_into_row(batch, s, k);
+    copy_into_row(out, s, k);
   }
+}
+
+Sample Dataset::get_batch(const std::vector<std::int64_t>& indices,
+                          std::size_t first, std::size_t count) const {
+  Sample batch;
+  get_batch_into(indices, first, count, batch);
   return batch;
 }
 
-Sample VectorDataset::get_batch(const std::vector<std::int64_t>& indices,
-                                std::size_t first, std::size_t count) const {
+void VectorDataset::get_batch_into(const std::vector<std::int64_t>& indices,
+                                   std::size_t first, std::size_t count,
+                                   Sample& out) const {
   check_batch_range(indices, first, count);
   const Sample& proto = samples_.at(
       static_cast<std::size_t>(indices[first]));
   const Shape& x_shape = proto.x.shape();
   const Shape& y_shape = proto.y.shape();
-  Sample batch = allocate_batch(proto, count);
+  resize_batch(out, x_shape, y_shape, count);
   for (std::size_t k = 0; k < count; ++k) {
     const Sample& s = samples_.at(
         static_cast<std::size_t>(indices[first + k]));
     check_sample_shapes(s, x_shape, y_shape);
-    copy_into_row(batch, s, k);
+    copy_into_row(out, s, k);
   }
-  return batch;
 }
 
-Sample LazyDataset::get_batch(const std::vector<std::int64_t>& indices,
-                              std::size_t first, std::size_t count) const {
+void LazyDataset::get_batch_into(const std::vector<std::int64_t>& indices,
+                                 std::size_t first, std::size_t count,
+                                 Sample& out) const {
   if (mode_ != BatchMode::Parallel || count < 2) {
-    return Dataset::get_batch(indices, first, count);
+    Dataset::get_batch_into(indices, first, count, out);
+    return;
   }
   check_batch_range(indices, first, count);
   // Fan the generator across the pool (each sample is an independent,
@@ -106,23 +119,23 @@ Sample LazyDataset::get_batch(const std::vector<std::int64_t>& indices,
   });
   const Shape& x_shape = rendered.front().x.shape();
   const Shape& y_shape = rendered.front().y.shape();
-  Sample batch = allocate_batch(rendered.front(), count);
+  resize_batch(out, x_shape, y_shape, count);
   for (std::size_t k = 0; k < count; ++k) {
     check_sample_shapes(rendered[k], x_shape, y_shape);
-    copy_into_row(batch, rendered[k], k);
+    copy_into_row(out, rendered[k], k);
   }
-  return batch;
 }
 
-Sample SubsetDataset::get_batch(const std::vector<std::int64_t>& indices,
-                                std::size_t first, std::size_t count) const {
+void SubsetDataset::get_batch_into(const std::vector<std::int64_t>& indices,
+                                   std::size_t first, std::size_t count,
+                                   Sample& out) const {
   check_batch_range(indices, first, count);
   std::vector<std::int64_t> remapped(count);
   for (std::size_t k = 0; k < count; ++k) {
     remapped[k] = indices_.at(
         static_cast<std::size_t>(indices[first + k]));
   }
-  return base_->get_batch(remapped, 0, count);
+  base_->get_batch_into(remapped, 0, count, out);
 }
 
 VectorDataset materialize(const Dataset& dataset) {
@@ -145,15 +158,10 @@ VectorDataset materialize(const Dataset& dataset) {
     const std::int64_t count = chunk.x.extent(0);
     Shape x_shape(chunk.x.shape().begin() + 1, chunk.x.shape().end());
     Shape y_shape(chunk.y.shape().begin() + 1, chunk.y.shape().end());
-    const std::int64_t x_stride = chunk.x.size() / count;
-    const std::int64_t y_stride = chunk.y.size() / count;
     for (std::int64_t k = 0; k < count; ++k) {
-      Sample s{Tensor(x_shape), Tensor(y_shape)};
-      std::copy(chunk.x.data() + k * x_stride,
-                chunk.x.data() + (k + 1) * x_stride, s.x.data());
-      std::copy(chunk.y.data() + k * y_stride,
-                chunk.y.data() + (k + 1) * y_stride, s.y.data());
-      samples.push_back(std::move(s));
+      samples.push_back(Sample{
+          chunk.x.slice(0, k, k + 1).reshaped(x_shape).to_tensor(),
+          chunk.y.slice(0, k, k + 1).reshaped(y_shape).to_tensor()});
     }
   }
   return VectorDataset(std::move(samples));

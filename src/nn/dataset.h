@@ -38,13 +38,22 @@ class Dataset {
   virtual std::int64_t size() const = 0;
   virtual Sample get(std::int64_t index) const = 0;
 
-  /// Stacks samples dataset[indices[first..first+count)] into batch
-  /// tensors: x gains a leading batch axis, y likewise. The default
-  /// evaluates get() serially in index order; overrides may synthesize
-  /// samples concurrently but must return bitwise-identical batches.
-  /// Throws if any sample's x or y shape differs from the first one's.
-  virtual Sample get_batch(const std::vector<std::int64_t>& indices,
-                           std::size_t first, std::size_t count) const;
+  /// Stacks samples dataset[indices[first..first+count)] into the
+  /// caller-provided batch tensors: out.x gains a leading batch axis, y
+  /// likewise. `out` is resized (capacity is reused, so a warm buffer
+  /// makes steady-state batching allocation-free for in-memory datasets)
+  /// and every sample is written directly into its batch row through a
+  /// subview — no intermediate stacking copy. The default evaluates
+  /// get() serially in index order; overrides may synthesize samples
+  /// concurrently but must produce bitwise-identical batches. Throws if
+  /// any sample's x or y shape differs from the first one's.
+  virtual void get_batch_into(const std::vector<std::int64_t>& indices,
+                              std::size_t first, std::size_t count,
+                              Sample& out) const;
+
+  /// Allocating convenience wrapper over get_batch_into.
+  Sample get_batch(const std::vector<std::int64_t>& indices,
+                   std::size_t first, std::size_t count) const;
 };
 
 /// In-memory dataset over pre-materialized samples.
@@ -61,8 +70,9 @@ class VectorDataset final : public Dataset {
   }
   /// Stacks straight from the stored samples (no per-sample Tensor copy
   /// through get()).
-  Sample get_batch(const std::vector<std::int64_t>& indices,
-                   std::size_t first, std::size_t count) const override;
+  void get_batch_into(const std::vector<std::int64_t>& indices,
+                      std::size_t first, std::size_t count,
+                      Sample& out) const override;
 
  private:
   std::vector<Sample> samples_;
@@ -80,8 +90,9 @@ class LazyDataset final : public Dataset {
 
   std::int64_t size() const override { return n_; }
   Sample get(std::int64_t index) const override { return generator_(index); }
-  Sample get_batch(const std::vector<std::int64_t>& indices,
-                   std::size_t first, std::size_t count) const override;
+  void get_batch_into(const std::vector<std::int64_t>& indices,
+                      std::size_t first, std::size_t count,
+                      Sample& out) const override;
   BatchMode batch_mode() const noexcept { return mode_; }
 
  private:
@@ -104,8 +115,9 @@ class SubsetDataset final : public Dataset {
   }
   /// Remaps the index run and delegates to the base dataset, so a subset
   /// of a batch-parallel dataset stays batch-parallel.
-  Sample get_batch(const std::vector<std::int64_t>& indices,
-                   std::size_t first, std::size_t count) const override;
+  void get_batch_into(const std::vector<std::int64_t>& indices,
+                      std::size_t first, std::size_t count,
+                      Sample& out) const override;
 
  private:
   const Dataset* base_;

@@ -28,7 +28,7 @@ Tensor Dropout::forward(const Tensor& x) {
   return y;
 }
 
-void Dropout::infer_into(const Tensor& x, Tensor& out) const {
+void Dropout::infer_into(ConstTensorView x, Tensor& out) const {
   // Inference is always the identity, regardless of the training flag.
   out.resize(x.shape());
   std::copy(x.data(), x.data() + x.size(), out.data());

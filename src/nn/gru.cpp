@@ -140,7 +140,7 @@ Tensor Gru::forward(const Tensor& x) {
   return h;
 }
 
-void Gru::infer_into(const Tensor& x, Tensor& out) const {
+void Gru::infer_into(ConstTensorView x, Tensor& out) const {
   if (x.rank() != 3 || x.extent(2) != input_) {
     throw std::invalid_argument("Gru::infer_into: expected [N, T, " +
                                 std::to_string(input_) + "], got " +

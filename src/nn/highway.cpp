@@ -56,7 +56,7 @@ Tensor Highway::backward(const Tensor& grad_output) {
   return grad_x;
 }
 
-void Highway::infer_into(const Tensor& x, Tensor& out) const {
+void Highway::infer_into(ConstTensorView x, Tensor& out) const {
   // Per-thread scratch for the two branch activations; grow-only, so the
   // steady state allocates nothing.
   thread_local Tensor h;

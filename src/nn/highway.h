@@ -20,7 +20,7 @@ class Highway final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   std::vector<Param*> params() override;
   std::vector<const Param*> params() const override;
   void set_training(bool training) override;

@@ -45,7 +45,7 @@ Tensor Linear::forward(const Tensor& x) {
   return y;
 }
 
-void Linear::infer_into(const Tensor& x, Tensor& out) const {
+void Linear::infer_into(ConstTensorView x, Tensor& out) const {
   if (x.rank() != 2 || x.extent(1) != in_) {
     throw std::invalid_argument("Linear::infer_into: expected [N, " +
                                 std::to_string(in_) + "], got " +

@@ -17,7 +17,7 @@ class Linear final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
-  void infer_into(const Tensor& x, Tensor& out) const override;
+  void infer_into(ConstTensorView x, Tensor& out) const override;
   Shape infer_shape(const Shape& in) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::vector<const Param*> params() const override {

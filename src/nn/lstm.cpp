@@ -149,7 +149,7 @@ Tensor Lstm::forward(const Tensor& x) {
   return h;
 }
 
-void Lstm::infer_into(const Tensor& x, Tensor& out) const {
+void Lstm::infer_into(ConstTensorView x, Tensor& out) const {
   if (x.rank() != 3 || x.extent(2) != input_) {
     throw std::invalid_argument("Lstm::infer_into: expected [N, T, " +
                                 std::to_string(input_) + "], got " +

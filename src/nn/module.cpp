@@ -2,13 +2,15 @@
 
 namespace sne::nn {
 
-void Module::infer_into(const Tensor& x, Tensor& out) const {
+void Module::infer_into(ConstTensorView x, Tensor& out) const {
   // Fallback for modules without a dedicated cache-free kernel. forward()
   // mutates only this module's activation caches, never its parameters, so
   // the cast is observable solely as redundant cache writes — acceptable
   // for the fallback, but modules used on the planned inference path
   // override this with a genuinely const implementation.
-  out = const_cast<Module*>(this)->forward(x);
+  // The view must be materialized for forward(), which takes an owning
+  // Tensor.
+  out = const_cast<Module*>(this)->forward(x.to_tensor());
 }
 
 void Module::zero_grad() {

@@ -11,8 +11,12 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/view.h"
 
 namespace sne::nn {
+
+using sne::ConstTensorView;
+using sne::TensorView;
 
 /// A learnable parameter: value and accumulated gradient, plus the name
 /// under which it is serialized.
@@ -52,10 +56,16 @@ class Module {
   /// regardless of is_training(). Safe to call concurrently from several
   /// threads on the same module as long as no thread mutates it.
   ///
+  /// `x` is a non-owning view, so callers can feed a Tensor (implicit
+  /// conversion), a batch-row slice, or an arena buffer without copying.
+  /// Kernels obtain the raw pointer via x.data(), which throws on a
+  /// strided view — pass contiguous views (or let Sequential gather once
+  /// at its entry).
+  ///
   /// The default falls back to the training-path forward() (which does
-  /// cache), so every module is usable through the inference API even
-  /// before it grows a dedicated kernel.
-  virtual void infer_into(const Tensor& x, Tensor& out) const;
+  /// cache, and must materialize the view), so every module is usable
+  /// through the inference API even before it grows a dedicated kernel.
+  virtual void infer_into(ConstTensorView x, Tensor& out) const;
 
   /// Output shape this layer produces for an input of shape `in`
   /// (including the batch axis). Used by the inference planner to size

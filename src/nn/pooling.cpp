@@ -7,7 +7,7 @@ namespace sne::nn {
 
 namespace {
 
-void check_pool_input(const Tensor& x, std::int64_t kernel) {
+void check_pool_input(ConstTensorView x, std::int64_t kernel) {
   if (x.rank() != 4) {
     throw std::invalid_argument("pooling: expected [N, C, H, W], got " +
                                 x.shape_string());
@@ -81,7 +81,7 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   return y;
 }
 
-void MaxPool2d::infer_into(const Tensor& x, Tensor& out) const {
+void MaxPool2d::infer_into(ConstTensorView x, Tensor& out) const {
   check_pool_input(x, kernel_);
   const std::int64_t n = x.extent(0);
   const std::int64_t c = x.extent(1);
@@ -182,7 +182,7 @@ Tensor AvgPool2d::forward(const Tensor& x) {
   return y;
 }
 
-void AvgPool2d::infer_into(const Tensor& x, Tensor& out) const {
+void AvgPool2d::infer_into(ConstTensorView x, Tensor& out) const {
   check_pool_input(x, kernel_);
   const std::int64_t n = x.extent(0);
   const std::int64_t c = x.extent(1);

@@ -8,20 +8,39 @@
 namespace sne::nn {
 
 Tensor Sequential::forward(const Tensor& x) {
-  Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h);
-  return h;
+  // The first layer reads the caller's tensor directly (no up-front deep
+  // copy), and a Flatten over an owned intermediate is a pure metadata
+  // move — both bitwise identical to the copying path they replace.
+  const Tensor* cur = &x;
+  Tensor h;
+  for (auto& layer : layers_) {
+    auto* flatten = dynamic_cast<Flatten*>(layer.get());
+    if (flatten != nullptr && cur == &h) {
+      h = flatten->forward_moved(std::move(h));
+    } else {
+      h = layer->forward(*cur);
+    }
+    cur = &h;
+  }
+  return cur == &x ? x : h;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
-  Tensor g = grad_output;
+  const Tensor* cur = &grad_output;
+  Tensor g;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    auto* flatten = dynamic_cast<Flatten*>(it->get());
+    if (flatten != nullptr && cur == &g) {
+      g = flatten->backward_moved(std::move(g));
+    } else {
+      g = (*it)->backward(*cur);
+    }
+    cur = &g;
   }
-  return g;
+  return cur == &grad_output ? grad_output : g;
 }
 
-void Sequential::infer_into(const Tensor& x, Tensor& out) const {
+void Sequential::infer_into(ConstTensorView x, Tensor& out) const {
   // Ping-pong through two per-thread scratch tensors so a chain of N
   // layers costs two buffers, not N. The scratch lives in a deque indexed
   // by nesting depth: nested Sequentials (and composite layers that call
@@ -36,25 +55,44 @@ void Sequential::infer_into(const Tensor& x, Tensor& out) const {
   Tensor& a = scratch[base];
   Tensor& b = scratch[base + 1];
 
-  const Tensor* cur = &x;
-  Tensor* next = &a;
+  // Strided inputs are gathered once here, so every layer kernel below
+  // sees a dense buffer (their x.data() calls would throw otherwise).
+  ConstTensorView cur = x;
+  Tensor* cur_buf = nullptr;  // scratch tensor holding cur, if any
+  if (!x.is_contiguous()) {
+    x.copy_to(a);
+    cur = ConstTensorView(a);
+    cur_buf = &a;
+  }
+  Tensor* next = (cur_buf == &a) ? &b : &a;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    Tensor* dst = (i + 1 == layers_.size()) ? &out : next;
-    if (dynamic_cast<const Flatten*>(layers_[i].get()) != nullptr &&
-        cur != &x) {
-      // Flatten of an owned intermediate is a pure metadata change — move
-      // the buffer instead of copying it through the layer.
-      Tensor* buf = (cur == &a) ? &a : &b;
-      *dst = std::move(*buf).reshaped({cur->extent(0), -1});
+    const bool last = i + 1 == layers_.size();
+    Tensor* dst = last ? &out : next;
+    if (dynamic_cast<const Flatten*>(layers_[i].get()) != nullptr) {
+      if (cur_buf != nullptr) {
+        // Flatten of an owned intermediate is a pure metadata change —
+        // move the buffer instead of copying it through the layer.
+        *dst = std::move(*cur_buf).reshaped({cur.extent(0), -1});
+      } else if (!last) {
+        // Flatten of the caller's input: reinterpret the view in place —
+        // zero copies, the next layer reads the caller's buffer directly.
+        cur = cur.reshaped({cur.extent(0), -1});
+        continue;
+      } else {
+        // Degenerate flatten-only network: the data must land in `out`.
+        out.resize({cur.extent(0), cur.size() / cur.extent(0)});
+        cur.copy_to(out.data());
+      }
     } else {
-      layers_[i]->infer_into(*cur, *dst);
+      layers_[i]->infer_into(cur, *dst);
     }
-    cur = dst;
+    cur = ConstTensorView(*dst);
+    cur_buf = last ? nullptr : dst;
     if (dst == next) next = (next == &a) ? &b : &a;
   }
   if (layers_.empty()) {
     out.resize(x.shape());
-    std::copy(x.data(), x.data() + x.size(), out.data());
+    x.copy_to(out.data());
   }
   --depth;
 }

@@ -1,5 +1,7 @@
 #include "sim/dataset_io.h"
 
+#include "tensor/serialize.h"
+
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -13,6 +15,13 @@ namespace {
 
 constexpr char kMagic[4] = {'S', 'N', 'D', 'S'};
 constexpr std::uint32_t kVersion = 1;
+
+// On-disk sizes used for stream-budget checks: an Observation record is
+// one i64 band index plus four f64 fields; a SampleSpec is at least its
+// fixed scalar block plus the per-band reference observations.
+constexpr std::uint64_t kObsBytes = 5 * 8;
+constexpr std::uint64_t kMinSpecBytes =
+    11 * 8 + static_cast<std::uint64_t>(astro::kNumBands) * kObsBytes;
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   char buf[8];
@@ -178,6 +187,9 @@ SampleSpec read_spec(std::istream& is) {
   if (n_obs > 10000) {
     throw std::runtime_error("dataset stream: implausible observation count");
   }
+  require_stream_bytes(
+      is, (n_obs + static_cast<std::uint64_t>(astro::kNumBands)) * kObsBytes,
+      "read_spec");
   s.schedule.observations.reserve(n_obs);
   for (std::uint64_t k = 0; k < n_obs; ++k) {
     s.schedule.observations.push_back(read_observation(is));
@@ -213,6 +225,7 @@ SnDataset read_dataset(std::istream& is) {
   if (count == 0 || count > 10'000'000) {
     throw std::runtime_error("read_dataset: implausible sample count");
   }
+  require_stream_bytes(is, count * kMinSpecBytes, "read_dataset");
   std::vector<SampleSpec> specs;
   specs.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

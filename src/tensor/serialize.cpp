@@ -34,6 +34,27 @@ std::uint64_t read_u64(std::istream& is) {
 
 }  // namespace
 
+
+std::int64_t stream_bytes_remaining(std::istream& is) {
+  const std::istream::pos_type cur = is.tellg();
+  if (cur == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(cur);
+  if (end == std::istream::pos_type(-1) || end < cur) return -1;
+  return static_cast<std::int64_t>(end - cur);
+}
+
+void require_stream_bytes(std::istream& is, std::uint64_t needed,
+                          const char* who) {
+  const std::int64_t rem = stream_bytes_remaining(is);
+  if (rem >= 0 && static_cast<std::uint64_t>(rem) < needed) {
+    throw std::runtime_error(std::string(who) + ": truncated stream (need " +
+                             std::to_string(needed) + " bytes, have " +
+                             std::to_string(rem) + ")");
+  }
+}
+
 void write_tensor(std::ostream& os, const Tensor& t) {
   write_u64(os, static_cast<std::uint64_t>(t.rank()));
   for (std::int64_t a = 0; a < t.rank(); ++a) {
@@ -62,6 +83,7 @@ Tensor read_tensor(std::istream& is) {
   if (rank == 0) {
     return Tensor();
   }
+  require_stream_bytes(is, numel * sizeof(float), "read_tensor");
   Tensor t(std::move(shape));
   is.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.size() * sizeof(float)));
@@ -95,6 +117,7 @@ TensorMap read_tensor_map(std::istream& is) {
   if (count > 1'000'000) {
     throw std::runtime_error("read_tensor_map: implausible entry count");
   }
+  require_stream_bytes(is, count * 16, "read_tensor_map");
   TensorMap map;
   map.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

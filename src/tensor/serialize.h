@@ -14,6 +14,19 @@
 
 namespace sne {
 
+/// Bytes remaining from the stream's current read position to its end, or
+/// -1 for a non-seekable stream. The read position is restored.
+std::int64_t stream_bytes_remaining(std::istream& is);
+
+/// Throws std::runtime_error("<who>: truncated stream ...") when the
+/// stream is seekable and fewer than `needed` bytes remain. Call before
+/// sizing containers from counts read out of the stream, so a corrupt or
+/// truncated header can never trigger a huge speculative allocation.
+/// Non-seekable streams skip the check (the per-record reads still catch
+/// truncation, just after allocating).
+void require_stream_bytes(std::istream& is, std::uint64_t needed,
+                          const char* who);
+
 /// Writes a tensor: rank, extents (int64 little-endian), then raw float32.
 void write_tensor(std::ostream& os, const Tensor& t);
 

@@ -1,5 +1,7 @@
 #include "tensor/tensor.h"
 
+#include "tensor/view.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -118,11 +120,7 @@ float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
   return data_[static_cast<std::size_t>(flat_index(idx))];
 }
 
-namespace {
-
-// Shared by both reshaped overloads: resolves a single -1 extent and
-// validates the element count against `size`.
-Shape resolve_reshape(Shape new_shape, std::int64_t size) {
+Shape resolve_reshape_shape(Shape new_shape, std::int64_t size) {
   std::int64_t inferred_axis = -1;
   std::int64_t known = 1;
   for (std::size_t a = 0; a < new_shape.size(); ++a) {
@@ -150,25 +148,46 @@ Shape resolve_reshape(Shape new_shape, std::int64_t size) {
   return new_shape;
 }
 
-}  // namespace
-
 Tensor Tensor::reshaped(Shape new_shape) const& {
   Tensor out;
-  out.shape_ = resolve_reshape(std::move(new_shape), size());
+  out.shape_ = resolve_reshape_shape(std::move(new_shape), size());
   out.data_ = data_;
   return out;
 }
 
 Tensor Tensor::reshaped(Shape new_shape) && {
   Tensor out;
-  out.shape_ = resolve_reshape(std::move(new_shape), size());
+  out.shape_ = resolve_reshape_shape(std::move(new_shape), size());
   out.data_ = std::move(data_);
   shape_.clear();
   return out;
 }
 
+TensorView Tensor::view() { return TensorView(*this); }
+ConstTensorView Tensor::view() const { return ConstTensorView(*this); }
+ConstTensorView Tensor::cview() const { return ConstTensorView(*this); }
+
+TensorView Tensor::slice(std::int64_t axis, std::int64_t begin,
+                         std::int64_t end) {
+  return view().slice(axis, begin, end);
+}
+ConstTensorView Tensor::slice(std::int64_t axis, std::int64_t begin,
+                              std::int64_t end) const {
+  return view().slice(axis, begin, end);
+}
+
 void Tensor::resize(const Shape& new_shape) {
   const std::int64_t n = shape_numel(new_shape);
+  shape_.assign(new_shape.begin(), new_shape.end());
+  data_.resize(static_cast<std::size_t>(n));
+}
+
+void Tensor::resize(std::span<const std::int64_t> new_shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t e : new_shape) {
+    if (e <= 0) throw std::invalid_argument("resize: extents must be positive");
+    n *= e;
+  }
   shape_.assign(new_shape.begin(), new_shape.end());
   data_.resize(static_cast<std::size_t>(n));
 }

@@ -18,6 +18,9 @@ namespace sne {
 /// Shape of a tensor; at most 4 axes are used in practice (NCHW).
 using Shape = std::vector<std::int64_t>;
 
+class TensorView;
+class ConstTensorView;
+
 /// Dense row-major float tensor.
 class Tensor {
  public:
@@ -84,6 +87,19 @@ class Tensor {
   Tensor reshaped(Shape new_shape) const&;
   Tensor reshaped(Shape new_shape) &&;
 
+  /// Non-owning views over this tensor's buffer (tensor/view.h). A view
+  /// is invalidated by anything that can reallocate or retag the buffer:
+  /// resize, assignment, move-from, destruction.
+  TensorView view();
+  ConstTensorView view() const;
+  /// Explicitly-const spelling for use on mutable tensors.
+  ConstTensorView cview() const;
+
+  /// Convenience: view().slice(axis, begin, end).
+  TensorView slice(std::int64_t axis, std::int64_t begin, std::int64_t end);
+  ConstTensorView slice(std::int64_t axis, std::int64_t begin,
+                        std::int64_t end) const;
+
   /// In-place reshape/resize: sets the shape and grows or shrinks the
   /// buffer to match. Existing capacity is reused, so repeated resizes to
   /// shapes that fit do not allocate — the contract the inference arena
@@ -91,6 +107,9 @@ class Tensor {
   /// (a pure reshape); grown elements are zero-initialized.
   void resize(const Shape& new_shape);
   void resize(std::initializer_list<std::int64_t> new_shape);
+  /// Span overload so `out.resize(view.shape())` works; reuses the shape
+  /// vector's capacity, so same-rank resizes stay allocation-free.
+  void resize(std::span<const std::int64_t> new_shape);
 
   /// In-place fills.
   void fill(float v) noexcept;
@@ -143,5 +162,11 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op);
 
 /// Product of extents; validates that every extent is positive.
 std::int64_t shape_numel(const Shape& shape);
+
+/// Resolves a requested reshape target against an element count: at most
+/// one -1 extent is inferred from the rest, and the resolved shape's
+/// element count must equal `size`. Shared by Tensor::reshaped and
+/// TensorView::reshaped.
+Shape resolve_reshape_shape(Shape new_shape, std::int64_t size);
 
 }  // namespace sne

@@ -1,0 +1,356 @@
+#include "tensor/view.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace sne {
+
+namespace {
+
+using Extents = ConstTensorView::Extents;
+
+// Everything below stays off the heap: views are built and copied on the
+// zero-allocation inference and batch-stacking paths, so the helpers work
+// on spans over the views' inline extent arrays.
+
+// Dense row-major strides for `shape`, written into `out`.
+void dense_strides(Extents shape, std::int64_t* out) {
+  std::int64_t run = 1;
+  for (std::size_t a = shape.size(); a-- > 0;) {
+    out[a] = run;
+    run *= shape[a];
+  }
+}
+
+std::int64_t numel(Extents shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t e : shape) n *= e;
+  return n;
+}
+
+void check_extents(Extents shape) {
+  if (shape.size() > static_cast<std::size_t>(ConstTensorView::kMaxRank)) {
+    throw std::invalid_argument("TensorView: rank " +
+                                std::to_string(shape.size()) +
+                                " exceeds the view limit of " +
+                                std::to_string(ConstTensorView::kMaxRank));
+  }
+  for (const std::int64_t e : shape) {
+    if (e <= 0) {
+      throw std::invalid_argument("TensorView: extents must be positive");
+    }
+  }
+}
+
+// Dense row-major check; axes of extent 1 contribute no layout freedom,
+// so their strides are ignored (a [1, ...] row slice of a batch stays on
+// the fast path).
+bool compute_contiguous(Extents shape, Extents strides) {
+  if (shape.size() != strides.size()) return false;
+  std::int64_t expected = 1;
+  for (std::size_t a = shape.size(); a-- > 0;) {
+    if (shape[a] != 1 && strides[a] != expected) return false;
+    expected *= shape[a];
+  }
+  return true;
+}
+
+std::int64_t strided_offset_1(Extents shape, Extents strides, std::int64_t i0,
+                              const char* who) {
+  if (shape.size() != 1) {
+    throw std::invalid_argument(std::string(who) + ": rank-1 access on rank-" +
+                                std::to_string(shape.size()) + " view");
+  }
+  if (i0 < 0 || i0 >= shape[0]) {
+    throw std::out_of_range(std::string(who) + ": index out of range");
+  }
+  return i0 * strides[0];
+}
+
+std::int64_t strided_offset(Extents shape, Extents strides,
+                            const std::int64_t* idx, std::size_t n,
+                            const char* who) {
+  if (shape.size() != n) {
+    throw std::invalid_argument(std::string(who) + ": rank-" +
+                                std::to_string(n) + " access on rank-" +
+                                std::to_string(shape.size()) + " view");
+  }
+  std::int64_t off = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (idx[a] < 0 || idx[a] >= shape[a]) {
+      throw std::out_of_range(std::string(who) + ": index out of range");
+    }
+    off += idx[a] * strides[a];
+  }
+  return off;
+}
+
+// Recursive strided gather/scatter; the trailing axis degrades to memcpy
+// whenever both sides step by 1 there.
+void copy_rec(const float* src, Extents src_strides, float* dst,
+              Extents dst_strides, Extents shape, std::size_t axis) {
+  if (axis + 1 == shape.size()) {
+    const std::int64_t n = shape[axis];
+    if (src_strides[axis] == 1 && dst_strides[axis] == 1) {
+      std::memcpy(dst, src, static_cast<std::size_t>(n) * sizeof(float));
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) {
+        dst[i * dst_strides[axis]] = src[i * src_strides[axis]];
+      }
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < shape[axis]; ++i) {
+    copy_rec(src + i * src_strides[axis], src_strides,
+             dst + i * dst_strides[axis], dst_strides, shape, axis + 1);
+  }
+}
+
+void fill_rec(float* base, Extents shape, Extents strides, std::size_t axis,
+              float v) {
+  if (axis + 1 == shape.size()) {
+    for (std::int64_t i = 0; i < shape[axis]; ++i) {
+      base[i * strides[axis]] = v;
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < shape[axis]; ++i) {
+    fill_rec(base + i * strides[axis], shape, strides, axis + 1, v);
+  }
+}
+
+// Resolves a reshape request (at most one -1 extent inferred) against a
+// fixed element count, writing the concrete extents into `out`. Returns
+// the resolved rank. Allocation-free twin of resolve_reshape_shape.
+std::size_t resolve_reshape(Extents request, std::int64_t size,
+                            std::int64_t* out) {
+  if (request.size() > static_cast<std::size_t>(ConstTensorView::kMaxRank)) {
+    throw std::invalid_argument("reshaped: rank exceeds the view limit of " +
+                                std::to_string(ConstTensorView::kMaxRank));
+  }
+  std::int64_t known = 1;
+  std::size_t infer_axis = request.size();
+  for (std::size_t a = 0; a < request.size(); ++a) {
+    const std::int64_t e = request[a];
+    if (e == -1) {
+      if (infer_axis != request.size()) {
+        throw std::invalid_argument("reshaped: more than one -1 extent");
+      }
+      infer_axis = a;
+    } else if (e <= 0) {
+      throw std::invalid_argument("reshaped: extents must be positive or -1");
+    } else {
+      known *= e;
+    }
+    out[a] = e;
+  }
+  if (infer_axis != request.size()) {
+    if (known == 0 || size % known != 0) {
+      throw std::invalid_argument("reshaped: cannot infer the -1 extent");
+    }
+    out[infer_axis] = size / known;
+    known *= out[infer_axis];
+  }
+  if (known != size) {
+    throw std::invalid_argument(
+        "reshaped: element count mismatch (view holds " +
+        std::to_string(size) + ", shape wants " + std::to_string(known) + ")");
+  }
+  return request.size();
+}
+
+}  // namespace
+
+ConstTensorView::ConstTensorView(const float* data, Extents shape)
+    : data_(data) {
+  check_extents(shape);
+  nrank_ = shape.size();
+  std::copy(shape.begin(), shape.end(), shape_.begin());
+  dense_strides(this->shape(), strides_.data());
+  size_ = nrank_ == 0 ? 0 : numel(this->shape());
+  contiguous_ = true;
+}
+
+ConstTensorView::ConstTensorView(const float* data,
+                                 std::initializer_list<std::int64_t> shape)
+    : ConstTensorView(data, Extents(shape.begin(), shape.size())) {}
+
+ConstTensorView::ConstTensorView(const float* data, Extents shape,
+                                 Extents strides)
+    : data_(data) {
+  check_extents(shape);
+  if (shape.size() != strides.size()) {
+    throw std::invalid_argument(
+        "TensorView: shape and strides must have the same rank");
+  }
+  nrank_ = shape.size();
+  std::copy(shape.begin(), shape.end(), shape_.begin());
+  std::copy(strides.begin(), strides.end(), strides_.begin());
+  size_ = nrank_ == 0 ? 0 : numel(this->shape());
+  contiguous_ = compute_contiguous(this->shape(), this->strides());
+}
+
+std::int64_t ConstTensorView::extent(std::int64_t axis) const {
+  if (axis < 0 || axis >= rank()) {
+    throw std::out_of_range("extent: axis out of range");
+  }
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+const float* ConstTensorView::data() const {
+  if (!contiguous_) {
+    throw std::logic_error(
+        "TensorView::data: view is not contiguous; use copy_to/at instead");
+  }
+  return data_;
+}
+
+float ConstTensorView::at(std::int64_t i0) const {
+  return data_[strided_offset_1(shape(), strides(), i0, "at")];
+}
+
+float ConstTensorView::at(std::int64_t i0, std::int64_t i1) const {
+  const std::int64_t idx[] = {i0, i1};
+  return data_[strided_offset(shape(), strides(), idx, 2, "at")];
+}
+
+float ConstTensorView::at(std::int64_t i0, std::int64_t i1,
+                          std::int64_t i2) const {
+  const std::int64_t idx[] = {i0, i1, i2};
+  return data_[strided_offset(shape(), strides(), idx, 3, "at")];
+}
+
+float ConstTensorView::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                          std::int64_t i3) const {
+  const std::int64_t idx[] = {i0, i1, i2, i3};
+  return data_[strided_offset(shape(), strides(), idx, 4, "at")];
+}
+
+ConstTensorView ConstTensorView::slice(std::int64_t axis, std::int64_t begin,
+                                       std::int64_t end) const {
+  if (axis < 0 || axis >= rank()) {
+    throw std::out_of_range("slice: axis out of range");
+  }
+  const auto a = static_cast<std::size_t>(axis);
+  if (begin < 0 || end > shape_[a] || begin >= end) {
+    throw std::out_of_range("slice: range [" + std::to_string(begin) + ", " +
+                            std::to_string(end) + ") invalid for extent " +
+                            std::to_string(shape_[a]));
+  }
+  ConstTensorView s(*this);
+  s.data_ = data_ + begin * strides_[a];
+  s.shape_[a] = end - begin;
+  s.size_ = numel(s.shape());
+  s.contiguous_ = compute_contiguous(s.shape(), s.strides());
+  return s;
+}
+
+ConstTensorView ConstTensorView::reshaped(Extents new_shape) const {
+  if (!contiguous_) {
+    throw std::logic_error("reshaped: view is not contiguous");
+  }
+  ConstTensorView s;
+  s.data_ = data_;
+  s.nrank_ = resolve_reshape(new_shape, size_, s.shape_.data());
+  dense_strides(s.shape(), s.strides_.data());
+  s.size_ = size_;
+  s.contiguous_ = true;
+  return s;
+}
+
+void ConstTensorView::copy_to(float* dst) const {
+  if (empty()) return;
+  if (contiguous_) {
+    std::memcpy(dst, data_, static_cast<std::size_t>(size_) * sizeof(float));
+    return;
+  }
+  // Gather: the destination is dense row-major over this view's shape.
+  std::array<std::int64_t, kMaxRank> dst_strides;
+  dense_strides(shape(), dst_strides.data());
+  copy_rec(data_, strides(), dst, Extents(dst_strides.data(), nrank_), shape(),
+           0);
+}
+
+void ConstTensorView::copy_to(Tensor& dst) const {
+  dst.resize(shape());
+  copy_to(dst.data());
+}
+
+Tensor ConstTensorView::to_tensor() const {
+  Tensor t(Shape(shape().begin(), shape().end()));
+  copy_to(t.data());
+  return t;
+}
+
+std::string ConstTensorView::shape_string() const {
+  std::string s = "[";
+  for (std::size_t a = 0; a < nrank_; ++a) {
+    if (a != 0) s += ", ";
+    s += std::to_string(shape_[a]);
+  }
+  return s + "]";
+}
+
+float& TensorView::at(std::int64_t i0) const {
+  return const_cast<float*>(
+      data_)[strided_offset_1(shape(), strides(), i0, "at")];
+}
+
+float& TensorView::at(std::int64_t i0, std::int64_t i1) const {
+  const std::int64_t idx[] = {i0, i1};
+  return const_cast<float*>(
+      data_)[strided_offset(shape(), strides(), idx, 2, "at")];
+}
+
+float& TensorView::at(std::int64_t i0, std::int64_t i1,
+                      std::int64_t i2) const {
+  const std::int64_t idx[] = {i0, i1, i2};
+  return const_cast<float*>(
+      data_)[strided_offset(shape(), strides(), idx, 3, "at")];
+}
+
+float& TensorView::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                      std::int64_t i3) const {
+  const std::int64_t idx[] = {i0, i1, i2, i3};
+  return const_cast<float*>(
+      data_)[strided_offset(shape(), strides(), idx, 4, "at")];
+}
+
+TensorView TensorView::slice(std::int64_t axis, std::int64_t begin,
+                             std::int64_t end) const {
+  const ConstTensorView s = ConstTensorView::slice(axis, begin, end);
+  return TensorView(const_cast<float*>(raw(s)), s.shape(), s.strides());
+}
+
+TensorView TensorView::reshaped(Extents new_shape) const {
+  const ConstTensorView s = ConstTensorView::reshaped(new_shape);
+  return TensorView(const_cast<float*>(raw(s)), s.shape(), s.strides());
+}
+
+void TensorView::copy_from(ConstTensorView src) const {
+  // Exact shape match — copy_from is assignment between equal windows, not
+  // a broadcast; reshape explicitly when staging a sample into a batch row.
+  const Extents a = shape();
+  const Extents b = src.shape();
+  if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) {
+    throw std::invalid_argument("copy_from: shape mismatch (" +
+                                src.shape_string() + " into " +
+                                shape_string() + ")");
+  }
+  if (empty()) return;
+  float* dst = const_cast<float*>(data_);
+  if (is_contiguous() && src.is_contiguous()) {
+    std::memcpy(dst, raw(src),
+                static_cast<std::size_t>(size()) * sizeof(float));
+    return;
+  }
+  copy_rec(raw(src), src.strides(), dst, strides(), shape(), 0);
+}
+
+void TensorView::fill(float v) const {
+  if (empty()) return;
+  fill_rec(const_cast<float*>(data_), shape(), strides(), 0, v);
+}
+
+}  // namespace sne

@@ -1,0 +1,179 @@
+// view.h — non-owning shape+stride views over Tensor storage. A view is a
+// borrowed window into someone else's buffer: slicing, reshaping, and
+// batch-row stacking become pointer arithmetic instead of memcpy. Views
+// never allocate and never own; the underlying buffer must outlive every
+// view of it, and any operation that reallocates or resizes the parent
+// Tensor (resize, assignment, move-from, destruction) invalidates all
+// views into it. See docs/API.md ("View semantics") for the full rules.
+//
+// Views are allocation-free by construction: shape and strides live in
+// fixed inline arrays (rank ≤ kMaxRank), exposed as std::span — so the
+// serving arena and the batch stacking path can mint views per step
+// without touching the allocator (the zero-alloc inference pins count
+// every operator new).
+//
+// Contiguity is the fast-path contract: data() and the flat operator[]
+// require a contiguous (dense row-major) layout and data() throws when the
+// view is strided, so a kernel that grabs the raw pointer can never read a
+// strided view as if it were dense. Strided views are accessed through
+// at()/copy_to()/copy_from(), whose inner loops degrade to per-row memcpy
+// whenever the trailing axes are dense.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace sne {
+
+/// Read-only view. Implicitly constructible from a (const) Tensor, so any
+/// API taking a ConstTensorView accepts a Tensor with zero ceremony and
+/// zero copies.
+class ConstTensorView {
+ public:
+  /// Maximum rank a view can carry (NCHW plus headroom).
+  static constexpr std::int64_t kMaxRank = 6;
+
+  /// Lightweight extents reference; a Shape (std::vector) converts
+  /// implicitly, as does an inline array.
+  using Extents = std::span<const std::int64_t>;
+
+  /// Empty view (rank 0, no elements, null data).
+  ConstTensorView() = default;
+
+  /// Contiguous view over a whole tensor.
+  ConstTensorView(const Tensor& t)  // NOLINT(runtime/explicit): by design
+      : ConstTensorView(t.data(), t.shape()) {}
+
+  /// Contiguous view over `data` with the given shape (dense row-major
+  /// strides are derived). `data` must hold the product of extents.
+  ConstTensorView(const float* data, Extents shape);
+  ConstTensorView(const float* data,
+                  std::initializer_list<std::int64_t> shape);
+
+  /// Fully general strided view. `strides` are in elements and must have
+  /// the same rank as `shape`.
+  ConstTensorView(const float* data, Extents shape, Extents strides);
+
+  Extents shape() const noexcept { return {shape_.data(), nrank_}; }
+  Extents strides() const noexcept { return {strides_.data(), nrank_}; }
+  std::int64_t rank() const noexcept {
+    return static_cast<std::int64_t>(nrank_);
+  }
+  std::int64_t extent(std::int64_t axis) const;
+  /// Logical element count (product of extents; 0 for the empty view).
+  std::int64_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// True when the elements are dense row-major over [base, base+size).
+  /// Axes of extent 1 are layout-neutral and ignored by the check.
+  bool is_contiguous() const noexcept { return contiguous_; }
+
+  /// Raw pointer to the dense element run. Throws std::logic_error when
+  /// the view is strided — the guard that keeps flat-pointer kernels from
+  /// silently misreading sliced data.
+  const float* data() const;
+
+  /// Flat element access. Only meaningful on contiguous views (unchecked,
+  /// like Tensor::operator[]); kernels should prefer data(), which does
+  /// enforce contiguity.
+  float operator[](std::int64_t i) const noexcept { return data_[i]; }
+
+  /// Multi-axis strided access; rank must match, indices bounds-checked.
+  float at(std::int64_t i0) const;
+  float at(std::int64_t i0, std::int64_t i1) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+           std::int64_t i3) const;
+
+  /// Sub-view of rows [begin, end) along `axis`; shape and offset change,
+  /// strides do not. Throws std::out_of_range on a bad axis or range.
+  ConstTensorView slice(std::int64_t axis, std::int64_t begin,
+                        std::int64_t end) const;
+
+  /// Same elements, new shape (one -1 extent is inferred). Requires a
+  /// contiguous view — a reshape of strided data would need a gather.
+  ConstTensorView reshaped(Extents new_shape) const;
+  ConstTensorView reshaped(std::initializer_list<std::int64_t> s) const {
+    return reshaped(Extents(s.begin(), s.size()));
+  }
+
+  /// Gathers the elements into dense row-major order at `dst` (which must
+  /// hold size() floats). Contiguous views are a single memcpy.
+  void copy_to(float* dst) const;
+
+  /// Resizes `dst` to this view's shape and gathers into it. Reuses
+  /// dst's capacity, so a warm destination makes this allocation-free.
+  void copy_to(Tensor& dst) const;
+
+  /// Materializes an owning Tensor with this view's shape and data.
+  Tensor to_tensor() const;
+
+  std::string shape_string() const;
+
+ protected:
+  /// Raw base pointer of any view regardless of layout — for the copy
+  /// machinery, which walks strides itself. Static so derived classes can
+  /// reach the base pointer of views other than *this.
+  static const float* raw(const ConstTensorView& v) noexcept {
+    return v.data_;
+  }
+
+  const float* data_ = nullptr;
+  std::array<std::int64_t, kMaxRank> shape_{};
+  std::array<std::int64_t, kMaxRank> strides_{};
+  std::size_t nrank_ = 0;
+  std::int64_t size_ = 0;
+  bool contiguous_ = true;
+};
+
+/// Mutable view; everything ConstTensorView offers plus write access.
+/// Converts implicitly to ConstTensorView (by slicing the base class),
+/// so mutable views flow into read-only APIs for free.
+class TensorView : public ConstTensorView {
+ public:
+  TensorView() = default;
+
+  /// Contiguous view over a whole (mutable) tensor.
+  TensorView(Tensor& t)  // NOLINT(runtime/explicit): by design
+      : ConstTensorView(t.data(), t.shape()) {}
+
+  TensorView(float* data, Extents shape) : ConstTensorView(data, shape) {}
+  TensorView(float* data, std::initializer_list<std::int64_t> shape)
+      : ConstTensorView(data, shape) {}
+  TensorView(float* data, Extents shape, Extents strides)
+      : ConstTensorView(data, shape, strides) {}
+
+  /// Mutable raw pointer; throws std::logic_error when strided. The
+  /// const_cast is sound: every TensorView constructor takes float*.
+  float* data() const { return const_cast<float*>(ConstTensorView::data()); }
+
+  float& operator[](std::int64_t i) const noexcept {
+    return const_cast<float*>(data_)[i];
+  }
+
+  float& at(std::int64_t i0) const;
+  float& at(std::int64_t i0, std::int64_t i1) const;
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+            std::int64_t i3) const;
+
+  TensorView slice(std::int64_t axis, std::int64_t begin,
+                   std::int64_t end) const;
+  TensorView reshaped(Extents new_shape) const;
+  TensorView reshaped(std::initializer_list<std::int64_t> s) const {
+    return reshaped(Extents(s.begin(), s.size()));
+  }
+
+  /// Scatters `src` (shape must match exactly) into this view. Both sides
+  /// contiguous is a single memcpy — the get_batch stacking fast path.
+  void copy_from(ConstTensorView src) const;
+
+  void fill(float v) const;
+};
+
+}  // namespace sne

@@ -14,6 +14,7 @@
 
 #include "core/band_cnn.h"
 #include "core/pipeline.h"
+#include "data/snapshot.h"
 #include "nn/nn.h"
 #include "obs/obs.h"
 #include "sim/dataset_builder.h"
@@ -294,8 +295,11 @@ struct TrainOutcome {
 
 // Trains a freshly seeded flux CNN on the fixture's pairs. use_loader
 // selects Trainer::fit (DataLoader path) vs the inlined seed loop.
+// `override_data` substitutes another dataset (e.g. a snapshot replay of
+// the same pairs) for the live-rendered one.
 TrainOutcome run_training(const FluxFixture& fx, bool use_loader,
-                          std::int64_t prefetch, int threads) {
+                          std::int64_t prefetch, int threads,
+                          const nn::Dataset* override_data = nullptr) {
   set_num_threads(threads);
   core::BandCnnConfig cfg;
   cfg.input_size = 36;
@@ -312,17 +316,57 @@ TrainOutcome run_training(const FluxFixture& fx, bool use_loader,
   tc.prefetch = prefetch;
 
   const nn::LazyDataset pairs = fx.pairs();
+  const nn::Dataset& train = override_data ? *override_data : pairs;
   TrainOutcome out;
-  out.history = use_loader ? trainer.fit(pairs, nullptr, tc)
-                           : reference_fit(trainer, pairs, tc);
+  out.history = use_loader ? trainer.fit(train, nullptr, tc)
+                           : reference_fit(trainer, train, tc);
   for (nn::Param* p : cnn.params()) {
     for (std::int64_t i = 0; i < p->value.size(); ++i) {
       out.params.push_back(p->value[i]);
     }
   }
-  out.predictions = trainer.predict(pairs, 8);
+  out.predictions = trainer.predict(train, 8);
   set_num_threads(1);
   return out;
+}
+
+// A snapshot written from the live pair dataset must replay epochs that
+// are bitwise-identical to re-rendering every sample — same epoch
+// statistics, same final parameters, same predictions — for every
+// prefetch depth × thread count combination. This is the contract that
+// lets long training runs swap the simulator out for the mmap cache.
+TEST(DataLoaderDeterminism, SnapshotReplayFitBitwiseIdenticalToLiveRender) {
+  PoolWidthGuard guard;
+  const FluxFixture fx;
+  const std::string path = testing::TempDir() + "flux_pairs.snap";
+  {
+    const nn::LazyDataset pairs = fx.pairs();
+    data::write_snapshot(path, pairs, 8);
+  }
+  const data::SnapshotDataset snap(path);
+
+  const TrainOutcome live = run_training(fx, /*use_loader=*/true, 0, 1);
+  for (const std::int64_t prefetch : {std::int64_t{0}, std::int64_t{4}}) {
+    for (const int threads : {1, 4}) {
+      const TrainOutcome replay =
+          run_training(fx, /*use_loader=*/true, prefetch, threads, &snap);
+      ASSERT_EQ(replay.history.size(), live.history.size());
+      for (std::size_t e = 0; e < live.history.size(); ++e) {
+        EXPECT_TRUE(same_bits(replay.history[e].train_loss,
+                              live.history[e].train_loss))
+            << "prefetch " << prefetch << " threads " << threads
+            << " epoch " << e;
+      }
+      ASSERT_EQ(replay.params.size(), live.params.size());
+      for (std::size_t i = 0; i < live.params.size(); ++i) {
+        ASSERT_TRUE(same_bits(replay.params[i], live.params[i]))
+            << "prefetch " << prefetch << " threads " << threads
+            << " param element " << i;
+      }
+      EXPECT_TRUE(same_bytes(replay.predictions, live.predictions))
+          << "prefetch " << prefetch << " threads " << threads;
+    }
+  }
 }
 
 TEST(DataLoaderDeterminism, FitBitwiseIdenticalAcrossPrefetchAndThreads) {

@@ -7,6 +7,8 @@
 //   sne score    --dataset season.snds --model model.snet [--top 20]
 //   sne info     --dataset season.snds
 //   sne info     --model model.snet
+//   sne snapshot --dataset season.snds --out flux.snap [--kind flux|joint]
+//   sne snapshot --info flux.snap
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "core/sne_pipeline.h"
+#include "data/snapshot.h"
 #include "eval/roc.h"
 #include "eval/tables.h"
 #include "obs/obs.h"
@@ -244,6 +247,60 @@ int cmd_info(const Args& args) {
   throw std::runtime_error("info needs --dataset or --model");
 }
 
+// Renders a generated dataset once through the training pipeline's
+// dataset factories and caches the tensors in a .snap file; training and
+// benches can then replay epochs from the snapshot (mmap-backed, zero
+// render cost) with bitwise-identical batches.
+int cmd_snapshot(const Args& args) {
+  if (args.has("info")) {
+    const std::string path = args.get("info", "");
+    const data::SnapshotInfo info = data::read_snapshot_info(path);
+    std::string xs, ys;
+    for (const auto e : info.x_shape) {
+      xs += (xs.empty() ? "" : "x") + std::to_string(e);
+    }
+    for (const auto e : info.y_shape) {
+      ys += (ys.empty() ? "" : "x") + std::to_string(e);
+    }
+    std::printf("snapshot: v%llu, %lld samples, x %s, y %s (%.1f MiB)\n",
+                static_cast<unsigned long long>(info.version),
+                static_cast<long long>(info.count), xs.c_str(), ys.c_str(),
+                static_cast<double>(info.count) *
+                    static_cast<double>(info.x_numel() + info.y_numel()) *
+                    sizeof(float) / (1024.0 * 1024.0));
+    return 0;
+  }
+  const sim::SnDataset dataset = sim::load_dataset(args.require("dataset"));
+  const std::string out = args.require("out");
+  const std::string kind = args.get("kind", "flux");
+  const std::int64_t crop = args.get_int("crop", 0);
+  const std::int64_t batch = args.get_int("batch", 64);
+
+  std::vector<std::int64_t> all(static_cast<std::size_t>(dataset.size()));
+  std::iota(all.begin(), all.end(), 0);
+
+  std::printf("rendering %s snapshot of %lld samples...\n", kind.c_str(),
+              static_cast<long long>(dataset.size()));
+  if (kind == "flux") {
+    auto items = core::enumerate_flux_pairs(dataset, all);
+    const nn::LazyDataset pairs =
+        core::make_flux_pair_dataset(dataset, std::move(items), crop);
+    data::write_snapshot(out, pairs, batch);
+  } else if (kind == "joint") {
+    const std::int64_t epoch = args.get_int("epoch", 0);
+    const nn::LazyDataset joint = core::make_joint_dataset(
+        dataset, all, epoch, crop, core::FeatureConfig{});
+    data::write_snapshot(out, joint, batch);
+  } else {
+    throw std::runtime_error("snapshot: unknown --kind " + kind +
+                             " (expected flux or joint)");
+  }
+  const data::SnapshotInfo info = data::read_snapshot_info(out);
+  std::printf("wrote %s (%lld samples)\n", out.c_str(),
+              static_cast<long long>(info.count));
+  return 0;
+}
+
 void print_usage() {
   std::printf(
       "sne — single-epoch supernova classification toolkit\n\n"
@@ -254,7 +311,10 @@ void print_usage() {
       "           [--classifier-epochs 30] [--joint-epochs 2] [--seed 1]\n"
       "           [--progress]\n"
       "  score    --dataset FILE.snds --model FILE.snet [--top 20]\n"
-      "  info     --dataset FILE.snds | --model FILE.snet\n\n"
+      "  info     --dataset FILE.snds | --model FILE.snet\n"
+      "  snapshot --dataset FILE.snds --out FILE.snap [--kind flux|joint]\n"
+      "           [--crop N] [--epoch E] [--batch 64]\n"
+      "  snapshot --info FILE.snap\n\n"
       "global options (any command):\n"
       "  --threads N      worker threads (default: hardware, or "
       "SNE_NUM_THREADS)\n"
@@ -275,6 +335,7 @@ int main(int argc, char** argv) {
     else if (args.command == "train") rc = cmd_train(args);
     else if (args.command == "score") rc = cmd_score(args);
     else if (args.command == "info") rc = cmd_info(args);
+    else if (args.command == "snapshot") rc = cmd_snapshot(args);
     else if (args.command == "help" || args.command == "--help") {
       print_usage();
       return 0;
