@@ -85,6 +85,42 @@ BENCHMARK(BM_SgemmKernelTier)
     ->Args({256, 0})
     ->Args({256, 1});
 
+// Int8 kernel-tier pairs: the saturating s8×s8→s32 GEMM with requant
+// epilogue, scalar (0) vs AVX2 (1). Integer accumulation is exact, so
+// unlike the fp32 pair both tiers produce identical bytes — the pair
+// only tracks speed. The int8-vs-fp32 serving ratio lives in
+// BENCH_INT8.json via BM_BandCnnInferSessionPrecision below.
+void BM_IgemmKernelTier(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto tier = static_cast<GemmTier>(state.range(1));
+  if (!gemm_tier_supported(tier)) {
+    state.SkipWithError("kernel tier not supported on this CPU");
+    return;
+  }
+  const GemmTier prev = gemm_tier();
+  set_gemm_tier(tier);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * n));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int8_t>(static_cast<int>(i * 31 + 7) % 255 - 127);
+    b[i] = static_cast<std::int8_t>(static_cast<int>(i * 17 + 3) % 255 - 127);
+  }
+  const std::vector<float> scale(static_cast<std::size_t>(n), 0.01f);
+  Tensor c({n, n});
+  const IgemmEpilogue ep{scale.data(), nullptr, nullptr};
+  for (auto _ : state) {
+    igemm_serial(n, n, n, a.data(), b.data(), c.data(), ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_gemm_tier(prev);
+}
+BENCHMARK(BM_IgemmKernelTier)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
 // 1×1 convolution inference: the pointwise fast path feeds the input
 // straight to GEMM (no im2col pass, no column buffer), with bias in the
 // epilogue. Same tier pairing as BM_SgemmKernelTier.
@@ -271,6 +307,41 @@ void BM_BandCnnInferSessionTier(benchmark::State& state) {
   set_gemm_tier(prev);
 }
 BENCHMARK(BM_BandCnnInferSessionTier)->Arg(0)->Arg(1);
+
+// Precision pair: the same serving session at fp32 (0) vs int8 (1), both
+// on the default (fastest supported) GEMM tier. The int8 plan is lowered
+// against a calibration table recorded from the benchmark batch itself;
+// the /1 over /0 throughput ratio is the serving speedup pinned in
+// BENCH_INT8.json.
+void BM_BandCnnInferSessionPrecision(benchmark::State& state) {
+  const bool quantized = state.range(0) != 0;
+  Rng rng(7);
+  core::BandCnnConfig cfg;
+  cfg.input_size = kServeStamp;
+  core::BandCnn cnn(cfg, rng);
+  cnn.set_training(false);
+  const Tensor x =
+      Tensor::randn({kServeBatch, 2, kServeStamp, kServeStamp}, rng);
+  infer::CalibrationTable table;
+  {
+    infer::InferenceSession reference = core::make_session(cnn);
+    Tensor out;
+    reference.calibrate(x, out, table);
+  }
+  infer::PlanOptions options;
+  if (quantized) {
+    options.precision = Precision::Int8;
+    options.calibration = &table;
+  }
+  infer::InferenceSession session = core::make_session(cnn, options);
+  Tensor out;
+  for (auto _ : state) {
+    session.run(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kServeBatch);
+}
+BENCHMARK(BM_BandCnnInferSessionPrecision)->Arg(0)->Arg(1);
 
 void BM_SersicRender(benchmark::State& state) {
   sim::SersicProfile p;

@@ -27,16 +27,50 @@ infer::InferenceSession make_session(const LcClassifier& classifier,
   return infer::InferenceSession(compile_plan(classifier, options));
 }
 
-infer::JointSession make_session(const JointModel& joint,
-                                 infer::PlanOptions options) {
+namespace {
+
+infer::JointGlue joint_glue(const JointModel& joint) {
   infer::JointGlue glue;
   glue.stamp = joint.config().cnn.input_size;
   glue.num_bands = astro::kNumBands;
   glue.mag_offset = static_cast<float>(joint.config().features.mag_offset);
   glue.mag_scale = static_cast<float>(joint.config().features.mag_scale);
+  return glue;
+}
+
+}  // namespace
+
+infer::JointSession make_session(const JointModel& joint,
+                                 infer::PlanOptions options) {
   return infer::JointSession(make_session(joint.band_cnn(), options),
                              make_session(joint.classifier(), options),
-                             glue);
+                             joint_glue(joint));
+}
+
+infer::JointCalibration calibrate(const JointModel& joint,
+                                  std::span<const Tensor> batches) {
+  // Ranges must describe the fp32 reference path, so the recording
+  // session is always built with default (fp32) options.
+  infer::JointSession session = make_session(joint);
+  infer::JointCalibration table;
+  Tensor out;
+  for (const Tensor& batch : batches) {
+    session.calibrate(batch, out, table);
+  }
+  return table;
+}
+
+infer::JointSession make_session(const JointModel& joint,
+                                 const infer::JointCalibration& calibration,
+                                 infer::PlanOptions options) {
+  options.precision = Precision::Int8;
+  infer::PlanOptions cnn_options = options;
+  cnn_options.calibration = &calibration.cnn;
+  infer::PlanOptions clf_options = options;
+  clf_options.calibration = &calibration.classifier;
+  return infer::JointSession(make_session(joint.band_cnn(), cnn_options),
+                             make_session(joint.classifier(), clf_options),
+                             joint_glue(joint));
 }
 
 }  // namespace sne::core

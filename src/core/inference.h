@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/band_cnn.h"
 #include "core/joint_model.h"
@@ -38,6 +39,23 @@ infer::InferenceSession make_session(const LcClassifier& classifier,
 /// and classifier sessions together with the model's feature-glue
 /// constants (stamp extent, band count, magnitude normalization).
 infer::JointSession make_session(const JointModel& joint,
+                                 infer::PlanOptions options = {});
+
+/// Records activation ranges for both sub-networks of the joint model by
+/// streaming `batches` (each [N, bands·2·S·S + bands], the joint-model
+/// sample layout) through a fresh fp32 serving session. The returned
+/// table feeds the int8 overload of make_session below. Deterministic:
+/// the result is byte-identical regardless of how the calibration set is
+/// batched or which thread count renders it.
+infer::JointCalibration calibrate(const JointModel& joint,
+                                  std::span<const Tensor> batches);
+
+/// Int8 serving session for the joint model: each sub-network's plan is
+/// lowered against its half of `calibration` (options.calibration is
+/// ignored; options.precision defaults to Int8 here). `calibration` is
+/// borrowed during construction only.
+infer::JointSession make_session(const JointModel& joint,
+                                 const infer::JointCalibration& calibration,
                                  infer::PlanOptions options = {});
 
 }  // namespace sne::core

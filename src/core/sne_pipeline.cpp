@@ -1,8 +1,10 @@
 #include "core/sne_pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/inference.h"
 #include "nn/model_io.h"
@@ -31,7 +33,8 @@ Tensor config_tensor(const SnePipelineConfig& c) {
 
 }  // namespace
 
-SnePipeline::SnePipeline(const SnePipelineConfig& config) : config_(config) {
+SnePipeline::SnePipeline(const SnePipelineConfig& config)
+    : config_(config), precision_(RuntimeConfig::current().precision) {
   if (config.stamp_size < 22 || config.hidden_units <= 0) {
     throw std::invalid_argument("SnePipeline: bad configuration");
   }
@@ -150,17 +153,70 @@ SnePipelineReport SnePipeline::train(
 
 infer::JointSession& SnePipeline::scorer() const {
   if (!scorer_) {
-    scorer_ = std::make_unique<infer::JointSession>(make_session(*joint_));
+    if (precision() == Precision::Int8) {
+      scorer_ =
+          std::make_unique<infer::JointSession>(make_session(*joint_, calib_));
+    } else {
+      scorer_ = std::make_unique<infer::JointSession>(make_session(*joint_));
+    }
   }
   return *scorer_;
 }
 
 infer::InferenceSession& SnePipeline::mag_session() const {
   if (!mag_session_) {
+    infer::PlanOptions options;
+    if (precision() == Precision::Int8) {
+      options.precision = Precision::Int8;
+      options.calibration = &calib_.cnn;
+    }
     mag_session_ = std::make_unique<infer::InferenceSession>(
-        make_session(joint_->band_cnn()));
+        make_session(joint_->band_cnn(), options));
   }
   return *mag_session_;
+}
+
+void SnePipeline::calibrate(const sim::SnDataset& data,
+                            const std::vector<std::int64_t>& samples) {
+  if (!trained_) throw std::logic_error("SnePipeline::calibrate: not trained");
+  if (samples.empty()) {
+    throw std::invalid_argument("SnePipeline::calibrate: no samples");
+  }
+  obs::Span span("pipeline.calibrate",
+                 static_cast<std::int64_t>(samples.size()));
+  const nn::LazyDataset set = make_joint_dataset(
+      data, samples, config_.epoch_subset, config_.stamp_size, {});
+  // Ranges describe the fp32 reference path, so the recording session is
+  // always compiled at fp32 regardless of the requested precision.
+  infer::JointSession session = make_session(*joint_);
+  infer::JointCalibration table;
+  Tensor out;
+  for (std::int64_t k = 0; k < set.size(); ++k) {
+    nn::Sample s = set.get(k);
+    const std::int64_t dim = s.x.size();
+    session.calibrate(std::move(s.x).reshaped({1, dim}), out, table);
+  }
+  calib_ = std::move(table);
+  // Requant scales derive from the tables, so any compiled int8 session
+  // is stale now; fp32 sessions rebuild identically, which is cheap.
+  scorer_.reset();
+  mag_session_.reset();
+}
+
+void SnePipeline::set_precision(Precision precision) {
+  if (precision == Precision::Int8 && calib_.empty()) {
+    throw std::logic_error(
+        "SnePipeline::set_precision: Int8 requires calibrate() first");
+  }
+  if (precision != precision_) {
+    scorer_.reset();
+    mag_session_.reset();
+  }
+  precision_ = precision;
+}
+
+Precision SnePipeline::precision() const noexcept {
+  return calib_.empty() ? Precision::Fp32 : precision_;
 }
 
 double SnePipeline::score(const sim::SnDataset& data,
@@ -225,36 +281,124 @@ double SnePipeline::estimate_magnitude(const Tensor& pair) const {
   return mags[0];
 }
 
+namespace {
+
+// Reserved record names carrying the calibration tables in a save file.
+constexpr const char* kCalibNames[4] = {
+    "__calib__.cnn.input_max", "__calib__.cnn.step_max",
+    "__calib__.classifier.input_max", "__calib__.classifier.step_max"};
+
+// Recomputes the quantized constants of both sub-networks against the
+// given tables, in the exact record order save() writes them.
+QTensorMap recompute_quantized(const JointModel& joint,
+                               const infer::JointCalibration& calib) {
+  QTensorMap out;
+  infer::PlanOptions options;
+  options.precision = Precision::Int8;
+  options.calibration = &calib.cnn;
+  compile_plan(joint.band_cnn(), options)
+      ->append_quantized(out, "__quant__.cnn.");
+  options.calibration = &calib.classifier;
+  compile_plan(joint.classifier(), options)
+      ->append_quantized(out, "__quant__.classifier.");
+  return out;
+}
+
+}  // namespace
+
 void SnePipeline::save(const std::string& path) const {
   if (!trained_) throw std::logic_error("SnePipeline::save: not trained");
   TensorMap state = nn::state_dict(*joint_);
   state.emplace_back("__pipeline_config__", config_tensor(config_));
-  save_tensor_map(path, state);
+  QTensorMap quantized;
+  if (!calib_.empty()) {
+    const Tensor* tables[4] = {
+        &calib_.cnn.input_max, &calib_.cnn.step_max,
+        &calib_.classifier.input_max, &calib_.classifier.step_max};
+    for (int i = 0; i < 4; ++i) state.emplace_back(kCalibNames[i], *tables[i]);
+    if (precision() == Precision::Int8) {
+      // Pin the quantized constants on disk: quantization is a pure
+      // function of the weights and the tables saved above, so load()
+      // can verify the records reproduce bit for bit.
+      quantized = recompute_quantized(*joint_, calib_);
+    }
+  }
+  // Pure-fp32 maps serialize as format v1, byte-identical to earlier
+  // releases; the dtype-tagged v2 container appears only when quantized
+  // records ride along.
+  save_tensor_map(path, state, quantized);
 }
 
 SnePipeline SnePipeline::load(const std::string& path) {
-  TensorMap state = load_tensor_map(path);
+  TensorMap state;
+  QTensorMap quantized;
+  load_tensor_map(path, state, quantized);
   SnePipelineConfig config;
+  infer::JointCalibration calib;
   bool found = false;
-  for (auto it = state.begin(); it != state.end(); ++it) {
-    if (it->first == "__pipeline_config__") {
-      if (it->second.size() != 3) {
+  TensorMap weights;
+  weights.reserve(state.size());
+  for (auto& [name, tensor] : state) {
+    if (name == "__pipeline_config__") {
+      if (tensor.size() != 3) {
         throw std::runtime_error("SnePipeline::load: bad config record");
       }
-      config.stamp_size = static_cast<std::int64_t>(it->second[0]);
-      config.hidden_units = static_cast<std::int64_t>(it->second[1]);
-      config.epoch_subset = static_cast<std::int64_t>(it->second[2]);
-      state.erase(it);
+      config.stamp_size = static_cast<std::int64_t>(tensor[0]);
+      config.hidden_units = static_cast<std::int64_t>(tensor[1]);
+      config.epoch_subset = static_cast<std::int64_t>(tensor[2]);
       found = true;
-      break;
+    } else if (name == kCalibNames[0]) {
+      calib.cnn.input_max = std::move(tensor);
+    } else if (name == kCalibNames[1]) {
+      calib.cnn.step_max = std::move(tensor);
+    } else if (name == kCalibNames[2]) {
+      calib.classifier.input_max = std::move(tensor);
+    } else if (name == kCalibNames[3]) {
+      calib.classifier.step_max = std::move(tensor);
+    } else {
+      weights.emplace_back(std::move(name), std::move(tensor));
     }
   }
   if (!found) {
     throw std::runtime_error("SnePipeline::load: missing config record");
   }
   SnePipeline pipeline(config);
-  nn::load_state_dict(*pipeline.joint_, state);
+  nn::load_state_dict(*pipeline.joint_, weights);
   pipeline.trained_ = true;
+  pipeline.calib_ = std::move(calib);
+  if (!quantized.empty()) {
+    if (pipeline.calib_.empty()) {
+      throw std::runtime_error(
+          "SnePipeline::load: quantized records without calibration tables");
+    }
+    pipeline.precision_ = Precision::Int8;
+    // Integrity check: requantizing the loaded weights against the loaded
+    // tables must reproduce the stored records exactly. A mismatch means
+    // the file pairs weights with a foreign quantization — refuse it
+    // rather than silently serving different bits than were validated.
+    const QTensorMap expect = recompute_quantized(*pipeline.joint_,
+                                                  pipeline.calib_);
+    if (expect.size() != quantized.size()) {
+      throw std::runtime_error(
+          "SnePipeline::load: expected " + std::to_string(expect.size()) +
+          " quantized records, file has " + std::to_string(quantized.size()));
+    }
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      const auto& [name, got] = quantized[i];
+      const auto& [want_name, want] = expect[i];
+      const std::int64_t ch = want.channels();
+      const bool ok =
+          name == want_name && got.shape == want.shape &&
+          got.data == want.data && got.scales.size() == ch &&
+          std::equal(got.scales.data(), got.scales.data() + ch,
+                     want.scales.data());
+      if (!ok) {
+        throw std::runtime_error("SnePipeline::load: quantized record '" +
+                                 name +
+                                 "' does not match its recomputation");
+      }
+    }
+  }
   return pipeline;
 }
 

@@ -79,6 +79,35 @@ class SnePipeline {
   /// pair, shape [2, S, S] — the flux-estimation service on its own.
   double estimate_magnitude(const Tensor& pair) const;
 
+  /// Records int8 activation ranges by streaming the given samples of
+  /// `data` through a fresh fp32 serving session (scores are discarded).
+  /// Replaces any previous calibration. The resulting tables are
+  /// byte-identical no matter how the set is batched, which thread count
+  /// runs it, or whether stamps replay from a snapshot or render live —
+  /// so calibrating against a SnapshotDataset capture of `data` yields
+  /// the same quantized model as calibrating live. Requires train() or
+  /// load().
+  void calibrate(const sim::SnDataset& data,
+                 const std::vector<std::int64_t>& samples);
+
+  /// Selects the serving precision for score()/score_all()/
+  /// estimate_magnitude(). Int8 requires a prior calibrate() (throws
+  /// std::logic_error otherwise); eligible conv steps then run the
+  /// saturating int8 GEMM while everything else stays fp32 per step.
+  /// The initial value comes from RuntimeConfig::current().precision
+  /// (env SNE_PRECISION), which degrades softly: Int8 without a
+  /// calibration serves fp32 until calibrate() is called.
+  void set_precision(Precision precision);
+
+  /// The precision scoring actually runs at right now: Int8 only when
+  /// requested AND calibrated, Fp32 otherwise.
+  Precision precision() const noexcept;
+
+  bool is_calibrated() const noexcept { return !calib_.empty(); }
+  const infer::JointCalibration& calibration() const noexcept {
+    return calib_;
+  }
+
   /// Serializes all weights (+ the config needed to rebuild) to a file.
   void save(const std::string& path) const;
 
@@ -106,6 +135,9 @@ class SnePipeline {
   std::unique_ptr<JointModel> joint_;
   mutable std::unique_ptr<infer::JointSession> scorer_;
   mutable std::unique_ptr<infer::InferenceSession> mag_session_;
+  infer::JointCalibration calib_;  ///< empty until calibrate()
+  /// Requested precision; serving falls back to Fp32 while uncalibrated.
+  Precision precision_;
   bool trained_ = false;
 };
 

@@ -1,0 +1,34 @@
+#include "eval/parity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "eval/roc.h"
+
+namespace sne::eval {
+
+PrecisionParity precision_parity(std::span<const float> reference,
+                                 std::span<const float> quantized,
+                                 std::span<const float> labels) {
+  if (reference.empty() || reference.size() != quantized.size() ||
+      reference.size() != labels.size()) {
+    throw std::invalid_argument(
+        "precision_parity: reference/quantized/labels must be the same "
+        "non-zero length");
+  }
+  PrecisionParity out;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = std::abs(static_cast<double>(reference[i]) -
+                              static_cast<double>(quantized[i]));
+    if (d > out.max_abs_diff) out.max_abs_diff = d;
+    sum += d;
+  }
+  out.mean_abs_diff = sum / static_cast<double>(reference.size());
+  out.auc_reference = auc(reference, labels);
+  out.auc_quantized = auc(quantized, labels);
+  out.auc_delta = out.auc_quantized - out.auc_reference;
+  return out;
+}
+
+}  // namespace sne::eval

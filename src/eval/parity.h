@@ -1,0 +1,28 @@
+// parity.h — quantization acceptance metrics. An int8 deployment is only
+// admissible if it preserves the paper's headline metric: the AUC of the
+// ROC curve. precision_parity() compares a quantized scorer's outputs
+// against the fp32 reference on the same samples and reports both the
+// score-level drift and the AUC delta, so a serving stack can gate the
+// int8 path on |auc_delta| staying under a budget (this repo pins 1e-3).
+#pragma once
+
+#include <span>
+
+namespace sne::eval {
+
+struct PrecisionParity {
+  double auc_reference = 0.0;  ///< AUC of the fp32 scores
+  double auc_quantized = 0.0;  ///< AUC of the quantized scores
+  double auc_delta = 0.0;      ///< auc_quantized − auc_reference (signed)
+  double max_abs_diff = 0.0;   ///< largest per-sample |score| drift
+  double mean_abs_diff = 0.0;  ///< average per-sample |score| drift
+};
+
+/// Compares two score vectors over the same labeled samples. All three
+/// spans must have the same non-zero length and `labels` must contain at
+/// least one example of each class (the AUC preconditions).
+PrecisionParity precision_parity(std::span<const float> reference,
+                                 std::span<const float> quantized,
+                                 std::span<const float> labels);
+
+}  // namespace sne::eval

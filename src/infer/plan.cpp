@@ -111,6 +111,67 @@ InferencePlan::InferencePlan(const nn::Sequential& net,
   }
 
   output_shape_.assign(cur.begin() + 1, cur.end());
+
+  if (options.precision == Precision::Int8) {
+    if (options.calibration == nullptr || options.calibration->empty()) {
+      throw std::invalid_argument(
+          "InferencePlan: Int8 lowering requires a calibration table "
+          "(run InferenceSession::calibrate on an fp32 plan first)");
+    }
+    lower_int8(*options.calibration);
+    precision_ = Precision::Int8;
+  }
+}
+
+void InferencePlan::lower_int8(const CalibrationTable& calibration) {
+  if (static_cast<std::size_t>(calibration.step_max.size()) !=
+          steps_.size() ||
+      calibration.input_max.size() != 1) {
+    throw std::invalid_argument(
+        "InferencePlan: calibration table has " +
+        std::to_string(calibration.step_max.size()) +
+        " step ranges but the plan has " + std::to_string(steps_.size()) +
+        " steps — it was recorded with different fold/fuse options");
+  }
+
+  // Walk the steps threading the calibrated activation range through:
+  // the range entering step i is the network input's range for the first
+  // step and step_max[i-1] after. Only conv steps with a usable (finite,
+  // positive) input range lower to int8; anything else keeps its fp32
+  // kernel — the per-step fallback that makes precision a plan property
+  // instead of an all-or-nothing switch.
+  float cur_max = calibration.input_max[0];
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    Step& step = steps_[i];
+    const float next_max = calibration.step_max[static_cast<std::int64_t>(i)];
+    const auto* conv = dynamic_cast<const nn::Conv2d*>(step.layer);
+    if (!step.reshape_only && conv != nullptr && cur_max > 0.0f &&
+        std::isfinite(cur_max)) {
+      const Tensor& w = step.folded ? step.weight : conv->weight().value;
+      step.qweight = quantize_per_channel(w);
+      const float in_scale = cur_max / 127.0f;
+      const std::int64_t cout = step.qweight.channels();
+      step.requant = Tensor({cout});
+      for (std::int64_t c = 0; c < cout; ++c) {
+        step.requant[c] = in_scale * step.qweight.scales[c];
+      }
+      step.input_inv_scale = 127.0f / cur_max;
+      step.conv = conv;  // unfolded/unfused convs need the typed entry too
+      step.int8 = true;
+      ++num_int8_;
+      step.trace_name = obs::intern(std::string(step.trace_name) + "+i8");
+    }
+    cur_max = next_max;
+  }
+}
+
+void InferencePlan::append_quantized(QTensorMap& out,
+                                     const std::string& prefix) const {
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (!steps_[i].int8) continue;
+    out.emplace_back(prefix + std::to_string(i) + ".qweight",
+                     steps_[i].qweight);
+  }
 }
 
 }  // namespace sne::infer

@@ -13,13 +13,33 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/conv2d.h"
 #include "nn/sequential.h"
+#include "tensor/qtensor.h"
+#include "tensor/runtime.h"
+#include "tensor/serialize.h"
 #include "tensor/tensor.h"
 
 namespace sne::infer {
+
+/// Activation ranges recorded by InferenceSession::calibrate over one or
+/// more representative fp32 batches: the largest |value| seen at the
+/// network input and after every plan step. The int8 lowering derives its
+/// activation scales from these (scale = max/127, symmetric). max is
+/// order-independent and the fp32 serving path is bitwise deterministic,
+/// so a table is byte-identical no matter how the calibration set is
+/// batched, which thread count runs it, or whether the batches replay
+/// from a SnapshotDataset or render live.
+struct CalibrationTable {
+  Tensor input_max;  ///< [1], largest |x| over all calibration batches
+  Tensor step_max;   ///< [num_steps], largest |out| after each plan step
+  std::int64_t batches = 0;  ///< batches folded in (diagnostic only)
+
+  bool empty() const noexcept { return step_max.size() == 0; }
+};
 
 struct PlanOptions {
   /// Fold each Conv2d immediately followed by a BatchNorm2d into one
@@ -35,6 +55,18 @@ struct PlanOptions {
   /// same elementwise operation — it just removes one full pass over the
   /// activation tensor and one arena ping-pong.
   bool fuse_prelu = true;
+  /// Serving precision this plan lowers to. Fp32 plans ignore
+  /// `calibration`. Int8 plans require a calibration table recorded from
+  /// a plan with the SAME fold/fuse options (step counts are validated;
+  /// the factories in core/inference.h get this right): each conv step
+  /// whose calibrated input range is usable gets per-output-channel
+  /// quantized weights and a requantization epilogue; every other step —
+  /// pooling, Linear, unfused activations, or a conv with a degenerate
+  /// range — falls back to fp32, per step, with no accuracy cliff.
+  Precision precision = Precision::Fp32;
+  /// Borrowed during plan construction only (the plan copies what it
+  /// keeps). Required when precision == Precision::Int8.
+  const CalibrationTable* calibration = nullptr;
 };
 
 /// One executable step of the plan. Either a layer invocation (possibly
@@ -55,6 +87,19 @@ class InferencePlan {
   std::size_t num_folded() const noexcept { return num_folded_; }
   /// Number of PReLU activations fused into a convolution epilogue.
   std::size_t num_fused_prelu() const noexcept { return num_fused_prelu_; }
+  /// The precision this plan was lowered to.
+  Precision precision() const noexcept { return precision_; }
+  /// Number of steps running the int8 kernel (0 for fp32 plans; the
+  /// remaining steps of an int8 plan are per-step fp32 fallbacks).
+  std::size_t num_int8_steps() const noexcept { return num_int8_; }
+
+  /// Appends every int8 step's quantized constants to `out` as
+  /// ("<prefix><step index>.qweight", QTensor) records — the
+  /// serialization side of a quantized plan. Quantization is a pure
+  /// function of the trained weights and the calibration table, so a
+  /// plan rebuilt from a loaded checkpoint reproduces these bytes
+  /// exactly; saving them pins that invariant on disk.
+  void append_quantized(QTensorMap& out, const std::string& prefix) const;
 
  private:
   friend class InferenceSession;
@@ -72,17 +117,33 @@ class InferencePlan {
     /// Per-channel PReLU slopes [Cout] fused into the conv's GEMM
     /// epilogue; empty when no activation was fused.
     Tensor prelu;
+    /// Int8 lowering of this conv step (int8 == true): per-channel
+    /// quantized weights, the precomputed requant scales
+    /// (input_scale · weight_scale[c]) for the igemm epilogue, and the
+    /// inverse input scale (127 / calibrated max|x|) the session
+    /// quantizes activations with. The step's bias/prelu tensors are
+    /// shared with the fp32 path — the requant epilogue applies them.
+    bool int8 = false;
+    QTensor qweight;
+    Tensor requant;  ///< [Cout]
+    float input_inv_scale = 0.0f;
     /// Interned obs span label ("infer.<i>.<layer type>"), stable for
     /// the process — safe to reference from trace records that outlive
     /// the plan.
     const char* trace_name = nullptr;
   };
 
+  /// Quantizes every eligible conv step against the calibrated ranges;
+  /// called from the constructor when options.precision == Int8.
+  void lower_int8(const CalibrationTable& calibration);
+
   Shape input_shape_;
   Shape output_shape_;
   std::vector<Step> steps_;
   std::size_t num_folded_ = 0;
   std::size_t num_fused_prelu_ = 0;
+  std::size_t num_int8_ = 0;
+  Precision precision_ = Precision::Fp32;
 };
 
 }  // namespace sne::infer

@@ -21,7 +21,44 @@ InferenceSession::InferenceSession(const nn::Sequential& net,
     : InferenceSession(std::make_shared<const InferencePlan>(
           net, std::move(sample_input_shape), options)) {}
 
+namespace {
+
+// Folds one observed activation buffer into a running range slot.
+void fold_max(Tensor& slot, std::int64_t index, const float* data,
+              std::int64_t n) {
+  const float m = max_abs(data, n);
+  if (m > slot[index]) slot[index] = m;
+}
+
+}  // namespace
+
 void InferenceSession::run(ConstTensorView batch, Tensor& out) {
+  run_impl(batch, out, nullptr);
+}
+
+void InferenceSession::calibrate(ConstTensorView batch, Tensor& out,
+                                 CalibrationTable& table) {
+  if (plan_->precision() != Precision::Fp32) {
+    throw std::logic_error(
+        "InferenceSession::calibrate: calibration must run on an fp32 "
+        "plan (the table describes the reference path)");
+  }
+  if (table.empty()) {
+    table.input_max = Tensor({1});
+    table.step_max = Tensor({static_cast<std::int64_t>(plan_->num_steps())});
+  } else if (static_cast<std::size_t>(table.step_max.size()) !=
+             plan_->num_steps()) {
+    throw std::invalid_argument(
+        "InferenceSession::calibrate: table was started on a plan with " +
+        std::to_string(table.step_max.size()) + " steps, this plan has " +
+        std::to_string(plan_->num_steps()));
+  }
+  run_impl(batch, out, &table);
+  ++table.batches;
+}
+
+void InferenceSession::run_impl(ConstTensorView batch, Tensor& out,
+                                CalibrationTable* calib) {
   const InferencePlan& plan = *plan_;
   const Shape& in = plan.input_shape_;
   const auto in_rank = static_cast<std::int64_t>(in.size()) + 1;
@@ -51,6 +88,9 @@ void InferenceSession::run(ConstTensorView batch, Tensor& out) {
     cur = ConstTensorView(ping_);
     cur_buf = &ping_;
   }
+  if (calib != nullptr) {
+    fold_max(calib->input_max, 0, cur.data(), cur.size());
+  }
 
   // Walk the plan ping-ponging between the two arena buffers; the last
   // computing step writes straight into `out`. Flatten steps on an arena
@@ -78,10 +118,27 @@ void InferenceSession::run(ConstTensorView batch, Tensor& out) {
         cur = ConstTensorView(out);
         cur_buf = nullptr;
       }
+      if (calib != nullptr) {
+        // A reshape changes no values; recording keeps the table's
+        // one-slot-per-step indexing trivial.
+        fold_max(calib->step_max, static_cast<std::int64_t>(s), cur.data(),
+                 cur.size());
+      }
       continue;
     }
     Tensor* dst = last ? &out : (cur_buf == &ping_ ? &pong_ : &ping_);
-    if (step.conv != nullptr) {
+    if (step.int8) {
+      // Quantized conv step: int8 weights + requant epilogue carrying
+      // the (possibly folded) bias and fused PReLU. Output is f32, so
+      // the next step is precision-oblivious.
+      const Tensor& b = step.folded ? step.bias : step.conv->bias().value;
+      const IgemmEpilogue ep{step.requant.data(), b.data(),
+                             step.prelu.empty() ? nullptr
+                                                : step.prelu.data()};
+      step.conv->infer_quantized(step.qweight.data.data(), ep,
+                                 step.input_inv_scale, cur, *dst,
+                                 int8_scratch_);
+    } else if (step.conv != nullptr) {
       // Conv step, possibly with substitute (BN-folded) parameters and a
       // fused PReLU applied in the GEMM epilogue.
       const Tensor& w = step.folded ? step.weight : step.conv->weight().value;
@@ -93,6 +150,10 @@ void InferenceSession::run(ConstTensorView batch, Tensor& out) {
     }
     cur = ConstTensorView(*dst);
     cur_buf = last ? nullptr : dst;
+    if (calib != nullptr) {
+      fold_max(calib->step_max, static_cast<std::int64_t>(s), cur.data(),
+               cur.size());
+    }
   }
 }
 
@@ -111,6 +172,16 @@ JointSession::JointSession(InferenceSession cnn, InferenceSession classifier,
 }
 
 void JointSession::run(const Tensor& batch, Tensor& out) {
+  run_impl(batch, out, nullptr);
+}
+
+void JointSession::calibrate(const Tensor& batch, Tensor& out,
+                             JointCalibration& table) {
+  run_impl(batch, out, &table);
+}
+
+void JointSession::run_impl(const Tensor& batch, Tensor& out,
+                            JointCalibration* table) {
   const std::int64_t nb = glue_.num_bands;
   const std::int64_t stamp = glue_.stamp;
   const std::int64_t per_band = 2 * stamp * stamp;
@@ -129,7 +200,11 @@ void JointSession::run(const Tensor& batch, Tensor& out) {
   images_.resize({n * nb, 2, stamp, stamp});
   batch.view().slice(1, 0, image_block).copy_to(images_.data());
 
-  cnn_.run(images_, mags_);  // [N·bands, 1]
+  if (table != nullptr) {
+    cnn_.calibrate(images_, mags_, table->cnn);  // [N·bands, 1]
+  } else {
+    cnn_.run(images_, mags_);  // [N·bands, 1]
+  }
 
   features_.resize({n, nb * 2});
   for (std::int64_t i = 0; i < n; ++i) {
@@ -140,7 +215,11 @@ void JointSession::run(const Tensor& batch, Tensor& out) {
       features_.at(i, 2 * b + 1) = dates[b];
     }
   }
-  classifier_.run(features_, out);
+  if (table != nullptr) {
+    classifier_.calibrate(features_, out, table->classifier);
+  } else {
+    classifier_.run(features_, out);
+  }
 }
 
 Tensor JointSession::run(const Tensor& batch) {

@@ -44,10 +44,23 @@ class InferenceSession {
   /// Allocating convenience overload.
   Tensor run(ConstTensorView batch);
 
+  /// Runs the batch exactly like run() AND folds the observed activation
+  /// ranges into `table` (initializing it on first use, accumulating on
+  /// repeat calls — stream the calibration set through in batches). Only
+  /// valid on an fp32 plan: the table feeds the int8 lowering, so it must
+  /// describe the reference path. max-abs is order-independent and the
+  /// fp32 path is bitwise deterministic, so the finished table does not
+  /// depend on batch order, thread count, or snapshot-replay vs live
+  /// rendering of the calibration set.
+  void calibrate(ConstTensorView batch, Tensor& out, CalibrationTable& table);
+
  private:
+  void run_impl(ConstTensorView batch, Tensor& out, CalibrationTable* calib);
+
   std::shared_ptr<const InferencePlan> plan_;
   Tensor ping_;
   Tensor pong_;
+  nn::ConvInt8Scratch int8_scratch_;  ///< quantized input/column buffers
   Shape shape_scratch_;  ///< reused per-step shape, batch axis rescaled
   bool warmed_ = false;  ///< first run() sizes the arena; traced apart
 };
@@ -60,6 +73,16 @@ struct JointGlue {
   std::int64_t num_bands = 5;  ///< bands per sample
   float mag_offset = 25.0f;    ///< feature = (mag − offset) / scale
   float mag_scale = 5.0f;
+};
+
+/// Calibration state of the joint model: one table per sub-network.
+struct JointCalibration {
+  CalibrationTable cnn;
+  CalibrationTable classifier;
+
+  bool empty() const noexcept {
+    return cnn.empty() || classifier.empty();
+  }
 };
 
 /// Serving path for the joint model: repacks each flat sample
@@ -76,11 +99,18 @@ class JointSession {
   void run(const Tensor& batch, Tensor& out);
   Tensor run(const Tensor& batch);
 
+  /// run() that also folds activation ranges of both sub-networks into
+  /// `table`; see InferenceSession::calibrate for the contract.
+  void calibrate(const Tensor& batch, Tensor& out, JointCalibration& table);
+
   const JointGlue& glue() const noexcept { return glue_; }
   InferenceSession& cnn() noexcept { return cnn_; }
   InferenceSession& classifier() noexcept { return classifier_; }
 
  private:
+  void run_impl(const Tensor& batch, Tensor& out, JointCalibration* table);
+
+
   InferenceSession cnn_;
   InferenceSession classifier_;
   JointGlue glue_;

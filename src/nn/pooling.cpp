@@ -3,6 +3,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/gemm.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SNE_POOL_X86 1
+#else
+#define SNE_POOL_X86 0
+#endif
+
 namespace sne::nn {
 
 namespace {
@@ -21,6 +30,65 @@ std::int64_t pooled_extent(std::int64_t in, std::int64_t kernel,
                            std::int64_t stride) {
   return (in - kernel) / stride + 1;
 }
+
+#if SNE_POOL_X86
+
+// One fold step of the scalar update rule, per lane:
+//   take v when (v > best, ordered) or (best is NaN and v is not).
+// _CMP_GT_OQ is false whenever either operand is NaN — exactly like the
+// scalar `v > best` — so the blend reproduces the scalar result bit for
+// bit, including the all-NaN window and the first-seen-zero tie cases.
+__attribute__((target("avx2"))) inline __m256 pool_fold_avx2(__m256 best,
+                                                             __m256 v) {
+  const __m256 gt = _mm256_cmp_ps(v, best, _CMP_GT_OQ);
+  const __m256 nan_best = _mm256_cmp_ps(best, best, _CMP_UNORD_Q);
+  const __m256 ord_v = _mm256_cmp_ps(v, v, _CMP_ORD_Q);
+  return _mm256_blendv_ps(best, v, _mm256_or_ps(gt, _mm256_and_ps(nan_best, ord_v)));
+}
+
+// 2x2 stride-2 plane pool, eight output columns per iteration. The two
+// shuffles split 16 consecutive inputs into even/odd columns (lane-
+// scrambled, but identically for all four operands, so each lane still
+// folds one window in the scalar's encounter order: top-left, top-right,
+// bottom-left, bottom-right); one 64-bit permute restores output order.
+__attribute__((target("avx2"))) void maxpool_2x2_avx2(const float* plane,
+                                                      std::int64_t w,
+                                                      std::int64_t oh,
+                                                      std::int64_t ow,
+                                                      float* dst) {
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    const float* r0 = plane + 2 * oy * w;
+    const float* r1 = r0 + w;
+    float* out = dst + oy * ow;
+    std::int64_t ox = 0;
+    for (; ox + 8 <= ow; ox += 8) {
+      const __m256 a0 = _mm256_loadu_ps(r0 + 2 * ox);
+      const __m256 a1 = _mm256_loadu_ps(r0 + 2 * ox + 8);
+      const __m256 b0 = _mm256_loadu_ps(r1 + 2 * ox);
+      const __m256 b1 = _mm256_loadu_ps(r1 + 2 * ox + 8);
+      const __m256 e0 = _mm256_shuffle_ps(a0, a1, _MM_SHUFFLE(2, 0, 2, 0));
+      const __m256 o0 = _mm256_shuffle_ps(a0, a1, _MM_SHUFFLE(3, 1, 3, 1));
+      const __m256 e1 = _mm256_shuffle_ps(b0, b1, _MM_SHUFFLE(2, 0, 2, 0));
+      const __m256 o1 = _mm256_shuffle_ps(b0, b1, _MM_SHUFFLE(3, 1, 3, 1));
+      const __m256 m =
+          pool_fold_avx2(pool_fold_avx2(pool_fold_avx2(e0, o0), e1), o1);
+      const __m256 fixed = _mm256_castpd_ps(_mm256_permute4x64_pd(
+          _mm256_castps_pd(m), _MM_SHUFFLE(3, 1, 2, 0)));
+      _mm256_storeu_ps(out + ox, fixed);
+    }
+    for (; ox < ow; ++ox) {
+      const float* win = r0 + 2 * ox;
+      float best = win[0];
+      for (int k = 1; k < 4; ++k) {
+        const float v = k < 2 ? win[k] : r1[2 * ox + k - 2];
+        if (v > best || (std::isnan(best) && !std::isnan(v))) best = v;
+      }
+      out[ox] = best;
+    }
+  }
+}
+
+#endif  // SNE_POOL_X86
 
 }  // namespace
 
@@ -91,6 +159,19 @@ void MaxPool2d::infer_into(ConstTensorView x, Tensor& out) const {
   const std::int64_t ow = pooled_extent(w, kernel_, stride_);
 
   out.resize({n, c, oh, ow});
+#if SNE_POOL_X86
+  // The serving-shaped window (2x2, stride 2) takes the vector plane
+  // pool — bitwise identical to the scalar walk below (see pool_fold_avx2)
+  // and pinned against it by the dispatch test.
+  if (kernel_ == 2 && stride_ == 2 &&
+      gemm_tier() == GemmTier::Avx2Fma) {
+    for (std::int64_t p = 0; p < n * c; ++p) {
+      maxpool_2x2_avx2(x.data() + p * h * w, w, oh, ow,
+                       out.data() + p * oh * ow);
+    }
+    return;
+  }
+#endif
   // Same window walk and NaN semantics as forward, without the argmax
   // bookkeeping backward needs.
   std::int64_t o = 0;

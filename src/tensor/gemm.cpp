@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -309,8 +312,15 @@ GemmTier resolve_default_tier() {
   const std::string v = env::string("GEMM_KERNEL", "auto");
   if (v == "scalar") return GemmTier::Scalar;
   if (v == "avx2") return clamp_to_supported(GemmTier::Avx2Fma);
-  // "auto" (and anything unrecognized, which falls back like the other
-  // SNE_* env knobs): best supported tier.
+  if (v != "auto") {
+    // Resolution happens at most once per process, so this warns once. A
+    // typo'd kernel request silently running a different kernel is much
+    // harder to notice than one stderr line.
+    std::fprintf(stderr,
+                 "sne: ignoring invalid SNE_GEMM_KERNEL=\"%s\" "
+                 "(expected scalar|avx2|auto); using auto\n",
+                 v.c_str());
+  }
   return clamp_to_supported(GemmTier::Avx2Fma);
 }
 
@@ -379,6 +389,296 @@ void sgemm_panel(std::int64_t i0, std::int64_t mb, std::int64_t n,
     }
   }
   if (!epilogue.empty()) apply_epilogue(i0, mb, n, c, epilogue);
+}
+
+// ---------------------------------------------------------------------------
+// int8 GEMM. Both tiers accumulate each output tile exactly in int32 over
+// the full k extent (no k blocking — int32 partial sums would otherwise
+// need a spill buffer, and kIgemmMaxK bounds the exact range), then
+// requantize the finished tile. Integer accumulation is exact and
+// order-independent, and the scalar and AVX2 requant epilogues run the
+// same per-element IEEE operation sequence (convert, fused
+// multiply-add via fmaf/vfmaddps — one rounding, stated in source so it
+// cannot drift with -ffp-contract — then PReLU select), so igemm
+// results are bitwise identical across
+// tiers, thread counts and reruns; the dispatch test pins the tier
+// equality exactly.
+
+// Tile geometry: up to 6 rows × 16 int32 accumulators, mirroring the f32
+// kernel's register blocking (12 ymm accumulators + 2 B vectors + 1
+// broadcast on the AVX2 tier).
+constexpr std::int64_t kIgemmTileM = 6;
+constexpr std::int64_t kIgemmTileN = 16;
+
+// The shared requant epilogue: tile holds rows×cols finished int32
+// accumulators (row stride kIgemmTileN) for C rows [i0, i0+rows), columns
+// [j0, j0+cols). Scale → bias → PReLU, in the same element order at every
+// call site.
+void igemm_requant_tile(const std::int32_t* tile, std::int64_t i0,
+                        std::int64_t rows, std::int64_t j0, std::int64_t cols,
+                        std::int64_t n, float* c, const IgemmEpilogue& ep) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float scale = ep.scale[i0 + i];
+    const float bias = ep.bias != nullptr ? ep.bias[i0 + i] : 0.0f;
+    const std::int32_t* t = tile + i * kIgemmTileN;
+    float* row = c + (i0 + i) * n + j0;
+    // Explicit fmaf: the requant contract is the FUSED multiply-add (one
+    // rounding), stated in source rather than left to -ffp-contract, so
+    // the vector epilogue (vfmaddps) matches bit for bit on any build.
+    if (ep.prelu != nullptr) {
+      const float slope = ep.prelu[i0 + i];
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float v = std::fmaf(static_cast<float>(t[j]), scale, bias);
+        row[j] = v > 0.0f ? v : slope * v;
+      }
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        row[j] = std::fmaf(static_cast<float>(t[j]), scale, bias);
+      }
+    }
+  }
+}
+
+// Scalar accumulation of one ragged tile (also the full scalar tier).
+void igemm_tile_scalar(std::int64_t rows, std::int64_t cols, std::int64_t k,
+                       const std::int8_t* a, std::int64_t lda,
+                       const std::int8_t* b, std::int64_t ldb,
+                       std::int32_t* tile) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::int8_t* ai = a + i * lda;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(ai[p]) *
+               static_cast<std::int32_t>(b[p * ldb + j]);
+      }
+      tile[i * kIgemmTileN + j] = acc;
+    }
+  }
+}
+
+void igemm_rows_scalar(std::int64_t i0, std::int64_t i1, std::int64_t n,
+                       std::int64_t k, const std::int8_t* a,
+                       const std::int8_t* b, float* c,
+                       const IgemmEpilogue& ep) {
+  std::int32_t tile[kIgemmTileM * kIgemmTileN];
+  for (std::int64_t i = i0; i < i1; i += kIgemmTileM) {
+    const std::int64_t rows = std::min(kIgemmTileM, i1 - i);
+    for (std::int64_t j = 0; j < n; j += kIgemmTileN) {
+      const std::int64_t cols = std::min(kIgemmTileN, n - j);
+      igemm_tile_scalar(rows, cols, k, a + i * k, k, b + j, n, tile);
+      igemm_requant_tile(tile, i, rows, j, cols, n, c, ep);
+    }
+  }
+}
+
+#if SNE_GEMM_X86
+
+// Two adjacent k values of one A row, packed as the (lo, hi) i16 halves
+// of an i32 — the broadcast operand madd_epi16 pairs against the
+// interleaved B rows.
+inline std::int32_t pack_a_pair(std::int8_t a0, std::int8_t a1) noexcept {
+  const auto lo = static_cast<std::uint16_t>(static_cast<std::int16_t>(a0));
+  const auto hi = static_cast<std::uint16_t>(static_cast<std::int16_t>(a1));
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(lo) |
+                                   (static_cast<std::uint32_t>(hi) << 16));
+}
+
+// Vectorized requant for full-width (16-column) tiles on the AVX2 tier.
+// Every element runs the same IEEE operation sequence as
+// igemm_requant_tile — int32→float convert, FUSED multiply-add (vfmaddps,
+// matching the scalar epilogue's fmaf), per-element PReLU select — so the
+// two epilogues are bitwise
+// identical and the cross-tier identity of igemm survives; the dispatch
+// test pins scalar-vs-AVX2 exact equality.
+__attribute__((target("avx2,fma"))) void igemm_requant_tile16_avx2(
+    const std::int32_t* tile, std::int64_t i0, std::int64_t rows,
+    std::int64_t j0, std::int64_t n, float* c, const IgemmEpilogue& ep) {
+  const __m256 zero = _mm256_setzero_ps();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const __m256 scale = _mm256_set1_ps(ep.scale[i0 + i]);
+    const __m256 bias =
+        _mm256_set1_ps(ep.bias != nullptr ? ep.bias[i0 + i] : 0.0f);
+    const std::int32_t* t = tile + i * kIgemmTileN;
+    float* row = c + (i0 + i) * n + j0;
+    for (int h = 0; h < kIgemmTileN; h += 8) {
+      __m256 v = _mm256_cvtepi32_ps(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + h)));
+      v = _mm256_fmadd_ps(v, scale, bias);
+      if (ep.prelu != nullptr) {
+        const __m256 slope = _mm256_set1_ps(ep.prelu[i0 + i]);
+        const __m256 scaled = _mm256_mul_ps(v, slope);
+        v = _mm256_blendv_ps(scaled, v, _mm256_cmp_ps(v, zero, _CMP_GT_OQ));
+      }
+      _mm256_storeu_ps(row + h, v);
+    }
+  }
+}
+
+// Packs B columns [j, j+16) into interleaved i16 k-pairs: for each pair,
+// rows 2p and 2p+1 are sign-extended to i16 and interleaved
+// (unpacklo/hi), ready for madd_epi16 against a broadcast A pair. Done
+// ONCE per column block and reused by every row tile — keeping the
+// conversion in the tile kernel costs two extra live vectors (which
+// spills the 12 accumulators) and redoes the shuffle work m/6 times.
+__attribute__((target("avx2"))) void igemm_pack_b_avx2(
+    const std::int8_t* b, std::int64_t ldb, std::int64_t j, std::int64_t kp,
+    std::int16_t* dst) {
+  for (std::int64_t p = 0; p < kp; ++p) {
+    const __m256i b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(b + (2 * p) * ldb + j)));
+    const __m256i b1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(b + (2 * p + 1) * ldb + j)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + p * 32),
+                        _mm256_unpacklo_epi16(b0, b1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + p * 32 + 16),
+                        _mm256_unpackhi_epi16(b0, b1));
+  }
+}
+
+// R rows × 16 columns over kp k-PAIRS of pre-packed B: the packed A pair
+// is broadcast and madd_epi16 produces the exact a0·b0 + a1·b1 int32 per
+// column — s8×s8 products fit i16 and their pairwise sums fit i32, so
+// nothing can saturate (unlike maddubs, whose i16 pair sums can). The
+// loop carries 12 accumulators + 2 B vectors + 1 broadcast, the same
+// 15-register budget as the f32 kernel. After the loop the unpack
+// interleave is undone with two cross-lane permutes per row. An odd
+// trailing k element is NOT handled here — the caller adds it scalar,
+// which costs nothing and keeps this loop branch-free.
+template <int R>
+__attribute__((target("avx2"))) void igemm_tile16_avx2(
+    const std::int32_t* apack, std::int64_t lda_pack, std::int64_t kp,
+    const std::int16_t* bpack, std::int32_t* tile) {
+  __m256i acc_lo[R];
+  __m256i acc_hi[R];
+  for (int r = 0; r < R; ++r) {
+    acc_lo[r] = _mm256_setzero_si256();
+    acc_hi[r] = _mm256_setzero_si256();
+  }
+  for (std::int64_t p = 0; p < kp; ++p) {
+    const __m256i blo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bpack + p * 32));
+    const __m256i bhi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bpack + p * 32 + 16));
+    for (int r = 0; r < R; ++r) {
+      const __m256i av = _mm256_set1_epi32(apack[r * lda_pack + p]);
+      acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(av, blo));
+      acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(av, bhi));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    // unpack put columns [0-3, 8-11] in acc_lo and [4-7, 12-15] in
+    // acc_hi; the two permutes restore linear column order.
+    const __m256i first =
+        _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x20);
+    const __m256i second =
+        _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x31);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(tile + r * kIgemmTileN), first);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(tile + r * kIgemmTileN + 8), second);
+  }
+}
+
+void igemm_rows_avx2(std::int64_t i0, std::int64_t i1, std::int64_t n,
+                     std::int64_t k, const std::int8_t* a,
+                     const std::int8_t* b, float* c, const IgemmEpilogue& ep,
+                     std::vector<std::int32_t>& apack,
+                     std::vector<std::int16_t>& bpack) {
+  // Pre-pack every A row of this panel into k-pairs once; the inner loop
+  // then broadcasts straight from memory instead of re-packing per tile.
+  const std::int64_t kp = k / 2;
+  const std::int64_t rows_total = i1 - i0;
+  apack.resize(static_cast<std::size_t>(std::max<std::int64_t>(
+      rows_total * kp, 1)));
+  for (std::int64_t r = 0; r < rows_total; ++r) {
+    const std::int8_t* ar = a + (i0 + r) * k;
+    std::int32_t* dst = apack.data() + r * kp;
+    for (std::int64_t p = 0; p < kp; ++p) {
+      dst[p] = pack_a_pair(ar[2 * p], ar[2 * p + 1]);
+    }
+  }
+  bpack.resize(static_cast<std::size_t>(std::max<std::int64_t>(kp * 32, 1)));
+
+  // Column blocks outermost: each 16-column strip of B is converted to
+  // interleaved i16 once (≤ 32·k bytes, L1/L2-resident for real conv
+  // shapes) and reused by every row tile of the panel. With parallel
+  // igemm each row panel repacks its strips — for conv shapes m fits one
+  // panel, and the pack is O(n·k) against O(m·n·k) accumulation anyway.
+  alignas(32) std::int32_t tile[kIgemmTileM * kIgemmTileN];
+  std::int64_t j = 0;
+  for (; j + kIgemmTileN <= n; j += kIgemmTileN) {
+    igemm_pack_b_avx2(b, n, j, kp, bpack.data());
+    for (std::int64_t i = i0; i < i1; i += kIgemmTileM) {
+      const std::int64_t rows = std::min(kIgemmTileM, i1 - i);
+      const std::int32_t* ap = apack.data() + (i - i0) * kp;
+      const std::int16_t* bp = bpack.data();
+      switch (rows) {
+        case 1: igemm_tile16_avx2<1>(ap, kp, kp, bp, tile); break;
+        case 2: igemm_tile16_avx2<2>(ap, kp, kp, bp, tile); break;
+        case 3: igemm_tile16_avx2<3>(ap, kp, kp, bp, tile); break;
+        case 4: igemm_tile16_avx2<4>(ap, kp, kp, bp, tile); break;
+        case 5: igemm_tile16_avx2<5>(ap, kp, kp, bp, tile); break;
+        default: igemm_tile16_avx2<6>(ap, kp, kp, bp, tile); break;
+      }
+      if ((k & 1) != 0) {
+        // Odd trailing k element, added exactly like any other product.
+        const std::int8_t* btail = b + (k - 1) * n + j;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const std::int32_t av = a[(i + r) * k + (k - 1)];
+          std::int32_t* trow = tile + r * kIgemmTileN;
+          for (std::int64_t jj = 0; jj < kIgemmTileN; ++jj) {
+            trow[jj] += av * static_cast<std::int32_t>(btail[jj]);
+          }
+        }
+      }
+      igemm_requant_tile16_avx2(tile, i, rows, j, n, c, ep);
+    }
+  }
+  if (j < n) {
+    // Ragged column tail (< 16 columns): scalar accumulation. Exact
+    // integer math, so mixing paths cannot change any bit.
+    for (std::int64_t i = i0; i < i1; i += kIgemmTileM) {
+      const std::int64_t rows = std::min(kIgemmTileM, i1 - i);
+      igemm_tile_scalar(rows, n - j, k, a + i * k, k, b + j, n, tile);
+      igemm_requant_tile(tile, i, rows, j, n - j, n, c, ep);
+    }
+  }
+}
+
+#endif  // SNE_GEMM_X86
+
+// Shared panel driver of igemm/igemm_serial: rows [i0, i1) of C at the
+// given tier. `apack`/`bpack` are caller-owned (per-thread) scratch for
+// the AVX2 pre-packs; the scalar tier does not touch them.
+void igemm_rows(GemmTier tier, std::int64_t i0, std::int64_t i1,
+                std::int64_t n, std::int64_t k, const std::int8_t* a,
+                const std::int8_t* b, float* c, const IgemmEpilogue& ep,
+                std::vector<std::int32_t>& apack,
+                std::vector<std::int16_t>& bpack) {
+#if SNE_GEMM_X86
+  if (tier == GemmTier::Avx2Fma) {
+    igemm_rows_avx2(i0, i1, n, k, a, b, c, ep, apack, bpack);
+    return;
+  }
+#else
+  (void)tier;
+#endif
+  (void)apack;
+  (void)bpack;
+  igemm_rows_scalar(i0, i1, n, k, a, b, c, ep);
+}
+
+void igemm_check(std::int64_t k, const IgemmEpilogue& ep) {
+  if (ep.scale == nullptr) {
+    throw std::invalid_argument("igemm: epilogue requires a requant scale");
+  }
+  if (k > kIgemmMaxK) {
+    throw std::invalid_argument(
+        "igemm: k = " + std::to_string(k) +
+        " exceeds the exact int32 accumulation bound (" +
+        std::to_string(kIgemmMaxK) + ")");
+  }
 }
 
 }  // namespace
@@ -469,6 +769,38 @@ void sgemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
+void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, const std::int8_t* b, float* c,
+           const IgemmEpilogue& epilogue) {
+  igemm_check(k, epilogue);
+  if (m == 0 || n == 0) return;
+
+  // Same decomposition as sgemm: independent row panels of C distributed
+  // across the pool. Unlike the f32 path there is no bitwise caveat to
+  // document per tier — integer accumulation makes any split exact.
+  const GemmTier tier = gemm_tier();
+  const std::int64_t num_panels = (m + kBlockM - 1) / kBlockM;
+  parallel_for(0, num_panels, [&](std::int64_t panel) {
+    thread_local std::vector<std::int32_t> apack;
+    thread_local std::vector<std::int16_t> bpack;
+    const std::int64_t i0 = panel * kBlockM;
+    igemm_rows(tier, i0, std::min(m, i0 + kBlockM), n, k, a, b, c, epilogue,
+               apack, bpack);
+  });
+}
+
+void igemm_serial(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const std::int8_t* a, const std::int8_t* b, float* c,
+                  const IgemmEpilogue& epilogue) {
+  igemm_check(k, epilogue);
+  if (m == 0 || n == 0) return;
+
+  const GemmTier tier = gemm_tier();
+  thread_local std::vector<std::int32_t> apack;
+  thread_local std::vector<std::int16_t> bpack;
+  igemm_rows(tier, 0, m, n, k, a, b, c, epilogue, apack, bpack);
+}
+
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c) {
   // A is stored k×m; transpose blocks of A into a row-major panel, then
@@ -525,34 +857,107 @@ void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
-void im2col(const float* image, std::int64_t channels, std::int64_t height,
-            std::int64_t width, std::int64_t kh, std::int64_t kw,
-            std::int64_t pad, std::int64_t stride, float* columns) {
+namespace {
+
+// The deepest serving stamps lower to runs of ~16 elements per output
+// row; for byte elements the libcall overhead of memmove/memset swamps
+// the copy itself, so route short byte runs through inline word-sized
+// chunks. Fixed-size memcpy compiles to plain loads/stores.
+inline void copy_run(const std::int8_t* src, std::int64_t len,
+                     std::int8_t* dst) {
+  while (len >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, src, 8);
+    std::memcpy(dst, &v, 8);
+    src += 8;
+    dst += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    *dst++ = *src++;
+    --len;
+  }
+}
+
+inline void copy_run(const float* src, std::int64_t len, float* dst) {
+  std::copy(src, src + len, dst);
+}
+
+// One traversal for both element types: the f32 instantiation is the
+// historical im2col unchanged (same loops, same zero padding — the fp32
+// path's bytes may not move), the int8 instantiation is the quantized
+// serving variant.
+template <typename T>
+void im2col_impl(const T* image, std::int64_t channels, std::int64_t height,
+                 std::int64_t width, std::int64_t kh, std::int64_t kw,
+                 std::int64_t pad, std::int64_t stride, T* columns) {
   const std::int64_t out_h = conv_out_extent(height, kh, pad, stride);
   const std::int64_t out_w = conv_out_extent(width, kw, pad, stride);
   const std::int64_t out_hw = out_h * out_w;
 
   for (std::int64_t c = 0; c < channels; ++c) {
-    const float* img_c = image + c * height * width;
+    const T* img_c = image + c * height * width;
     for (std::int64_t ky = 0; ky < kh; ++ky) {
       for (std::int64_t kx = 0; kx < kw; ++kx) {
-        float* col_row = columns + ((c * kh + ky) * kw + kx) * out_hw;
+        T* col_row = columns + ((c * kh + ky) * kw + kx) * out_hw;
+        if (stride == 1) {
+          // ix = ox + kx - pad is monotone: the in-bounds span is one
+          // contiguous run, so each row is fill / copy / fill — the
+          // same values the generic loop writes, minus the per-element
+          // bounds checks (which the compiler cannot elide for narrow
+          // element types). The run bounds do not depend on the output
+          // row, so they hoist out of the row loop.
+          const std::int64_t x0 = std::max<std::int64_t>(0, pad - kx);
+          const std::int64_t x1 =
+              std::min<std::int64_t>(out_w, width + pad - kx);
+          const std::int64_t lead = std::min(x0, out_w);
+          const std::int64_t run = x0 < x1 ? x1 - x0 : 0;
+          const std::int64_t tail0 = std::max(x1, x0);
+          for (std::int64_t oy = 0; oy < out_h; ++oy) {
+            const std::int64_t iy = oy + ky - pad;
+            T* dst = col_row + oy * out_w;
+            if (iy < 0 || iy >= height) {
+              std::fill(dst, dst + out_w, T{0});
+              continue;
+            }
+            if (lead > 0) std::fill(dst, dst + lead, T{0});
+            if (run > 0) copy_run(img_c + iy * width + x0 + kx - pad, run,
+                                  dst + x0);
+            if (tail0 < out_w) std::fill(dst + tail0, dst + out_w, T{0});
+          }
+          continue;
+        }
         for (std::int64_t oy = 0; oy < out_h; ++oy) {
           const std::int64_t iy = oy * stride + ky - pad;
-          float* dst = col_row + oy * out_w;
+          T* dst = col_row + oy * out_w;
           if (iy < 0 || iy >= height) {
-            std::fill(dst, dst + out_w, 0.0f);
+            std::fill(dst, dst + out_w, T{0});
             continue;
           }
-          const float* src_row = img_c + iy * width;
+          const T* src_row = img_c + iy * width;
           for (std::int64_t ox = 0; ox < out_w; ++ox) {
             const std::int64_t ix = ox * stride + kx - pad;
-            dst[ox] = (ix >= 0 && ix < width) ? src_row[ix] : 0.0f;
+            dst[ox] = (ix >= 0 && ix < width) ? src_row[ix] : T{0};
           }
         }
       }
     }
   }
+}
+
+}  // namespace
+
+void im2col(const float* image, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t pad, std::int64_t stride, float* columns) {
+  im2col_impl(image, channels, height, width, kh, kw, pad, stride, columns);
+}
+
+void im2col_i8(const std::int8_t* image, std::int64_t channels,
+               std::int64_t height, std::int64_t width, std::int64_t kh,
+               std::int64_t kw, std::int64_t pad, std::int64_t stride,
+               std::int8_t* columns) {
+  im2col_impl(image, channels, height, width, kh, kw, pad, stride, columns);
 }
 
 void col2im(const float* columns, std::int64_t channels, std::int64_t height,

@@ -1,15 +1,23 @@
-// gemm.h — single-precision matrix multiply kernels and the im2col/col2im
-// lowering used by the convolution layers. These are the hot loops of the
-// whole training pipeline; everything else in the nn library reduces to
-// calls into this file.
+// gemm.h — matrix multiply kernels and the im2col/col2im lowering used by
+// the convolution layers. These are the hot loops of the whole training
+// pipeline; everything else in the nn library reduces to calls into this
+// file. Two precisions live here: the f32 sgemm family (training and the
+// fp32 serving path) and the s8×s8→s32 igemm family (the quantized
+// serving path; see tensor/qtensor.h for how operands are produced).
 //
 // The inner panel kernel is runtime-dispatched: a portable scalar kernel
 // (the bit-reference — its accumulation order has never changed and the
 // determinism tests pin it) and an AVX2+FMA register-blocked kernel picked
 // by CPUID at first use. Within either tier results are bitwise identical
-// across thread counts and repeated runs; across tiers they agree only to
-// float tolerance (the vector kernel re-associates the k reduction).
-// Force a tier with SNE_GEMM_KERNEL=scalar|avx2|auto or set_gemm_tier().
+// across thread counts and repeated runs; across tiers the f32 kernels
+// agree only to float tolerance (the vector kernel re-associates the k
+// reduction), while igemm is bitwise identical even ACROSS tiers — its
+// accumulation is exact integer arithmetic, and the scalar and AVX2
+// requantization epilogues run the same per-element IEEE operation
+// sequence (convert, fused multiply-add, PReLU select), so they produce
+// the same bits.
+// Force a tier with SNE_GEMM_KERNEL=scalar|avx2|auto or set_gemm_tier();
+// an unrecognized value warns once on stderr and resolves like "auto".
 #pragma once
 
 #include <cstdint>
@@ -76,12 +84,74 @@ void sgemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                   const GemmEpilogue& epilogue = {});
 
 /// C[m×n] = alpha * Aᵀ (A is k×m) · B[k×n] + beta * C.
+///
+/// Epilogue fusion is a FORWARD-ONLY contract: the transpose variants
+/// serve the backward pass, where the bias gradient is a reduction of
+/// grad_output (not a broadcast add) and the activation gradient is a
+/// masked scale applied by the activation layer itself — there is no
+/// per-row (bias, PReLU) pass to fuse. The deleted overloads below make
+/// a future backward path that tries to hand one an epilogue fail to
+/// compile instead of silently dropping the bias+PReLU.
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c);
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c,
+              const GemmEpilogue&) = delete;
 
-/// C[m×n] = alpha * A[m×k] · Bᵀ (B is n×k) + beta * C.
+/// C[m×n] = alpha * A[m×k] · Bᵀ (B is n×k) + beta * C. Same forward-only
+/// epilogue contract as sgemm_at.
 void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c);
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c,
+              const GemmEpilogue&) = delete;
+
+/// Requantization epilogue of the int8 GEMM: maps each finished int32
+/// accumulator row back to f32 while it is still cache-hot,
+///   C[i][j] = acc[i][j] · scale[i] + bias[i], then PReLU — exactly the
+/// per-row (bias, PReLU) contract of GemmEpilogue with a per-row scale in
+/// front. `scale` is required (it carries the input-scale × per-channel
+/// weight-scale product); `bias`/`prelu` are optional. All pointers are
+/// borrowed and must cover [0, m). The scalar and vector routines that
+/// apply this run the identical per-element IEEE operation sequence
+/// (int32→f32 convert, fused multiply-add — fmaf in the scalar routine,
+/// vfmaddps in the vector one — then PReLU select), so
+/// requantized outputs are bitwise identical across tiers, thread counts
+/// and reruns — the dispatch test pins the tier equality exactly.
+struct IgemmEpilogue {
+  const float* scale = nullptr;  ///< per-row requant scale (required)
+  const float* bias = nullptr;   ///< per-row additive bias, after scaling
+  const float* prelu = nullptr;  ///< per-row PReLU negative slope, last
+};
+
+/// Accumulator-overflow bound of the int8 GEMM: |acc| ≤ k · 127² must fit
+/// int32, so k may not exceed this. Far above any conv lowering in the
+/// paper's models (their largest k is Cin·kh·kw = 750); igemm throws
+/// std::invalid_argument beyond it rather than wrapping silently.
+constexpr std::int64_t kIgemmMaxK = (std::int64_t{1} << 31) / (127 * 127) - 1;
+
+/// C[m×n] = epilogue(A[m×k] · B[k×n]) with A, B int8 and the accumulation
+/// exact in int32 (saturation can only happen in quantize_into when the
+/// operands are produced — never inside the GEMM). C is fully
+/// overwritten. Parallelized across row panels on the shared thread pool;
+/// accumulation order is irrelevant to the result (integer arithmetic is
+/// exact), so the output is bitwise invariant across tiers, thread counts
+/// and reruns — a strictly stronger guarantee than the f32 within-tier
+/// contract. The AVX2 tier deliberately avoids the classic `maddubs`
+/// u8×s8 path: its pairwise i16 sums saturate (2·127·255 > 2¹⁵), which
+/// would silently break exactness; it sign-extends to i16 and uses
+/// madd_epi16 on k-pairs instead, which cannot overflow.
+void igemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, const std::int8_t* b, float* c,
+           const IgemmEpilogue& epilogue);
+
+/// igemm guaranteed never to dispatch to the thread pool and
+/// heap-allocation-free after its per-thread scratch has warmed up —
+/// the quantized-serving analogue of sgemm_serial, bitwise identical to
+/// igemm (at any tier).
+void igemm_serial(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const std::int8_t* a, const std::int8_t* b, float* c,
+                  const IgemmEpilogue& epilogue);
 
 /// Lowers one image (C×H×W, row-major) into a column matrix of shape
 /// [C·kh·kw] × [out_h·out_w] for convolution-as-GEMM. `pad` is zero padding
@@ -89,6 +159,13 @@ void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 void im2col(const float* image, std::int64_t channels, std::int64_t height,
             std::int64_t width, std::int64_t kh, std::int64_t kw,
             std::int64_t pad, std::int64_t stride, float* columns);
+
+/// im2col over an already-quantized int8 image, for the igemm conv path.
+/// Identical traversal and zero padding; ¼ of the byte traffic.
+void im2col_i8(const std::int8_t* image, std::int64_t channels,
+               std::int64_t height, std::int64_t width, std::int64_t kh,
+               std::int64_t kw, std::int64_t pad, std::int64_t stride,
+               std::int8_t* columns);
 
 /// Adjoint of im2col: scatters a column matrix back into (and accumulates
 /// onto) an image buffer. Used for the convolution input gradient.

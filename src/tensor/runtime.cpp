@@ -1,5 +1,6 @@
 #include "tensor/runtime.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -41,6 +42,10 @@ RuntimeConfig& storage() {
 
 }  // namespace
 
+const char* precision_name(Precision p) noexcept {
+  return p == Precision::Int8 ? "int8" : "fp32";
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig c;
   c.threads = static_cast<int>(env::int64("NUM_THREADS", c.threads));
@@ -49,6 +54,17 @@ RuntimeConfig RuntimeConfig::from_env() {
   if (!trace.empty() && trace != "0") {
     c.trace = true;
     if (trace != "1") c.trace_path = trace;
+  }
+  const std::string precision = env::string("PRECISION", "fp32");
+  if (precision == "int8") {
+    c.precision = Precision::Int8;
+  } else if (precision != "fp32") {
+    // A typo'd precision silently serving fp32 would defeat the point of
+    // asking for int8; one stderr line makes the fallback visible.
+    std::fprintf(stderr,
+                 "sne: ignoring invalid SNE_PRECISION=\"%s\" "
+                 "(expected fp32|int8); using fp32\n",
+                 precision.c_str());
   }
   return c;
 }

@@ -13,6 +13,18 @@
 
 namespace sne {
 
+/// Serving-path numeric precision. Fp32 is the reference; Int8 runs
+/// calibrated per-channel-quantized kernels where a plan step has one
+/// (conv steps), falling back to fp32 per step everywhere else. Training
+/// is always fp32 — this knob only affects InferencePlan lowering.
+enum class Precision {
+  Fp32 = 0,
+  Int8 = 1,
+};
+
+/// "fp32" / "int8" — stable names, matching the SNE_PRECISION values.
+const char* precision_name(Precision p) noexcept;
+
 struct RuntimeConfig {
   /// Thread-pool width. <= 0 means auto (hardware_concurrency). Env:
   /// SNE_NUM_THREADS.
@@ -33,6 +45,13 @@ struct RuntimeConfig {
   /// obs::write_chrome_trace(current().trace_path)) writes the trace.
   /// Empty = no file.
   std::string trace_path;
+
+  /// Default serving precision for call sites that defer to the runtime
+  /// (SnePipeline scoring, sne_cli without --precision). Env:
+  /// SNE_PRECISION = "fp32" | "int8"; an unrecognized value warns once on
+  /// stderr and keeps fp32. Int8 only takes effect where a calibrated
+  /// model is available — it never silently changes uncalibrated scoring.
+  Precision precision = Precision::Fp32;
 
   /// Reads every SNE_* override on top of the defaults above.
   static RuntimeConfig from_env();

@@ -12,7 +12,8 @@ namespace sne {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'N', 'E', 'T'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 1;       // untagged f32 records
+constexpr std::uint32_t kVersionQuant = 2;  // dtype-tagged records
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   char buf[8];
@@ -91,6 +92,115 @@ Tensor read_tensor(std::istream& is) {
   return t;
 }
 
+namespace {
+
+// Version-2 int8 record body (after the name and dtype tag): rank,
+// extents, extent(0) f32 scales, then the raw int8 payload.
+void write_qtensor(std::ostream& os, const QTensor& q) {
+  write_u64(os, q.shape.size());
+  for (const std::int64_t e : q.shape) {
+    write_u64(os, static_cast<std::uint64_t>(e));
+  }
+  os.write(reinterpret_cast<const char*>(q.scales.data()),
+           static_cast<std::streamsize>(q.scales.size() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(q.data.data()),
+           static_cast<std::streamsize>(q.data.size()));
+  if (!os) throw std::runtime_error("write_qtensor: stream failure");
+}
+
+QTensor read_qtensor(std::istream& is) {
+  const std::uint64_t rank = read_u64(is);
+  if (rank == 0 || rank > 8) {
+    throw std::runtime_error("read_qtensor: implausible rank");
+  }
+  Shape shape;
+  shape.reserve(rank);
+  std::uint64_t numel = 1;
+  for (std::uint64_t a = 0; a < rank; ++a) {
+    const std::uint64_t e = read_u64(is);
+    if (e == 0 || e > std::numeric_limits<std::int64_t>::max() ||
+        numel > (1ULL << 40) / e) {
+      throw std::runtime_error("read_qtensor: implausible extent");
+    }
+    numel *= e;
+    shape.push_back(static_cast<std::int64_t>(e));
+  }
+  const std::uint64_t channels = static_cast<std::uint64_t>(shape[0]);
+  require_stream_bytes(is, channels * sizeof(float) + numel, "read_qtensor");
+  QTensor q;
+  q.shape = std::move(shape);
+  q.scales = Tensor({static_cast<std::int64_t>(channels)});
+  is.read(reinterpret_cast<char*>(q.scales.data()),
+          static_cast<std::streamsize>(channels * sizeof(float)));
+  q.data.resize(numel);
+  is.read(reinterpret_cast<char*>(q.data.data()),
+          static_cast<std::streamsize>(numel));
+  if (!is) throw std::runtime_error("read_qtensor: stream truncated (data)");
+  return q;
+}
+
+std::string read_record_name(std::istream& is) {
+  const std::uint64_t len = read_u64(is);
+  if (len > 4096) throw std::runtime_error("read_tensor_map: name too long");
+  std::string name(len, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("read_tensor_map: truncated name");
+  return name;
+}
+
+std::uint64_t read_map_header(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("read_tensor_map: bad magic");
+  }
+  return read_u64(is);
+}
+
+std::uint64_t read_record_count(std::istream& is) {
+  const std::uint64_t count = read_u64(is);
+  if (count > 1'000'000) {
+    throw std::runtime_error("read_tensor_map: implausible entry count");
+  }
+  require_stream_bytes(is, count * 16, "read_tensor_map");
+  return count;
+}
+
+// Shared core of both public readers. `quantized == nullptr` means the
+// caller cannot accept int8 records (the legacy single-output API).
+void read_tensor_map_impl(std::istream& is, TensorMap& tensors,
+                          QTensorMap* quantized) {
+  const std::uint64_t version = read_map_header(is);
+  if (version != kVersion && version != kVersionQuant) {
+    throw std::runtime_error("read_tensor_map: unsupported version");
+  }
+  const std::uint64_t count = read_record_count(is);
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_record_name(is);
+    if (version == kVersion) {
+      tensors.emplace_back(std::move(name), read_tensor(is));
+      continue;
+    }
+    const std::uint64_t dtype = read_u64(is);
+    if (dtype == static_cast<std::uint64_t>(TensorDtype::F32)) {
+      tensors.emplace_back(std::move(name), read_tensor(is));
+    } else if (dtype == static_cast<std::uint64_t>(TensorDtype::I8)) {
+      if (quantized == nullptr) {
+        throw std::runtime_error(
+            "read_tensor_map: stream holds quantized records; use the "
+            "(TensorMap, QTensorMap) overload");
+      }
+      quantized->emplace_back(std::move(name), read_qtensor(is));
+    } else {
+      throw std::runtime_error("read_tensor_map: unknown record dtype " +
+                               std::to_string(dtype));
+    }
+  }
+}
+
+}  // namespace
+
 void write_tensor_map(std::ostream& os, const TensorMap& map) {
   os.write(kMagic, 4);
   write_u64(os, kVersion);
@@ -103,32 +213,43 @@ void write_tensor_map(std::ostream& os, const TensorMap& map) {
   if (!os) throw std::runtime_error("write_tensor_map: stream failure");
 }
 
+void write_tensor_map(std::ostream& os, const TensorMap& map,
+                      const QTensorMap& quantized) {
+  if (quantized.empty()) {
+    // Pure-f32 maps keep writing version 1, byte-identical to every
+    // checkpoint that predates quantization.
+    write_tensor_map(os, map);
+    return;
+  }
+  os.write(kMagic, 4);
+  write_u64(os, kVersionQuant);
+  write_u64(os, map.size() + quantized.size());
+  for (const auto& [name, tensor] : map) {
+    write_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(os, static_cast<std::uint64_t>(TensorDtype::F32));
+    write_tensor(os, tensor);
+  }
+  for (const auto& [name, qt] : quantized) {
+    write_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(os, static_cast<std::uint64_t>(TensorDtype::I8));
+    write_qtensor(os, qt);
+  }
+  if (!os) throw std::runtime_error("write_tensor_map: stream failure");
+}
+
 TensorMap read_tensor_map(std::istream& is) {
-  char magic[4];
-  is.read(magic, 4);
-  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
-    throw std::runtime_error("read_tensor_map: bad magic");
-  }
-  const std::uint64_t version = read_u64(is);
-  if (version != kVersion) {
-    throw std::runtime_error("read_tensor_map: unsupported version");
-  }
-  const std::uint64_t count = read_u64(is);
-  if (count > 1'000'000) {
-    throw std::runtime_error("read_tensor_map: implausible entry count");
-  }
-  require_stream_bytes(is, count * 16, "read_tensor_map");
   TensorMap map;
-  map.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t len = read_u64(is);
-    if (len > 4096) throw std::runtime_error("read_tensor_map: name too long");
-    std::string name(len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(len));
-    if (!is) throw std::runtime_error("read_tensor_map: truncated name");
-    map.emplace_back(std::move(name), read_tensor(is));
-  }
+  read_tensor_map_impl(is, map, nullptr);
   return map;
+}
+
+void read_tensor_map(std::istream& is, TensorMap& tensors,
+                     QTensorMap& quantized) {
+  tensors.clear();
+  quantized.clear();
+  read_tensor_map_impl(is, tensors, &quantized);
 }
 
 void save_tensor_map(const std::string& path, const TensorMap& map) {
@@ -137,10 +258,24 @@ void save_tensor_map(const std::string& path, const TensorMap& map) {
   write_tensor_map(os, map);
 }
 
+void save_tensor_map(const std::string& path, const TensorMap& map,
+                     const QTensorMap& quantized) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_tensor_map: cannot open " + path);
+  write_tensor_map(os, map, quantized);
+}
+
 TensorMap load_tensor_map(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_tensor_map: cannot open " + path);
   return read_tensor_map(is);
+}
+
+void load_tensor_map(const std::string& path, TensorMap& tensors,
+                     QTensorMap& quantized) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_tensor_map: cannot open " + path);
+  read_tensor_map(is, tensors, quantized);
 }
 
 }  // namespace sne

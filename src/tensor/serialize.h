@@ -3,6 +3,13 @@
 // component networks (the band-wise CNN and the light-curve classifier)
 // can be stitched into the joint model for fine-tuning, exactly as the
 // paper's training recipe requires.
+//
+// The .snet container has two versions (docs/FORMATS.md has the byte
+// layout). Version 1 records are untagged f32 tensors; it is what every
+// pre-existing checkpoint uses, and a map with no quantized records still
+// writes version 1 byte-for-byte — old files and old readers stay valid.
+// Version 2 tags each record with a dtype so calibrated pipelines can
+// carry int8 per-channel-quantized weights next to their f32 state.
 #pragma once
 
 #include <iosfwd>
@@ -10,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/qtensor.h"
 #include "tensor/tensor.h"
 
 namespace sne {
@@ -37,12 +45,42 @@ Tensor read_tensor(std::istream& is);
 /// Named collection of tensors (parameter snapshot of a network).
 using TensorMap = std::vector<std::pair<std::string, Tensor>>;
 
-/// File format: magic "SNET", version, count, then (name, tensor) records.
+/// Named collection of int8 per-channel-quantized tensors.
+using QTensorMap = std::vector<std::pair<std::string, QTensor>>;
+
+/// Record dtype tags of the version-2 container.
+enum class TensorDtype : std::uint64_t {
+  F32 = 1,  ///< rank, extents, f32 payload
+  I8 = 2,   ///< rank, extents, extent(0) f32 scales, int8 payload
+};
+
+/// File format: magic "SNET", version, count, then (name, tensor)
+/// records. Writes version 1 — byte-identical to every checkpoint written
+/// before quantization existed.
 void write_tensor_map(std::ostream& os, const TensorMap& map);
+
+/// Mixed-precision writer: with `quantized` empty this is exactly the
+/// version-1 writer above; otherwise it writes a version-2 container with
+/// dtype-tagged records, f32 records first.
+void write_tensor_map(std::ostream& os, const TensorMap& map,
+                      const QTensorMap& quantized);
+
+/// Reads version 1 or version 2. Throws std::runtime_error if the stream
+/// holds int8 records (use the two-output overload for those).
 TensorMap read_tensor_map(std::istream& is);
+
+/// Full reader: f32 records append to `tensors`, int8 records to
+/// `quantized` (both are cleared first). Accepts version 1 (in which case
+/// `quantized` stays empty) and version 2.
+void read_tensor_map(std::istream& is, TensorMap& tensors,
+                     QTensorMap& quantized);
 
 /// Convenience wrappers over std::fstream; throw on I/O failure.
 void save_tensor_map(const std::string& path, const TensorMap& map);
+void save_tensor_map(const std::string& path, const TensorMap& map,
+                     const QTensorMap& quantized);
 TensorMap load_tensor_map(const std::string& path);
+void load_tensor_map(const std::string& path, TensorMap& tensors,
+                     QTensorMap& quantized);
 
 }  // namespace sne

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "eval/metrics.h"
+#include "eval/parity.h"
 #include "eval/roc.h"
 #include "eval/tables.h"
 #include "tensor/rng.h"
@@ -278,6 +279,56 @@ TEST(Tables, Formatters) {
 TEST(Tables, SeriesTsv) {
   EXPECT_EQ(series_to_tsv({1.0, 2.0}, {3.0, 4.0}), "1\t3\n2\t4\n");
   EXPECT_THROW(series_to_tsv({1.0}, {}), std::invalid_argument);
+}
+
+// ---- quantization parity metrics ----
+
+TEST(Parity, IdenticalScoresGiveZeroDrift) {
+  const std::vector<float> scores{0.9f, 0.7f, 0.3f, 0.1f};
+  const std::vector<float> labels{1, 1, 0, 0};
+  const PrecisionParity p = precision_parity(scores, scores, labels);
+  EXPECT_DOUBLE_EQ(p.auc_reference, 1.0);
+  EXPECT_DOUBLE_EQ(p.auc_quantized, 1.0);
+  EXPECT_DOUBLE_EQ(p.auc_delta, 0.0);
+  EXPECT_DOUBLE_EQ(p.max_abs_diff, 0.0);
+  EXPECT_DOUBLE_EQ(p.mean_abs_diff, 0.0);
+}
+
+TEST(Parity, RankPreservingDriftLeavesAucUntouched) {
+  // A monotone distortion (here a uniform +0.05 shift) moves every score
+  // but no pairwise ordering: AUC must not budge while the drift stats do.
+  const std::vector<float> ref{0.9f, 0.4f, 0.6f, 0.1f};
+  std::vector<float> quant = ref;
+  for (float& s : quant) s += 0.05f;
+  const std::vector<float> labels{1, 0, 1, 0};
+  const PrecisionParity p = precision_parity(ref, quant, labels);
+  EXPECT_DOUBLE_EQ(p.auc_delta, 0.0);
+  EXPECT_NEAR(p.max_abs_diff, 0.05, 1e-7);
+  EXPECT_NEAR(p.mean_abs_diff, 0.05, 1e-7);
+}
+
+TEST(Parity, RankSwapShowsUpAsSignedAucDelta) {
+  // ref: pos {3, 1}, neg {2, 0} → 3 of 4 pairs ordered, AUC .75. The
+  // "quantized" run lifts the weak positive above the strong negative
+  // (1 → 2.5), fixing the one inversion: AUC 1.0, delta +0.25.
+  const std::vector<float> ref{3, 1, 2, 0};
+  const std::vector<float> quant{3, 2.5f, 2, 0};
+  const std::vector<float> labels{1, 1, 0, 0};
+  const PrecisionParity p = precision_parity(ref, quant, labels);
+  EXPECT_DOUBLE_EQ(p.auc_reference, 0.75);
+  EXPECT_DOUBLE_EQ(p.auc_quantized, 1.0);
+  EXPECT_DOUBLE_EQ(p.auc_delta, 0.25);
+  EXPECT_DOUBLE_EQ(p.max_abs_diff, 1.5);
+  EXPECT_DOUBLE_EQ(p.mean_abs_diff, 1.5 / 4.0);
+}
+
+TEST(Parity, RejectsMismatchedSpans) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{1, 2};
+  const std::vector<float> labels{1, 0, 1};
+  EXPECT_THROW(precision_parity(a, b, labels), std::invalid_argument);
+  EXPECT_THROW(precision_parity(b, b, labels), std::invalid_argument);
+  EXPECT_THROW(precision_parity({}, {}, {}), std::invalid_argument);
 }
 
 }  // namespace

@@ -9,13 +9,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <new>
 #include <tuple>
 #include <vector>
 
 #include "nn/conv2d.h"
+#include "nn/pooling.h"
 #include "tensor/gemm.h"
+#include "tensor/qtensor.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 #include "tensor/thread_pool.h"
@@ -265,6 +270,283 @@ TEST(PointwiseConv, BackwardMatchesGeneralPath) {
            gx_ref.data() + i * 4 * 36);
   }
   EXPECT_TRUE(gx.equals(gx_ref));
+}
+
+// ---- int8 GEMM tier (quantized serving path) ----
+
+// Scalar reference for the full igemm contract: exact int32 accumulation,
+// then the requant epilogue in its documented element order (scale, bias,
+// PReLU). Everything is either exact integer arithmetic or a short fixed
+// float sequence, so igemm at ANY tier must match this bit for bit.
+Tensor igemm_reference(std::int64_t m, std::int64_t n, std::int64_t k,
+                       const std::int8_t* a, const std::int8_t* b,
+                       const IgemmEpilogue& ep) {
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += std::int32_t{a[i * k + p]} * std::int32_t{b[p * n + j]};
+      }
+      // The requant contract is the FUSED multiply-add (fmaf in the
+      // scalar epilogue, vfmaddps in the vector one — one rounding), so
+      // the reference uses fmaf explicitly. A null bias still adds 0.0f,
+      // as the library does.
+      const float v0 = std::fmaf(static_cast<float>(acc), ep.scale[i],
+                                 ep.bias != nullptr ? ep.bias[i] : 0.0f);
+      float v = v0;
+      if (ep.prelu != nullptr && !(v > 0.0f)) v *= ep.prelu[i];
+      c.data()[i * n + j] = v;
+    }
+  }
+  return c;
+}
+
+std::vector<std::int8_t> pattern_i8(std::int64_t count, int seed) {
+  std::vector<std::int8_t> v(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>((i * 31 + seed * 17) % 255 - 127);
+  }
+  return v;
+}
+
+// Ragged sweep: the AVX2 igemm tiles rows by 6 and columns by 16 with an
+// odd-k scalar tail, so cover every remainder class. Unlike the f32
+// parity, equality here is EXACT — integer accumulation plus a shared
+// epilogue operation sequence leaves no reassociation slack.
+class IgemmTierParity
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IgemmTierParity, TiersAgreeBitwise) {
+  const auto [m, n, k] = GetParam();
+  const auto a = pattern_i8(m * k, m + n);
+  const auto b = pattern_i8(k * n, k);
+  std::vector<float> scale(static_cast<std::size_t>(m));
+  std::vector<float> bias(static_cast<std::size_t>(m));
+  std::vector<float> prelu(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    scale[static_cast<std::size_t>(i)] = 0.003f + 0.001f * static_cast<float>(i);
+    bias[static_cast<std::size_t>(i)] = 0.25f - 0.1f * static_cast<float>(i % 7);
+    prelu[static_cast<std::size_t>(i)] = 0.05f + 0.01f * static_cast<float>(i % 3);
+  }
+  const IgemmEpilogue ep{scale.data(), bias.data(), prelu.data()};
+  const Tensor ref = igemm_reference(m, n, k, a.data(), b.data(), ep);
+
+  TierGuard guard;
+  for (const GemmTier tier : {GemmTier::Scalar, GemmTier::Avx2Fma}) {
+    if (!gemm_tier_supported(tier)) continue;
+    set_gemm_tier(tier);
+    Tensor c({m, n});
+    igemm(m, n, k, a.data(), b.data(), c.data(), ep);
+    EXPECT_TRUE(c.equals(ref))
+        << gemm_tier_name(tier) << " m=" << m << " n=" << n << " k=" << k;
+    Tensor c_serial({m, n});
+    igemm_serial(m, n, k, a.data(), b.data(), c_serial.data(), ep);
+    EXPECT_TRUE(c_serial.equals(ref)) << "serial " << gemm_tier_name(tier);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, IgemmTierParity,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(6, 16, 32), std::make_tuple(7, 17, 33),
+                      std::make_tuple(10, 1600, 50),
+                      std::make_tuple(20, 256, 250),
+                      std::make_tuple(30, 16, 500),
+                      std::make_tuple(13, 47, 129),
+                      std::make_tuple(64, 64, 64)));
+
+TEST(IgemmDispatch, SaturatedOperandsAccumulateExactly) {
+  // All-(-127)·(+127) operands drive every k step to the magnitude
+  // extreme: acc = -k·127² must come out exactly in int32 (the scheme
+  // saturates only in quantize_into, never inside the GEMM).
+  const std::int64_t m = 7, n = 19, k = 1000;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k), -127);
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * n), 127);
+  std::vector<float> scale(static_cast<std::size_t>(m), 1.0f);
+  const IgemmEpilogue ep{scale.data(), nullptr, nullptr};
+  const float want = static_cast<float>(-k * 127 * 127);
+
+  TierGuard guard;
+  for (const GemmTier tier : {GemmTier::Scalar, GemmTier::Avx2Fma}) {
+    if (!gemm_tier_supported(tier)) continue;
+    set_gemm_tier(tier);
+    Tensor c({m, n});
+    igemm(m, n, k, a.data(), b.data(), c.data(), ep);
+    for (std::int64_t i = 0; i < m * n; ++i) {
+      ASSERT_EQ(c.data()[i], want) << gemm_tier_name(tier);
+    }
+  }
+}
+
+TEST(IgemmDispatch, RejectsKBeyondAccumulatorBound) {
+  std::vector<std::int8_t> dummy(1);
+  std::vector<float> scale(1, 1.0f);
+  Tensor c({1, 1});
+  EXPECT_THROW(igemm(1, 1, kIgemmMaxK + 1, dummy.data(), dummy.data(),
+                     c.data(), IgemmEpilogue{scale.data(), nullptr, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(IgemmDispatch, ThreadCountAndRerunInvariantBitwise) {
+  const std::int64_t m = 70, n = 90, k = 260;
+  const auto a = pattern_i8(m * k, 5);
+  const auto b = pattern_i8(k * n, 9);
+  std::vector<float> scale(static_cast<std::size_t>(m), 0.01f);
+  std::vector<float> bias(static_cast<std::size_t>(m), -0.3f);
+  const IgemmEpilogue ep{scale.data(), bias.data(), nullptr};
+
+  TierGuard guard;
+  for (const GemmTier tier : {GemmTier::Scalar, GemmTier::Avx2Fma}) {
+    if (!gemm_tier_supported(tier)) continue;
+    set_gemm_tier(tier);
+    Tensor c1({m, n});
+    set_num_threads(1);
+    igemm(m, n, k, a.data(), b.data(), c1.data(), ep);
+    Tensor c4({m, n});
+    set_num_threads(4);
+    igemm(m, n, k, a.data(), b.data(), c4.data(), ep);
+    set_num_threads(1);
+    EXPECT_TRUE(c1.equals(c4)) << gemm_tier_name(tier);
+    Tensor c_again({m, n});
+    igemm(m, n, k, a.data(), b.data(), c_again.data(), ep);
+    EXPECT_TRUE(c1.equals(c_again)) << gemm_tier_name(tier);
+  }
+}
+
+TEST(IgemmDispatch, SerialIsAllocationFreeAfterWarmup) {
+  const std::int64_t m = 20, n = 256, k = 250;
+  const auto a = pattern_i8(m * k, 1);
+  const auto b = pattern_i8(k * n, 2);
+  std::vector<float> scale(static_cast<std::size_t>(m), 0.01f);
+  const IgemmEpilogue ep{scale.data(), nullptr, nullptr};
+  Tensor c({m, n});
+  igemm_serial(m, n, k, a.data(), b.data(), c.data(), ep);  // warm scratch
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  igemm_serial(m, n, k, a.data(), b.data(), c.data(), ep);
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0);
+}
+
+// ---- MaxPool serving fast path ----
+
+TEST(MaxPoolDispatch, VectorPlanePoolMatchesScalarWalkBitwise) {
+  // The 2×2/stride-2 AVX2 plane pool in MaxPool2d::infer_into must be
+  // bitwise equal to the scalar window walk, including the NaN rule (NaN
+  // never beats a finite value, an all-NaN window stays NaN) and the
+  // first-seen-zero tie between -0.0 and +0.0.
+  nn::MaxPool2d pool(2);
+  Rng rng(17);
+  // ow = 11: the 8-wide vector loop runs once and leaves a 3-column tail.
+  Tensor x = Tensor::randn({2, 3, 12, 22}, rng);
+  // Poison specific windows: all-NaN, mixed NaN, and a -0/+0 tie.
+  x.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  x.data()[1] = std::numeric_limits<float>::quiet_NaN();
+  x.data()[22] = std::numeric_limits<float>::quiet_NaN();
+  x.data()[23] = std::numeric_limits<float>::quiet_NaN();  // window all NaN
+  x.data()[2] = std::numeric_limits<float>::quiet_NaN();   // window mixed
+  x.data()[4] = -0.0f;
+  x.data()[5] = 0.0f;
+  x.data()[26] = -1.0f;
+  x.data()[27] = -2.0f;  // window max is the tie between -0.0 and +0.0
+
+  TierGuard guard;
+  set_gemm_tier(GemmTier::Scalar);
+  Tensor ref;
+  pool.infer_into(x, ref);
+
+  if (!vector_tier_available()) GTEST_SKIP() << "no AVX2+FMA on this CPU";
+  set_gemm_tier(GemmTier::Avx2Fma);
+  Tensor got;
+  pool.infer_into(x, got);
+  ASSERT_EQ(got.shape(), ref.shape());
+  // memcmp, not equals(): the all-NaN window makes elementwise == false
+  // even for identical bits, and identical bits is exactly the claim.
+  EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                        sizeof(float) * static_cast<std::size_t>(ref.size())),
+            0);
+
+  // The all-NaN window must have stayed NaN on both paths.
+  EXPECT_TRUE(std::isnan(ref.data()[0]));
+  EXPECT_TRUE(std::isnan(got.data()[0]));
+}
+
+// ---- quantize helpers feeding igemm ----
+
+TEST(QuantizeDispatch, VectorPathMatchesScalarContractBitwise) {
+  // quantize_into dispatches to an AVX2 body on capable CPUs; its contract
+  // (multiply, float-space clamp, round-to-nearest-even, NaN→0) is pinned
+  // here against a literal scalar transcription, across the 32-lane main
+  // loop and the tail, including NaN/Inf/half-way cases.
+  const std::int64_t n = 131;  // 4 full 32-lane groups + a 3-element tail
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = 0.37f * static_cast<float>(i - 65);
+  }
+  x[0] = std::numeric_limits<float>::quiet_NaN();
+  x[33] = std::numeric_limits<float>::infinity();
+  x[66] = -std::numeric_limits<float>::infinity();
+  x[99] = 0.5f;    // ties-to-even at the integer grid after scaling by 1
+  x[100] = 1.5f;
+  x[101] = -0.5f;
+  const float inv_scale = 1.0f;
+
+  std::vector<std::int8_t> got(static_cast<std::size_t>(n));
+  quantize_into(x.data(), n, inv_scale, got.data());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[static_cast<std::size_t>(i)] * inv_scale;
+    const float clamped = v > 127.0f ? 127.0f : (v < -127.0f ? -127.0f : v);
+    const std::int8_t want =
+        std::isnan(clamped) ? std::int8_t{0}
+                            : static_cast<std::int8_t>(std::lrintf(clamped));
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], want) << "i=" << i;
+  }
+  EXPECT_EQ(got[0], 0);     // NaN
+  EXPECT_EQ(got[33], 127);  // +Inf saturates
+  EXPECT_EQ(got[66], -127);
+  EXPECT_EQ(got[99], 0);    // 0.5 rounds to even
+  EXPECT_EQ(got[100], 2);   // 1.5 rounds to even
+  EXPECT_EQ(got[101], 0);
+}
+
+TEST(Im2colDispatch, Int8FastPathMatchesGenericTraversal) {
+  // The stride-1 fill/copy/fill fast path must write exactly the bytes the
+  // bounds-checked per-element walk writes, for every kernel offset and
+  // padding class.
+  for (const std::int64_t pad : {std::int64_t{0}, std::int64_t{2}}) {
+    const std::int64_t c = 3, h = 9, w = 11, kh = 5, kw = 5;
+    const std::int64_t oh = conv_out_extent(h, kh, pad, 1);
+    const std::int64_t ow = conv_out_extent(w, kw, pad, 1);
+    const auto img = pattern_i8(c * h * w, 3);
+    std::vector<std::int8_t> cols(
+        static_cast<std::size_t>(c * kh * kw * oh * ow), 99);
+    im2col_i8(img.data(), c, h, w, kh, kw, pad, 1, cols.data());
+
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t ky = 0; ky < kh; ++ky) {
+        for (std::int64_t kx = 0; kx < kw; ++kx) {
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t iy = oy + ky - pad;
+              const std::int64_t ix = ox + kx - pad;
+              const std::int8_t want =
+                  (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                      ? img[static_cast<std::size_t>((ch * h + iy) * w + ix)]
+                      : std::int8_t{0};
+              const std::int64_t at =
+                  (((ch * kh + ky) * kw + kx) * oh + oy) * ow + ox;
+              ASSERT_EQ(cols[static_cast<std::size_t>(at)], want)
+                  << "pad=" << pad << " ch=" << ch << " ky=" << ky
+                  << " kx=" << kx << " oy=" << oy << " ox=" << ox;
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(PointwiseConv, InferAllocatesNoColumnBuffer) {

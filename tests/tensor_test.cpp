@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "tensor/qtensor.h"
 #include "tensor/rng.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"
@@ -245,6 +247,115 @@ TEST(Serialize, RejectsTruncatedStream) {
   blob.resize(blob.size() / 2);
   std::stringstream truncated(blob);
   EXPECT_THROW(read_tensor(truncated), std::runtime_error);
+}
+
+// ---- version-2 (dtype-tagged) container ----
+
+TEST(Serialize, PureF32MapStaysVersion1ByteIdentical) {
+  Rng rng(9);
+  TensorMap map;
+  map.emplace_back("w", Tensor::randn({3, 4}, rng));
+  map.emplace_back("b", Tensor::randn({3}, rng));
+
+  // The mixed-precision writer with no quantized records must produce the
+  // exact bytes of the legacy writer: pre-quantization checkpoints and
+  // readers stay valid forever.
+  std::stringstream legacy, mixed;
+  write_tensor_map(legacy, map);
+  write_tensor_map(mixed, map, QTensorMap{});
+  EXPECT_EQ(legacy.str(), mixed.str());
+
+  // Version byte of a pure-f32 container is 1 (magic "SNET" + u64 LE).
+  ASSERT_GE(legacy.str().size(), 12u);
+  EXPECT_EQ(legacy.str()[4], 1);
+
+  // And a v1 blob loads through BOTH readers, the full one leaving
+  // `quantized` empty.
+  std::stringstream in(legacy.str());
+  const TensorMap via_legacy = read_tensor_map(in);
+  ASSERT_EQ(via_legacy.size(), 2u);
+  EXPECT_TRUE(via_legacy[0].second.equals(map[0].second));
+
+  std::stringstream in2(legacy.str());
+  TensorMap tensors;
+  QTensorMap quantized;
+  read_tensor_map(in2, tensors, quantized);
+  ASSERT_EQ(tensors.size(), 2u);
+  EXPECT_TRUE(tensors[1].second.equals(map[1].second));
+  EXPECT_TRUE(quantized.empty());
+}
+
+TEST(Serialize, MixedMapRoundTripsThroughVersion2) {
+  Rng rng(10);
+  TensorMap map;
+  map.emplace_back("gamma", Tensor::randn({5}, rng));
+  QTensorMap qmap;
+  qmap.emplace_back("0.qweight",
+                    quantize_per_channel(Tensor::randn({4, 6}, rng)));
+  qmap.emplace_back("2.qweight",
+                    quantize_per_channel(Tensor::randn({2, 3, 3}, rng)));
+
+  std::stringstream ss;
+  write_tensor_map(ss, map, qmap);
+  EXPECT_EQ(ss.str()[4], 2);  // dtype-tagged container
+
+  TensorMap tensors;
+  QTensorMap quantized;
+  std::stringstream in(ss.str());
+  read_tensor_map(in, tensors, quantized);
+  ASSERT_EQ(tensors.size(), 1u);
+  EXPECT_EQ(tensors[0].first, "gamma");
+  EXPECT_TRUE(tensors[0].second.equals(map[0].second));
+  ASSERT_EQ(quantized.size(), 2u);
+  for (std::size_t i = 0; i < quantized.size(); ++i) {
+    const QTensor& got = quantized[i].second;
+    const QTensor& ref = qmap[i].second;
+    EXPECT_EQ(quantized[i].first, qmap[i].first);
+    ASSERT_EQ(got.shape, ref.shape);
+    EXPECT_TRUE(got.scales.equals(ref.scales));
+    ASSERT_EQ(got.data.size(), ref.data.size());
+    EXPECT_EQ(std::memcmp(got.data.data(), ref.data.data(), ref.data.size()),
+              0);
+  }
+}
+
+TEST(Serialize, LegacyReaderRejectsQuantizedRecords) {
+  Rng rng(11);
+  QTensorMap qmap;
+  qmap.emplace_back("q", quantize_per_channel(Tensor::randn({2, 2}, rng)));
+  std::stringstream ss;
+  write_tensor_map(ss, TensorMap{}, qmap);
+  EXPECT_THROW(read_tensor_map(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownDtypeAndTruncatedV2) {
+  Rng rng(12);
+  TensorMap map;
+  map.emplace_back("w", Tensor::randn({2, 2}, rng));
+  QTensorMap qmap;
+  qmap.emplace_back("q", quantize_per_channel(Tensor::randn({3, 8}, rng)));
+  std::stringstream ss;
+  write_tensor_map(ss, map, qmap);
+  std::string blob = ss.str();
+
+  // The first record's dtype tag sits right after the header (magic 4 +
+  // version 8 + count 8) and its name (len 8 + 1 byte "w"). Stamp an
+  // unknown tag there.
+  std::string bad = blob;
+  bad[4 + 8 + 8 + 8 + 1] = 99;
+  std::stringstream bad_in(bad);
+  TensorMap tensors;
+  QTensorMap quantized;
+  EXPECT_THROW(read_tensor_map(bad_in, tensors, quantized),
+               std::runtime_error);
+
+  // Cutting the stream inside the int8 payload must throw, not return a
+  // short tensor.
+  std::string cut = blob;
+  cut.resize(cut.size() - 5);
+  std::stringstream cut_in(cut);
+  EXPECT_THROW(read_tensor_map(cut_in, tensors, quantized),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 
 #include "core/sne_pipeline.h"
 #include "data/snapshot.h"
+#include "eval/parity.h"
 #include "eval/roc.h"
 #include "eval/tables.h"
 #include "obs/obs.h"
@@ -86,6 +87,16 @@ bool apply_runtime_options(const Args& args) {
   RuntimeConfig rc = RuntimeConfig::current();
   rc.threads = static_cast<int>(args.get_int("threads", rc.threads));
   rc.prefetch = args.get_int("prefetch", rc.prefetch);
+  if (args.has("precision")) {
+    const std::string p = args.get("precision", "");
+    if (p == "fp32") {
+      rc.precision = Precision::Fp32;
+    } else if (p == "int8") {
+      rc.precision = Precision::Int8;
+    } else {
+      throw std::runtime_error("--precision must be fp32 or int8, got " + p);
+    }
+  }
   if (args.has("trace")) {
     rc.trace = true;
     rc.trace_path = args.get("trace", "");
@@ -173,6 +184,21 @@ int cmd_train(const Args& args) {
                 report.joint_history.front().train_loss,
                 report.joint_history.back().train_loss);
   }
+  // --calibrate N records int8 activation ranges on the first N training
+  // samples; with --precision int8 the saved model then carries the
+  // quantized plan and score/info serve int8 out of the box.
+  const auto calibrate_n =
+      static_cast<std::size_t>(args.get_int("calibrate", 0));
+  if (calibrate_n > 0) {
+    std::vector<std::int64_t> calib_idx(
+        train_idx.begin(),
+        train_idx.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(calibrate_n, train_idx.size())));
+    pipeline.calibrate(data, calib_idx);
+    std::printf("calibrated on %zu samples (serving precision: %s)\n",
+                calib_idx.size(), precision_name(pipeline.precision()));
+  }
   if (!val_idx.empty()) {
     const auto scores = pipeline.score_all(data, val_idx);
     std::vector<float> labels;
@@ -180,6 +206,19 @@ int cmd_train(const Args& args) {
       labels.push_back(data.is_ia(i) ? 1.0f : 0.0f);
     }
     std::printf("validation AUC: %.3f\n", eval::auc(scores, labels));
+    if (pipeline.precision() == Precision::Int8) {
+      // Score the same samples at fp32 and report the quantization cost.
+      pipeline.set_precision(Precision::Fp32);
+      const auto reference = pipeline.score_all(data, val_idx);
+      pipeline.set_precision(Precision::Int8);
+      const eval::PrecisionParity parity =
+          eval::precision_parity(reference, scores, labels);
+      std::printf(
+          "int8 parity: AUC %+.5f delta (fp32 %.4f, int8 %.4f), "
+          "max score drift %.5f\n",
+          parity.auc_delta, parity.auc_reference, parity.auc_quantized,
+          parity.max_abs_diff);
+    }
   }
   pipeline.save(out);
   std::printf("wrote %s\n", out.c_str());
@@ -191,6 +230,9 @@ int cmd_score(const Args& args) {
   core::SnePipeline pipeline =
       core::SnePipeline::load(args.require("model"));
   const std::int64_t top = args.get_int("top", 20);
+  if (pipeline.precision() == Precision::Int8) {
+    std::printf("serving precision: int8 (calibrated)\n");
+  }
 
   std::vector<std::int64_t> all(static_cast<std::size_t>(data.size()));
   std::iota(all.begin(), all.end(), 0);
@@ -242,6 +284,8 @@ int cmd_info(const Args& args) {
                 static_cast<long long>(pipeline.config().stamp_size),
                 static_cast<long long>(pipeline.config().hidden_units),
                 static_cast<long long>(pipeline.joint_model().num_params()));
+    std::printf("serving: %s%s\n", precision_name(pipeline.precision()),
+                pipeline.is_calibrated() ? " (calibrated for int8)" : "");
     return 0;
   }
   throw std::runtime_error("info needs --dataset or --model");
@@ -309,7 +353,7 @@ void print_usage() {
       "  train    --dataset FILE.snds --out FILE.snet [--stamp 44]\n"
       "           [--units 100] [--flux-epochs 3] [--flux-pairs 2000]\n"
       "           [--classifier-epochs 30] [--joint-epochs 2] [--seed 1]\n"
-      "           [--progress]\n"
+      "           [--calibrate N] [--progress]\n"
       "  score    --dataset FILE.snds --model FILE.snet [--top 20]\n"
       "  info     --dataset FILE.snds | --model FILE.snet\n"
       "  snapshot --dataset FILE.snds --out FILE.snap [--kind flux|joint]\n"
@@ -320,6 +364,8 @@ void print_usage() {
       "SNE_NUM_THREADS)\n"
       "  --prefetch N     DataLoader prefetch depth (default 1, or "
       "SNE_PREFETCH)\n"
+      "  --precision P    serving precision: fp32 (default) or int8 (or\n"
+      "                   SNE_PRECISION; int8 needs a calibrated model)\n"
       "  --trace FILE     capture spans, write chrome://tracing JSON\n"
       "  --timing         capture spans, print a summary table on exit\n");
 }
