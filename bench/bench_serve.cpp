@@ -1,0 +1,117 @@
+// bench_serve — paired daemon throughput benchmark: BM_ServeSingles
+// (one request in flight: every request pays a full socket round trip
+// and a batch-of-one inference) vs BM_ServeBatched (a pipelined window
+// of requests in flight on the same connection, so the deadline/size
+// batcher amortizes per-batch overhead across whole batches). Both run
+// the identical model over the identical unix socket server; the
+// speedup column is the micro-batching win pinned in BENCH_SERVE.json.
+//
+// Scale knobs: SNE_SERVE_REQUESTS (round trips per scenario),
+// SNE_SERVE_WINDOW (in-flight depth for the batched scenario),
+// SNE_SERVE_MAX_BATCH / SNE_SERVE_MAX_DELAY_US (server batcher).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "infer/plan.h"
+#include "nn/nn.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "tensor/env.h"
+#include "tensor/rng.h"
+
+using namespace sne;
+
+namespace {
+
+constexpr std::int64_t kIn = 512;
+constexpr std::int64_t kHidden = 256;
+constexpr std::int64_t kOut = 2;
+
+double run_scenario(const std::string& unix_path, std::int64_t requests,
+                    std::int64_t window, serve::ServerStats* stats_out,
+                    const serve::ScoreServer& server) {
+  serve::ScoreClient client = serve::ScoreClient::connect_unix(unix_path);
+  std::vector<float> x(static_cast<std::size_t>(kIn));
+  Rng rng(11);
+  for (auto& v : x) v = rng.uniform(-1.0f, 1.0f);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::int64_t sent = 0;
+  std::int64_t received = 0;
+  while (received < requests) {
+    while (sent < requests && sent - received < window) {
+      client.send_request(static_cast<std::uint64_t>(sent), x);
+      ++sent;
+    }
+    (void)client.recv_response();
+    ++received;
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  if (stats_out != nullptr) *stats_out = server.stats();
+  return static_cast<double>(requests) / dt.count();
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t requests = env::int64("SERVE_REQUESTS", 2000);
+  const std::int64_t window = env::int64("SERVE_WINDOW", 64);
+
+  Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(kIn, kHidden, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(kHidden, kOut, rng);
+  net.set_training(false);
+  auto plan =
+      std::make_shared<const infer::InferencePlan>(net, Shape{kIn});
+
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = "/tmp/sne_bench_serve.sock";
+  cfg.batcher.max_batch = env::int64("SERVE_MAX_BATCH", 32);
+  cfg.batcher.max_delay_us = env::int64("SERVE_MAX_DELAY_US", 500);
+  cfg.batcher.max_queue = 4096;
+
+  std::printf("bench_serve: %lld requests, window %lld, max_batch %lld, "
+              "max_delay %lld us, sample %lldf -> %lldf\n\n",
+              static_cast<long long>(requests),
+              static_cast<long long>(window),
+              static_cast<long long>(cfg.batcher.max_batch),
+              static_cast<long long>(cfg.batcher.max_delay_us),
+              static_cast<long long>(kIn), static_cast<long long>(kOut));
+
+  double singles_rps = 0.0;
+  double batched_rps = 0.0;
+  {
+    serve::ScoreServer server(
+        cfg, [plan] { return serve::make_scorer(plan); });
+    server.start();
+    serve::ServerStats stats;
+    singles_rps = run_scenario(cfg.unix_path, requests, 1, &stats, server);
+    server.stop();
+    std::printf("BM_ServeSingles   %9.0f req/s   mean fill %5.2f   "
+                "p50 %.3f ms   p99 %.3f ms\n",
+                singles_rps, stats.mean_batch_fill, stats.p50_ms,
+                stats.p99_ms);
+  }
+  {
+    serve::ScoreServer server(
+        cfg, [plan] { return serve::make_scorer(plan); });
+    server.start();
+    serve::ServerStats stats;
+    batched_rps =
+        run_scenario(cfg.unix_path, requests, window, &stats, server);
+    server.stop();
+    std::printf("BM_ServeBatched   %9.0f req/s   mean fill %5.2f   "
+                "p50 %.3f ms   p99 %.3f ms\n",
+                batched_rps, stats.mean_batch_fill, stats.p50_ms,
+                stats.p99_ms);
+  }
+  std::printf("\nbatched/singles speedup: %.2fx\n",
+              batched_rps / singles_rps);
+  return 0;
+}

@@ -117,6 +117,15 @@ SnapshotInfo read_header(std::istream& is) {
       (static_cast<std::uint64_t>(numel(info.x_shape)) +
        static_cast<std::uint64_t>(numel(info.y_shape))) *
       sizeof(float);
+  // count·(8 + record_bytes) can wrap u64 (the per-shape numel cap and
+  // kMaxCount each hold, but their product reaches 2^70): a crafted
+  // header that wraps to a small value would sail through the stream
+  // budget below and defeat every later size check. Reject before
+  // multiplying.
+  if (count > std::numeric_limits<std::uint64_t>::max() / (8 + record_bytes)) {
+    throw std::runtime_error(
+        "snapshot: sample count times record size overflows");
+  }
   // Offset table + payload must fit in what is left of the file.
   require_stream_bytes(is, count * (8 + record_bytes), "snapshot");
   return info;
@@ -218,6 +227,14 @@ SnapshotDataset::SnapshotDataset(const std::string& path) {
   offsets_.resize(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     offsets_[i] = read_u64(is);
+  }
+  // Same overflow discipline as read_header: a wrapped payload_bytes
+  // would turn the offset bound below into `offsets_[i] > huge` (the
+  // subtraction underflows) and hand out-of-range offsets to the mmap
+  // payload pointer.
+  if (count > std::numeric_limits<std::uint64_t>::max() / record_bytes) {
+    throw std::runtime_error(
+        "snapshot: sample count times record size overflows");
   }
   const std::uint64_t payload_bytes = count * record_bytes;
   for (std::uint64_t i = 0; i < count; ++i) {

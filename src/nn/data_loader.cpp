@@ -191,7 +191,20 @@ bool DataLoader::next(Sample& batch) {
     throw std::logic_error("DataLoader::next: no active epoch");
   }
   if (prefetcher_) {
-    if (prefetcher_->pop(batch)) return true;
+    // A producer-side exception surfaces here (pop rethrows it once the
+    // queue is drained). The epoch must close cleanly either way: leaving
+    // prefetcher_/epoch_active_ set after a throw would make the next
+    // next() call rethrow a stale error — or worse, report an active
+    // epoch that has no live producer.
+    bool more = false;
+    try {
+      more = prefetcher_->pop(batch);
+    } catch (...) {
+      prefetcher_.reset();
+      epoch_active_ = false;
+      throw;
+    }
+    if (more) return true;
     prefetcher_.reset();
     epoch_active_ = false;
     return false;

@@ -1,0 +1,174 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sne::serve {
+
+namespace {
+
+std::string errno_string(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+ScoreClient ScoreClient::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error(errno_string("client: socket"));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("client: unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = errno_string("client: connect " + path);
+    ::close(fd);
+    throw std::runtime_error(err);
+  }
+  return ScoreClient(fd);
+}
+
+ScoreClient ScoreClient::connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error(errno_string("client: socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("client: bad host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = errno_string("client: connect " + host + ":" +
+                                         std::to_string(port));
+    ::close(fd);
+    throw std::runtime_error(err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return ScoreClient(fd);
+}
+
+ScoreClient::ScoreClient(int fd) : fd_(fd) {
+  try {
+    read_hello();
+  } catch (...) {
+    ::close(fd_);
+    throw;
+  }
+}
+
+ScoreClient::~ScoreClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ScoreClient::ScoreClient(ScoreClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      sample_numel_(other.sample_numel_),
+      output_numel_(other.output_numel_),
+      max_batch_(other.max_batch_),
+      max_delay_us_(other.max_delay_us_),
+      next_id_(other.next_id_) {}
+
+ScoreClient& ScoreClient::operator=(ScoreClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    sample_numel_ = other.sample_numel_;
+    output_numel_ = other.output_numel_;
+    max_batch_ = other.max_batch_;
+    max_delay_us_ = other.max_delay_us_;
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+void ScoreClient::read_hello() {
+  if (read_frame(fd_, frame_) == ReadStatus::kEof) {
+    throw std::runtime_error("client: server closed before hello");
+  }
+  if (frame_.type != FrameType::kHello || frame_.payload.size() != 32) {
+    throw std::runtime_error("client: malformed hello frame");
+  }
+  sample_numel_ = static_cast<std::int64_t>(get_u64(frame_.payload.data()));
+  output_numel_ =
+      static_cast<std::int64_t>(get_u64(frame_.payload.data() + 8));
+  max_batch_ = static_cast<std::int64_t>(get_u64(frame_.payload.data() + 16));
+  max_delay_us_ =
+      static_cast<std::int64_t>(get_u64(frame_.payload.data() + 24));
+  if (sample_numel_ <= 0 || output_numel_ <= 0) {
+    throw std::runtime_error("client: hello advertises empty shapes");
+  }
+}
+
+void ScoreClient::send_request(std::uint64_t id,
+                               std::span<const float> sample) {
+  if (static_cast<std::int64_t>(sample.size()) != sample_numel_) {
+    throw std::runtime_error(
+        "client: sample holds " + std::to_string(sample.size()) +
+        " floats, server expects " + std::to_string(sample_numel_));
+  }
+  sendbuf_.clear();
+  put_u64(sendbuf_, id);
+  put_f32(sendbuf_, sample);
+  if (!write_frame(fd_, FrameType::kScoreRequest,
+                   {sendbuf_.data(), sendbuf_.size()})) {
+    throw std::runtime_error("client: connection lost while sending");
+  }
+}
+
+ScoreResponse ScoreClient::recv_response() {
+  if (read_frame(fd_, frame_) == ReadStatus::kEof) {
+    throw std::runtime_error("client: server closed the connection");
+  }
+  ScoreResponse resp;
+  if (frame_.type == FrameType::kScoreOk) {
+    const std::size_t score_bytes =
+        static_cast<std::size_t>(output_numel_) * sizeof(float);
+    if (frame_.payload.size() != 8 + score_bytes) {
+      throw std::runtime_error("client: score frame has wrong size");
+    }
+    resp.id = get_u64(frame_.payload.data());
+    resp.ok = true;
+    resp.scores.resize(static_cast<std::size_t>(output_numel_));
+    std::memcpy(resp.scores.data(), frame_.payload.data() + 8, score_bytes);
+    return resp;
+  }
+  if (frame_.type == FrameType::kScoreError) {
+    if (frame_.payload.size() < 16) {
+      throw std::runtime_error("client: error frame has wrong size");
+    }
+    resp.id = get_u64(frame_.payload.data());
+    resp.ok = false;
+    resp.error = static_cast<WireError>(get_u64(frame_.payload.data() + 8));
+    resp.message.assign(frame_.payload.begin() + 16, frame_.payload.end());
+    return resp;
+  }
+  throw std::runtime_error("client: unexpected frame type from server");
+}
+
+std::vector<float> ScoreClient::score(std::span<const float> sample) {
+  const std::uint64_t id = next_id_++;
+  send_request(id, sample);
+  ScoreResponse resp = recv_response();
+  if (resp.id != id) {
+    throw std::runtime_error("client: response id does not match request");
+  }
+  if (!resp.ok) throw ScoreError(resp.error, resp.message);
+  return std::move(resp.scores);
+}
+
+}  // namespace sne::serve

@@ -1,0 +1,96 @@
+// client.h — the client side of the scoring daemon's wire protocol.
+// A ScoreClient owns one connected socket (Unix or TCP), consumes the
+// server's hello frame (which advertises the flat sample/output shapes
+// and the batching knobs), and then speaks score requests. Two usage
+// levels:
+//
+//   - score(sample): one synchronous round trip. Throws ScoreError with
+//     the server's typed code (overloaded / shutting down / ...) on a
+//     rejection.
+//   - send_request(id, sample) + recv_response(): explicit pipelining —
+//     keep many requests in flight on one connection (the bench does
+//     this) and match responses to requests by id. Responses can come
+//     back in any order when the server runs multiple workers.
+//
+// A ScoreClient is NOT thread-safe; use one per thread (connections are
+// cheap) — that is what the integration test's concurrent clients do.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace sne::serve {
+
+/// A typed rejection from the server (carries the wire error code).
+class ScoreError : public std::runtime_error {
+ public:
+  ScoreError(WireError code, const std::string& what)
+      : std::runtime_error(std::string(wire_error_name(code)) + ": " + what),
+        code_(code) {}
+  WireError code() const noexcept { return code_; }
+
+ private:
+  WireError code_;
+};
+
+/// One server reply, matched to its request by id.
+struct ScoreResponse {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::vector<float> scores;         ///< output_numel floats when ok
+  WireError error = WireError::kInternal;  ///< valid when !ok
+  std::string message;               ///< valid when !ok
+};
+
+class ScoreClient {
+ public:
+  /// Connect and consume the hello frame. Throw std::runtime_error on
+  /// connection failure or a protocol violation in the hello.
+  static ScoreClient connect_unix(const std::string& path);
+  static ScoreClient connect_tcp(const std::string& host, int port);
+
+  ~ScoreClient();
+  ScoreClient(ScoreClient&& other) noexcept;
+  ScoreClient& operator=(ScoreClient&& other) noexcept;
+  ScoreClient(const ScoreClient&) = delete;
+  ScoreClient& operator=(const ScoreClient&) = delete;
+
+  /// Shapes and batching knobs advertised by the server's hello frame.
+  std::int64_t sample_numel() const noexcept { return sample_numel_; }
+  std::int64_t output_numel() const noexcept { return output_numel_; }
+  std::int64_t server_max_batch() const noexcept { return max_batch_; }
+  std::int64_t server_max_delay_us() const noexcept { return max_delay_us_; }
+
+  /// Sends one request (no wait). `sample` must hold exactly
+  /// sample_numel() floats; throws std::runtime_error otherwise or when
+  /// the connection is gone.
+  void send_request(std::uint64_t id, std::span<const float> sample);
+
+  /// Blocks for the next response frame. Throws std::runtime_error on a
+  /// closed connection or malformed traffic (typed rejections are NOT
+  /// exceptions here — they come back as ok == false).
+  ScoreResponse recv_response();
+
+  /// One synchronous round trip. Throws ScoreError on a typed rejection.
+  std::vector<float> score(std::span<const float> sample);
+
+ private:
+  explicit ScoreClient(int fd);
+  void read_hello();
+
+  int fd_ = -1;
+  std::int64_t sample_numel_ = 0;
+  std::int64_t output_numel_ = 0;
+  std::int64_t max_batch_ = 0;
+  std::int64_t max_delay_us_ = 0;
+  std::uint64_t next_id_ = 1;
+  Frame frame_;               ///< reused receive buffer
+  std::vector<char> sendbuf_;  ///< reused request payload buffer
+};
+
+}  // namespace sne::serve

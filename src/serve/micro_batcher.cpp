@@ -1,0 +1,111 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace sne::serve {
+
+namespace {
+
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& g = obs::gauge("serve.queue_depth");
+  return g;
+}
+
+obs::Counter& reject_counter() {
+  static obs::Counter& c = obs::counter("serve.rejected");
+  return c;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(MicroBatcherConfig config) : config_(config) {
+  if (config_.max_batch <= 0) {
+    throw std::invalid_argument("MicroBatcher: max_batch must be positive");
+  }
+  if (config_.max_delay_us < 0) {
+    throw std::invalid_argument("MicroBatcher: max_delay_us must be >= 0");
+  }
+  if (config_.max_queue < config_.max_batch) {
+    throw std::invalid_argument(
+        "MicroBatcher: max_queue must be >= max_batch");
+  }
+}
+
+MicroBatcher::Admit MicroBatcher::submit(ScoreJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return Admit::kShuttingDown;
+    if (static_cast<std::int64_t>(queue_.size()) >= config_.max_queue) {
+      reject_counter().add(1);
+      return Admit::kOverloaded;
+    }
+    job.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(job));
+    depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  }
+  // Every push notifies: the first job of an empty queue must wake a
+  // worker so it can arm the deadline timer, and a push that completes a
+  // full batch must wake one to flush it.
+  ready_.notify_one();
+  return Admit::kOk;
+}
+
+bool MicroBatcher::next_batch(std::vector<ScoreJob>& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Wait until the flush predicate holds: full batch, expired oldest
+    // request, or shutdown (drain whatever is queued, immediately).
+    while (!shutdown_ &&
+           static_cast<std::int64_t>(queue_.size()) < config_.max_batch) {
+      if (queue_.empty()) {
+        ready_.wait(lock);
+        continue;
+      }
+      const auto deadline =
+          queue_.front().enqueued +
+          std::chrono::microseconds(config_.max_delay_us);
+      if (ready_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;  // oldest request aged out: flush the partial batch
+      }
+      // Woken by a push or shutdown (or spuriously): re-evaluate. A new
+      // front (another worker flushed meanwhile) re-arms the deadline.
+    }
+    if (!queue_.empty()) break;
+    if (shutdown_) return false;
+    // A concurrent worker drained the queue between our wake-up and the
+    // lock re-acquisition; go back to waiting.
+  }
+
+  out.clear();
+  const auto take = std::min<std::size_t>(
+      queue_.size(), static_cast<std::size_t>(config_.max_batch));
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  return true;
+}
+
+void MicroBatcher::begin_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::int64_t MicroBatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(queue_.size());
+}
+
+bool MicroBatcher::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+}  // namespace sne::serve

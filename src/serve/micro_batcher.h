@@ -1,0 +1,95 @@
+// micro_batcher.h — the request coalescer at the heart of the scoring
+// daemon. Single-cutout score requests land in one bounded FIFO; worker
+// threads pull *batches* that flush on size-or-deadline: a batch is
+// ready the moment max_batch requests are queued, OR when the oldest
+// queued request has waited max_delay_us microseconds — whichever comes
+// first (the same two-knob ready() predicate as a buffered network
+// layer's min-bytes/max-delay pair). Admission control is reject-fast,
+// not block: a submit against a full queue returns a typed Overloaded
+// verdict immediately so the caller can push backpressure to the client
+// instead of tying up a reader thread.
+//
+// Thread-safety: any number of submitting threads and any number of
+// worker threads. FIFO order is preserved into batches, so with one
+// worker the response order equals the submission order.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace sne::serve {
+
+struct MicroBatcherConfig {
+  /// Flush as soon as this many requests are queued (the batch size the
+  /// worker's InferenceSession actually runs).
+  std::int64_t max_batch = 16;
+  /// Flush the oldest queued request once it has waited this long, even
+  /// if the batch is not full — the tail-latency bound under light load.
+  /// 0 flushes immediately (every batch is whatever is queued).
+  std::int64_t max_delay_us = 2000;
+  /// Admission bound: submits beyond this many queued requests are
+  /// rejected with Admit::kOverloaded.
+  std::int64_t max_queue = 1024;
+};
+
+/// One queued score request: the flattened cutout plus the completion
+/// callbacks the owning connection supplied. Callbacks run on a worker
+/// thread after the batch is scored (or on the draining worker when the
+/// batch fails); they must not block on the batcher itself.
+struct ScoreJob {
+  std::uint64_t id = 0;
+  std::vector<float> input;
+  std::chrono::steady_clock::time_point enqueued{};
+  std::function<void(std::span<const float> scores)> deliver;
+  std::function<void(WireError code, const std::string& what)> fail;
+};
+
+class MicroBatcher {
+ public:
+  enum class Admit {
+    kOk,            ///< queued; a deliver/fail callback will fire
+    kOverloaded,    ///< queue full — caller reports backpressure
+    kShuttingDown,  ///< drain in progress — no new work
+  };
+
+  explicit MicroBatcher(MicroBatcherConfig config);
+
+  /// Stamps the enqueue time and queues the job (FIFO). O(1); never
+  /// blocks. On a non-kOk verdict the job was NOT queued and its
+  /// callbacks will not fire — the caller owns the rejection.
+  Admit submit(ScoreJob job);
+
+  /// Blocks until a batch is ready (size-or-deadline, above) and moves up
+  /// to max_batch jobs into `out` (cleared first; capacity reused).
+  /// During shutdown every queued job is still handed out — drain, don't
+  /// drop. Returns false only when shutting down AND the queue is empty:
+  /// the worker's signal to exit.
+  bool next_batch(std::vector<ScoreJob>& out);
+
+  /// Begins the drain: subsequent submits are rejected with
+  /// kShuttingDown, and workers blocked in next_batch wake to flush the
+  /// remaining queue immediately (no deadline wait).
+  void begin_shutdown();
+
+  std::int64_t depth() const;
+  bool shutting_down() const;
+  const MicroBatcherConfig& config() const noexcept { return config_; }
+
+ private:
+  MicroBatcherConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  ///< workers wait for work/shutdown
+  std::deque<ScoreJob> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace sne::serve

@@ -1,0 +1,51 @@
+// scorer.h — the per-worker scoring backend of the daemon. The server
+// is generic over what model it serves: a Scorer turns a batch of
+// flat samples ([N, sample_numel]) into a batch of flat scores
+// ([N, output_numel]); the wire protocol speaks exactly those two
+// numbers (advertised in the hello frame). Adapters exist for the two
+// serving executors the repo has — a plain InferencePlan (the band CNN,
+// the classifier, any Sequential) and the two-stage JointSession.
+//
+// A Scorer inherits InferenceSession's thread-safety contract: NOT safe
+// for concurrent run() calls, cheap to build per worker over a shared
+// plan. The server builds one per worker through a ScorerFactory, on the
+// thread that calls ScoreServer::start() — factories never run
+// concurrently with each other.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "infer/session.h"
+#include "tensor/tensor.h"
+
+namespace sne::serve {
+
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Flat floats per request cutout / per response, as on the wire.
+  virtual std::int64_t sample_numel() const = 0;
+  virtual std::int64_t output_numel() const = 0;
+
+  /// Scores `batch` (shape [N, sample_numel], contiguous) into `out`,
+  /// resized to [N, output_numel]. Reusing both tensors across calls
+  /// keeps the steady state allocation-free.
+  virtual void run(const Tensor& batch, Tensor& out) = 0;
+};
+
+using ScorerFactory = std::function<std::unique_ptr<Scorer>()>;
+
+/// Scorer over a shared InferencePlan: each flat row is reinterpreted as
+/// the plan's sample input shape (zero-copy view), scored by a private
+/// InferenceSession, and the output flattened per row.
+std::unique_ptr<Scorer> make_scorer(
+    std::shared_ptr<const infer::InferencePlan> plan);
+
+/// Scorer over the joint image→class model (which already consumes flat
+/// [N, bands·2·S·S + bands] rows). The session is moved in; build one
+/// per factory call via core::make_session.
+std::unique_ptr<Scorer> make_scorer(infer::JointSession session);
+
+}  // namespace sne::serve

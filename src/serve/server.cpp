@@ -1,0 +1,488 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/obs.h"
+
+namespace sne::serve {
+
+namespace {
+
+constexpr std::size_t kLatencyReservoir = 16384;
+constexpr int kListenBacklog = 64;
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::counter("serve.requests");
+  return c;
+}
+
+obs::Counter& batches_counter() {
+  static obs::Counter& c = obs::counter("serve.batches");
+  return c;
+}
+
+obs::Counter& scored_counter() {
+  static obs::Counter& c = obs::counter("serve.scored");
+  return c;
+}
+
+// Power-of-two batch-fill buckets (1, 2, 3–4, …, 65+), mirrored into
+// obs counters so a trace capture carries the fill distribution too.
+std::size_t fill_bucket(std::int64_t fill) {
+  std::size_t b = 0;
+  for (std::int64_t edge = 1; b + 1 < 8 && fill > edge; ++b) edge *= 2;
+  return b;
+}
+
+obs::Counter& fill_counter(std::size_t bucket) {
+  static obs::Counter* counters[8] = {
+      &obs::counter("serve.batch_fill.1"),
+      &obs::counter("serve.batch_fill.2"),
+      &obs::counter("serve.batch_fill.le4"),
+      &obs::counter("serve.batch_fill.le8"),
+      &obs::counter("serve.batch_fill.le16"),
+      &obs::counter("serve.batch_fill.le32"),
+      &obs::counter("serve.batch_fill.le64"),
+      &obs::counter("serve.batch_fill.gt64"),
+  };
+  return *counters[bucket];
+}
+
+void put_u64_at(char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string ServerStats::to_string() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests %lld (rejected %lld, wire errors %lld, internal %lld)\n"
+      "batches %lld, mean fill %.2f, max queue depth %lld\n"
+      "latency p50 %.3f ms, p99 %.3f ms (%lld samples)\n"
+      "fill histogram [1|2|<=4|<=8|<=16|<=32|<=64|>64]: "
+      "%lld %lld %lld %lld %lld %lld %lld %lld\n",
+      static_cast<long long>(requests), static_cast<long long>(rejected),
+      static_cast<long long>(wire_errors),
+      static_cast<long long>(internal_errors),
+      static_cast<long long>(batches), mean_batch_fill,
+      static_cast<long long>(max_queue_depth), p50_ms, p99_ms,
+      static_cast<long long>(latency_samples),
+      static_cast<long long>(batch_fill[0]),
+      static_cast<long long>(batch_fill[1]),
+      static_cast<long long>(batch_fill[2]),
+      static_cast<long long>(batch_fill[3]),
+      static_cast<long long>(batch_fill[4]),
+      static_cast<long long>(batch_fill[5]),
+      static_cast<long long>(batch_fill[6]),
+      static_cast<long long>(batch_fill[7]));
+  return buf;
+}
+
+// One live client connection. The reader thread owns the fd's lifetime
+// (it closes after its loop exits and the connection has been
+// unregistered); stop() only shutdown()s registered fds to unblock
+// readers, so a recycled descriptor can never be hit by mistake.
+struct ScoreServer::Connection {
+  int fd = -1;
+  std::mutex write_mutex;  ///< responses come from worker threads
+};
+
+ScoreServer::ScoreServer(ScoreServerConfig config, ScorerFactory factory)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      batcher_(config_.batcher) {
+  if (config_.workers <= 0) {
+    throw std::invalid_argument("ScoreServer: workers must be positive");
+  }
+  if (!factory_) {
+    throw std::invalid_argument("ScoreServer: a scorer factory is required");
+  }
+  latency_ns_.resize(kLatencyReservoir, 0);
+}
+
+ScoreServer::~ScoreServer() { stop(); }
+
+void ScoreServer::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("ScoreServer: already started");
+  }
+  if (config_.unix_path.empty() && config_.tcp_port < 0) {
+    throw std::invalid_argument(
+        "ScoreServer: configure a unix_path and/or a tcp_port");
+  }
+
+  // Per-worker scorers, built serially here: scorer factories (plan
+  // compilation in particular) are not required to be concurrency-safe.
+  for (int w = 0; w < config_.workers; ++w) {
+    scorers_.push_back(factory_());
+    if (scorers_.back() == nullptr) {
+      throw std::runtime_error("ScoreServer: scorer factory returned null");
+    }
+    if (w == 0) {
+      sample_numel_ = scorers_[0]->sample_numel();
+      output_numel_ = scorers_[0]->output_numel();
+      if (sample_numel_ <= 0 || output_numel_ <= 0) {
+        throw std::runtime_error("ScoreServer: scorer reports empty shapes");
+      }
+      const std::uint64_t sample_bytes =
+          static_cast<std::uint64_t>(sample_numel_) * sizeof(float);
+      if (8 + sample_bytes > kMaxFramePayload) {
+        throw std::runtime_error(
+            "ScoreServer: sample does not fit in a wire frame");
+      }
+    } else if (scorers_.back()->sample_numel() != sample_numel_ ||
+               scorers_.back()->output_numel() != output_numel_) {
+      throw std::runtime_error(
+          "ScoreServer: scorer factory produced mismatched shapes");
+    }
+  }
+
+  if (!config_.unix_path.empty()) {
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) throw std::runtime_error(errno_string("serve: socket"));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("serve: unix socket path too long: " +
+                               config_.unix_path);
+    }
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unix_path.c_str());  // stale socket from a past run
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(unix_fd_, kListenBacklog) != 0) {
+      throw std::runtime_error(
+          errno_string(("serve: cannot listen on " + config_.unix_path)
+                           .c_str()));
+    }
+  }
+  if (config_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) throw std::runtime_error(errno_string("serve: socket"));
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::inet_pton(AF_INET, config_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("serve: bad tcp_host " + config_.tcp_host);
+    }
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(tcp_fd_, kListenBacklog) != 0) {
+      throw std::runtime_error(errno_string("serve: cannot listen on tcp"));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  for (int w = 0; w < config_.workers; ++w) {
+    worker_threads_.emplace_back(
+        [this, w] { worker_loop(scorers_[static_cast<std::size_t>(w)].get()); });
+  }
+  if (unix_fd_ >= 0) {
+    accept_threads_.emplace_back([this] { accept_loop(unix_fd_, false); });
+  }
+  if (tcp_fd_ >= 0) {
+    accept_threads_.emplace_back([this] { accept_loop(tcp_fd_, true); });
+  }
+}
+
+void ScoreServer::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+
+  // 1. Stop accepting: shutdown wakes the blocked accept(), the loops
+  //    exit, then the listener fds are closed.
+  if (unix_fd_ >= 0) ::shutdown(unix_fd_, SHUT_RDWR);
+  if (tcp_fd_ >= 0) ::shutdown(tcp_fd_, SHUT_RDWR);
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  unix_fd_ = tcp_fd_ = -1;
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+
+  // 2. Drain: new submissions now bounce with a typed shutting-down
+  //    error, while the workers flush everything already admitted — each
+  //    of those requests still gets its response.
+  batcher_.begin_shutdown();
+  for (std::thread& t : worker_threads_) t.join();
+  worker_threads_.clear();
+
+  // 3. Unblock and retire the readers. Readers own their fds: shutdown
+  //    here, close happens at each reader's exit.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const auto& conn : connections_) ::shutdown(conn->fd, SHUT_RDWR);
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : readers) t.join();
+}
+
+void ScoreServer::accept_loop(int listen_fd, bool tcp) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or broken): stop accepting
+    }
+    if (stopped_.load()) {
+      ::close(fd);
+      return;
+    }
+    if (tcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopped_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(conn);
+    reader_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { reader_loop(conn); });
+  }
+}
+
+void ScoreServer::send_error(Connection& conn, std::uint64_t id,
+                             WireError code, const std::string& what) {
+  char head[16];
+  put_u64_at(head, id);
+  put_u64_at(head + 8, static_cast<std::uint64_t>(code));
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  write_frame(conn.fd, FrameType::kScoreError, {head, sizeof(head)},
+              {what.data(), what.size()});
+}
+
+void ScoreServer::record_latency(std::int64_t ns) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_ns_[latency_next_] = ns;
+  latency_next_ = (latency_next_ + 1) % latency_ns_.size();
+  ++latency_count_;
+}
+
+void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
+                                 const Frame& frame) {
+  const std::uint64_t sample_bytes =
+      static_cast<std::uint64_t>(sample_numel_) * sizeof(float);
+  if (frame.payload.size() != 8 + sample_bytes) {
+    const std::uint64_t id =
+        frame.payload.size() >= 8 ? get_u64(frame.payload.data()) : 0;
+    throw std::runtime_error(
+        "score request payload holds " +
+        std::to_string(frame.payload.size()) + " bytes, expected " +
+        std::to_string(8 + sample_bytes) + " (id " + std::to_string(id) +
+        ")");
+  }
+  ScoreJob job;
+  job.id = get_u64(frame.payload.data());
+  job.input.resize(static_cast<std::size_t>(sample_numel_));
+  std::memcpy(job.input.data(), frame.payload.data() + 8,
+              static_cast<std::size_t>(sample_bytes));
+  const std::uint64_t id = job.id;
+  job.deliver = [this, conn, id](std::span<const float> scores) {
+    char head[8];
+    put_u64_at(head, id);
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    write_frame(conn->fd, FrameType::kScoreOk, {head, sizeof(head)},
+                {reinterpret_cast<const char*>(scores.data()),
+                 scores.size_bytes()});
+  };
+  job.fail = [this, conn, id](WireError code, const std::string& what) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_error(*conn, id, code, what);
+  };
+
+  switch (batcher_.submit(std::move(job))) {
+    case MicroBatcher::Admit::kOk: {
+      requests_counter().add(1);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      const std::int64_t depth = batcher_.depth();
+      std::int64_t prev = max_queue_depth_.load(std::memory_order_relaxed);
+      while (prev < depth && !max_queue_depth_.compare_exchange_weak(
+                                 prev, depth, std::memory_order_relaxed)) {
+      }
+      break;
+    }
+    case MicroBatcher::Admit::kOverloaded:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_error(*conn, id, WireError::kOverloaded,
+                 "request queue is full");
+      break;
+    case MicroBatcher::Admit::kShuttingDown:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_error(*conn, id, WireError::kShuttingDown,
+                 "daemon is draining");
+      break;
+  }
+}
+
+void ScoreServer::reader_loop(std::shared_ptr<Connection> conn) {
+  // Per-connection hello: the client learns the shapes it must speak.
+  {
+    char hello[32];
+    put_u64_at(hello, static_cast<std::uint64_t>(sample_numel_));
+    put_u64_at(hello + 8, static_cast<std::uint64_t>(output_numel_));
+    put_u64_at(hello + 16,
+               static_cast<std::uint64_t>(config_.batcher.max_batch));
+    put_u64_at(hello + 24,
+               static_cast<std::uint64_t>(config_.batcher.max_delay_us));
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    write_frame(conn->fd, FrameType::kHello, {hello, sizeof(hello)});
+  }
+
+  Frame frame;
+  for (;;) {
+    try {
+      if (read_frame(conn->fd, frame) == ReadStatus::kEof) break;
+      if (frame.type != FrameType::kScoreRequest) {
+        throw std::runtime_error("unexpected frame type from client");
+      }
+      handle_request(conn, frame);
+    } catch (const std::exception& e) {
+      // Malformed traffic of any kind — bad header, over-budget length,
+      // truncated frame, wrong type, wrong payload size: count it,
+      // answer with a typed error (best effort — the peer may already
+      // be gone), then drop the connection. The daemon itself keeps
+      // serving every other client.
+      wire_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_error(*conn, 0, WireError::kBadFrame, e.what());
+      break;
+    }
+  }
+
+  // Unregister before closing so stop() can never shutdown() a recycled
+  // descriptor.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.erase(
+        std::remove(connections_.begin(), connections_.end(), conn),
+        connections_.end());
+  }
+  ::close(conn->fd);
+}
+
+void ScoreServer::worker_loop(Scorer* scorer) {
+  std::vector<ScoreJob> jobs;
+  Tensor batch;
+  Tensor out;
+  while (batcher_.next_batch(jobs)) {
+    const auto n = static_cast<std::int64_t>(jobs.size());
+    bool scored_ok = true;
+    {
+      obs::Span span("serve.batch", n);
+      batch.resize({n, sample_numel_});
+      for (std::int64_t i = 0; i < n; ++i) {
+        std::memcpy(batch.data() + i * sample_numel_,
+                    jobs[static_cast<std::size_t>(i)].input.data(),
+                    static_cast<std::size_t>(sample_numel_) * sizeof(float));
+      }
+      // Batch accounting happens before any response leaves the server:
+      // a stats() snapshot taken after a client has its answer must
+      // already count the batch that produced it.
+      batches_counter().add(1);
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      fill_sum_.fetch_add(n, std::memory_order_relaxed);
+      const std::size_t bucket = fill_bucket(n);
+      fill_counter(bucket).add(1);
+      fill_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+      try {
+        scorer->run(batch, out);
+      } catch (const std::exception& e) {
+        scored_ok = false;
+        for (ScoreJob& job : jobs) {
+          if (job.fail) job.fail(WireError::kInternal, e.what());
+        }
+      }
+    }
+    if (scored_ok) {
+      const auto now = std::chrono::steady_clock::now();
+      for (std::int64_t i = 0; i < n; ++i) {
+        ScoreJob& job = jobs[static_cast<std::size_t>(i)];
+        scored_counter().add(1);
+        scored_.fetch_add(1, std::memory_order_relaxed);
+        record_latency(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           now - job.enqueued)
+                           .count());
+        if (job.deliver) {
+          job.deliver({out.data() + i * output_numel_,
+                       static_cast<std::size_t>(output_numel_)});
+        }
+      }
+    }
+    jobs.clear();
+  }
+}
+
+ServerStats ScoreServer::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.scored = scored_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.wire_errors = wire_errors_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < s.batch_fill.size(); ++b) {
+    s.batch_fill[b] = fill_hist_[b].load(std::memory_order_relaxed);
+  }
+  s.mean_batch_fill =
+      s.batches > 0 ? static_cast<double>(
+                          fill_sum_.load(std::memory_order_relaxed)) /
+                          static_cast<double>(s.batches)
+                    : 0.0;
+  std::vector<std::int64_t> ns;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    const auto filled =
+        std::min<std::int64_t>(latency_count_,
+                               static_cast<std::int64_t>(latency_ns_.size()));
+    ns.assign(latency_ns_.begin(), latency_ns_.begin() + filled);
+    s.latency_samples = filled;
+  }
+  if (!ns.empty()) {
+    const auto pct = [&ns](double p) {
+      const auto k = static_cast<std::size_t>(
+          p * static_cast<double>(ns.size() - 1) + 0.5);
+      std::nth_element(ns.begin(),
+                       ns.begin() + static_cast<std::ptrdiff_t>(k), ns.end());
+      return static_cast<double>(ns[k]) / 1e6;
+    };
+    s.p50_ms = pct(0.50);
+    s.p99_ms = pct(0.99);
+  }
+  return s;
+}
+
+}  // namespace sne::serve

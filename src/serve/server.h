@@ -1,0 +1,144 @@
+// server.h — ScoreServer: the long-running scoring daemon front end over
+// the infer library. It owns the three moving parts: socket listeners
+// (Unix and/or TCP) with one reader thread per connection parsing the
+// framed wire protocol; the MicroBatcher that coalesces single-cutout
+// requests with a size-or-deadline flush; and a worker pool, each worker
+// running its own Scorer (one InferenceSession per worker over a shared
+// plan — the standard serving concurrency pattern). Telemetry rides the
+// obs layer (serve.* counters, queue-depth gauge, serve.batch spans) and
+// an exact always-on ServerStats snapshot (request/reject/batch counts,
+// batch-fill histogram, p50/p99 latency) backs tests and the CLI's
+// shutdown report.
+//
+// Shutdown contract (stop(), also run by the destructor): stop accepting
+// connections, reject new submissions with a typed "shutting down"
+// error, drain every request already admitted to the queue — each gets
+// its response — then close connections and join all threads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/micro_batcher.h"
+#include "serve/scorer.h"
+
+namespace sne::serve {
+
+struct ScoreServerConfig {
+  /// Path of the Unix-domain listening socket; empty disables it. A
+  /// stale socket file at this path is unlinked before binding.
+  std::string unix_path;
+  /// TCP listener address; port < 0 disables it, port 0 binds an
+  /// ephemeral port (read it back with tcp_port()).
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  /// Worker threads, each with its own Scorer from the factory.
+  int workers = 1;
+  MicroBatcherConfig batcher;
+};
+
+/// Exact counters maintained by the server itself (independent of
+/// whether obs capture is enabled). Latency percentiles are computed
+/// over a bounded reservoir of the most recent completions.
+struct ServerStats {
+  std::int64_t requests = 0;    ///< admitted to the queue
+  std::int64_t rejected = 0;    ///< overload + shutting-down rejections
+  std::int64_t scored = 0;      ///< responses delivered
+  std::int64_t batches = 0;     ///< batches flushed through a Scorer
+  std::int64_t wire_errors = 0;      ///< malformed/mismatched frames
+  std::int64_t internal_errors = 0;  ///< scorer exceptions
+  std::int64_t max_queue_depth = 0;  ///< high-water of the request queue
+  /// Batch-fill histogram, power-of-two buckets:
+  /// fill 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+.
+  std::array<std::int64_t, 8> batch_fill{};
+  double mean_batch_fill = 0.0;
+  double p50_ms = 0.0;  ///< request latency: admit → response written
+  double p99_ms = 0.0;
+  std::int64_t latency_samples = 0;  ///< completions in the reservoir
+
+  std::string to_string() const;  ///< human-readable multi-line report
+};
+
+class ScoreServer {
+ public:
+  /// The factory is invoked `workers` times from start(), serially on
+  /// the calling thread (never concurrently). Every scorer must agree
+  /// on sample_numel/output_numel.
+  ScoreServer(ScoreServerConfig config, ScorerFactory factory);
+  ~ScoreServer();  ///< runs stop()
+  ScoreServer(const ScoreServer&) = delete;
+  ScoreServer& operator=(const ScoreServer&) = delete;
+
+  /// Binds the configured listeners, builds the per-worker scorers, and
+  /// spawns accept/worker threads. Throws on bind failure or when no
+  /// listener is configured.
+  void start();
+
+  /// Graceful shutdown (see the contract above). Idempotent; safe to
+  /// call from a signal-driven control thread while traffic is live.
+  void stop();
+
+  /// The TCP port actually bound (useful with tcp_port = 0); -1 when no
+  /// TCP listener is active. Valid after start().
+  int tcp_port() const noexcept { return bound_tcp_port_; }
+
+  const ScoreServerConfig& config() const noexcept { return config_; }
+  std::int64_t queue_depth() const { return batcher_.depth(); }
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop(int listen_fd, bool tcp);
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop(Scorer* scorer);
+  void send_error(Connection& conn, std::uint64_t id, WireError code,
+                  const std::string& what);
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      const Frame& frame);
+  void record_latency(std::int64_t ns);
+
+  ScoreServerConfig config_;
+  ScorerFactory factory_;
+  MicroBatcher batcher_;
+  std::vector<std::unique_ptr<Scorer>> scorers_;
+  std::int64_t sample_numel_ = 0;
+  std::int64_t output_numel_ = 0;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> worker_threads_;
+
+  std::mutex conn_mutex_;  ///< guards connections_ and reader_threads_
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Exact stats (atomics; see ServerStats).
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> scored_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> wire_errors_{0};
+  std::atomic<std::int64_t> internal_errors_{0};
+  std::atomic<std::int64_t> max_queue_depth_{0};
+  std::atomic<std::int64_t> fill_sum_{0};
+  std::array<std::atomic<std::int64_t>, 8> fill_hist_{};
+
+  mutable std::mutex latency_mutex_;
+  std::vector<std::int64_t> latency_ns_;  ///< bounded ring
+  std::size_t latency_next_ = 0;
+  std::int64_t latency_count_ = 0;
+};
+
+}  // namespace sne::serve

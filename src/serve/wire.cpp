@@ -1,0 +1,166 @@
+#include "serve/wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace sne::serve {
+
+namespace {
+
+void put_u32_at(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t get_u32_at(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// recv/send wrappers that retry EINTR. MSG_NOSIGNAL keeps a dead peer
+// from killing the daemon with SIGPIPE (the error surfaces as EPIPE on
+// the write path instead, where it is handled).
+bool write_all(int fd, const void* data, std::size_t n) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+#ifdef MSG_NOSIGNAL
+    const auto sent = ::send(fd, p, n, MSG_NOSIGNAL);
+#else
+    const auto sent = ::send(fd, p, n, 0);
+#endif
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+// Reads exactly n bytes. Returns 1 on success, 0 on clean EOF before the
+// first byte, and throws when the stream dies mid-read.
+int read_exact(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const auto r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("wire: socket read failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (r == 0) {
+      if (got == 0) return 0;
+      throw std::runtime_error("wire: peer closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+const char* wire_error_name(WireError e) noexcept {
+  switch (e) {
+    case WireError::kOverloaded: return "overloaded";
+    case WireError::kShuttingDown: return "shutting down";
+    case WireError::kBadFrame: return "bad frame";
+    case WireError::kInternal: return "internal error";
+  }
+  return "unknown";
+}
+
+void encode_frame_header(FrameType type, std::uint32_t payload_len,
+                         unsigned char out[kFrameHeaderBytes]) {
+  std::memcpy(out, kFrameMagic, 4);
+  out[4] = kWireVersion;
+  out[5] = static_cast<unsigned char>(type);
+  out[6] = 0;
+  out[7] = 0;
+  put_u32_at(out + 8, payload_len);
+}
+
+FrameHeader decode_frame_header(const unsigned char in[kFrameHeaderBytes]) {
+  if (std::memcmp(in, kFrameMagic, 4) != 0) {
+    throw std::runtime_error("wire: bad frame magic");
+  }
+  if (in[4] != kWireVersion) {
+    throw std::runtime_error("wire: unsupported protocol version " +
+                             std::to_string(static_cast<int>(in[4])));
+  }
+  const auto type = static_cast<FrameType>(in[5]);
+  if (type != FrameType::kHello && type != FrameType::kScoreRequest &&
+      type != FrameType::kScoreOk && type != FrameType::kScoreError) {
+    throw std::runtime_error("wire: unknown frame type " +
+                             std::to_string(static_cast<int>(in[5])));
+  }
+  if (in[6] != 0 || in[7] != 0) {
+    throw std::runtime_error("wire: nonzero reserved header bytes");
+  }
+  FrameHeader h;
+  h.type = type;
+  h.payload_len = get_u32_at(in + 8);
+  if (h.payload_len > kMaxFramePayload) {
+    throw std::runtime_error("wire: frame payload of " +
+                             std::to_string(h.payload_len) +
+                             " bytes exceeds the protocol cap");
+  }
+  return h;
+}
+
+void put_u64(std::vector<char>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f32(std::vector<char>& buf, std::span<const float> v) {
+  const auto* bytes = reinterpret_cast<const char*>(v.data());
+  buf.insert(buf.end(), bytes, bytes + v.size_bytes());
+}
+
+std::uint64_t get_u64(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+ReadStatus read_frame(int fd, Frame& out) {
+  unsigned char header[kFrameHeaderBytes];
+  if (read_exact(fd, header, sizeof(header)) == 0) return ReadStatus::kEof;
+  const FrameHeader h = decode_frame_header(header);
+  out.type = h.type;
+  out.payload.resize(h.payload_len);  // capped by decode_frame_header
+  if (h.payload_len > 0 &&
+      read_exact(fd, out.payload.data(), h.payload_len) == 0) {
+    throw std::runtime_error("wire: peer closed mid-frame");
+  }
+  return ReadStatus::kOk;
+}
+
+bool write_frame(int fd, FrameType type, std::span<const char> a,
+                 std::span<const char> b) noexcept {
+  if (a.size() + b.size() > kMaxFramePayload) return false;
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(type, static_cast<std::uint32_t>(a.size() + b.size()),
+                      header);
+  return write_all(fd, header, sizeof(header)) &&
+         (a.empty() || write_all(fd, a.data(), a.size())) &&
+         (b.empty() || write_all(fd, b.data(), b.size()));
+}
+
+}  // namespace sne::serve

@@ -1,0 +1,91 @@
+// wire.h — the byte-level framing of the scoring daemon's socket
+// protocol (docs/FORMATS.md, "SNEW wire protocol", has the layout).
+// Every message is one length-prefixed frame: a fixed 12-byte header
+// (magic, version, type, payload length) followed by the payload. The
+// reader applies the same budget discipline as the on-disk formats: the
+// length field is validated against a hard cap *before* any allocation,
+// and a frame whose payload disagrees with what its type requires is a
+// typed error, never undefined behavior. Used by both the server
+// (src/serve/server.cpp) and the client library (src/serve/client.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sne::serve {
+
+inline constexpr char kFrameMagic[4] = {'S', 'N', 'E', 'W'};
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard cap on a frame payload. Generous for any plausible cutout batch
+/// (a paper-scale joint sample is ~144 KiB) while keeping a lying length
+/// field from triggering a speculative multi-gigabyte allocation — the
+/// socket analogue of serialize.h's require_stream_bytes.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,         ///< server → client, once per connection
+  kScoreRequest = 2,  ///< client → server: u64 id + sample floats
+  kScoreOk = 3,       ///< server → client: u64 id + score floats
+  kScoreError = 4,    ///< server → client: u64 id + u64 code + message
+};
+
+/// Typed rejection codes carried by kScoreError frames.
+enum class WireError : std::uint64_t {
+  kOverloaded = 1,    ///< admission control: request queue is full
+  kShuttingDown = 2,  ///< daemon is draining; no new work accepted
+  kBadFrame = 3,      ///< malformed frame (the connection is closed)
+  kInternal = 4,      ///< scoring failed server-side
+};
+
+/// Stable name for logs and error messages ("overloaded", ...).
+const char* wire_error_name(WireError e) noexcept;
+
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  std::uint32_t payload_len = 0;
+};
+
+/// Serializes a header into `out` (little-endian, docs/FORMATS.md).
+void encode_frame_header(FrameType type, std::uint32_t payload_len,
+                         unsigned char out[kFrameHeaderBytes]);
+
+/// Parses and validates a header. Throws std::runtime_error naming the
+/// defect on bad magic, unknown version, unknown type, a nonzero
+/// reserved field, or a payload length beyond kMaxFramePayload.
+FrameHeader decode_frame_header(const unsigned char in[kFrameHeaderBytes]);
+
+/// Little-endian scalar helpers for payload assembly/parsing.
+void put_u64(std::vector<char>& buf, std::uint64_t v);
+void put_f32(std::vector<char>& buf, std::span<const float> v);
+std::uint64_t get_u64(const char* p) noexcept;
+
+/// One parsed frame.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<char> payload;
+};
+
+enum class ReadStatus {
+  kOk,   ///< frame read and validated
+  kEof,  ///< peer closed cleanly before the first header byte
+};
+
+/// Reads exactly one frame from `fd` into `out` (payload capacity is
+/// reused across calls). Returns kEof on a clean close at a frame
+/// boundary. Throws std::runtime_error on a malformed header, an
+/// over-budget length, a mid-frame disconnect, or a socket error.
+ReadStatus read_frame(int fd, Frame& out);
+
+/// Writes one frame (header + up to two payload segments, sent back to
+/// back — the two-segment form lets callers prepend a request id to a
+/// float buffer without copying). Returns false when the peer is gone;
+/// never raises SIGPIPE. Callers serialize writes per connection.
+bool write_frame(int fd, FrameType type, std::span<const char> a,
+                 std::span<const char> b = {}) noexcept;
+
+}  // namespace sne::serve

@@ -5,24 +5,38 @@
 
 namespace sne::env {
 
+std::optional<std::int64_t> parse_int64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> parse_float64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
 std::int64_t int64(const std::string& name, std::int64_t fallback) {
   const char* raw = std::getenv(("SNE_" + name).c_str());
   if (raw == nullptr) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0' || errno == ERANGE) return fallback;
-  return static_cast<std::int64_t>(v);
+  return parse_int64(raw).value_or(fallback);
 }
 
 double float64(const std::string& name, double fallback) {
   const char* raw = std::getenv(("SNE_" + name).c_str());
   if (raw == nullptr) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || errno == ERANGE) return fallback;
-  return v;
+  return parse_float64(raw).value_or(fallback);
 }
 
 std::string string(const std::string& name, const std::string& fallback) {

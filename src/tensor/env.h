@@ -7,9 +7,21 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace sne::env {
+
+/// Strict scalar parse: the whole string must be one base-10 integer —
+/// no trailing junk, no empty input, no silent clamp on overflow
+/// (ERANGE is a failure, unlike bare strtoll/std::stoll). This is the
+/// single parsing routine behind both the SNE_* overrides below and the
+/// CLI's flag values (tools/sne_cli.cpp), so "12abc" and "1e99" are
+/// rejected everywhere the same way.
+std::optional<std::int64_t> parse_int64(const std::string& text);
+
+/// Strict float parse with the same whole-string / no-clamp rules.
+std::optional<double> parse_float64(const std::string& text);
 
 /// Integer override: reads SNE_<name>; returns `fallback` when the
 /// variable is unset, unparsable, has trailing junk, or overflows.

@@ -7,9 +7,12 @@
 // the background prefetch thread and the pool-parallel batch synthesis.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/band_cnn.h"
@@ -154,6 +157,93 @@ TEST(DataLoader, PropagatesRendererExceptions) {
         std::runtime_error)
         << "prefetch depth " << depth;
   }
+}
+
+// Shutdown-semantics pins for the prefetcher. The three states a
+// DataLoader can be torn down from: producer blocked on a full queue,
+// producer finished with an undelivered error, and mid-epoch after an
+// error already surfaced. None may deadlock or leak the worker thread
+// (the `threaded` label runs these under tsan).
+
+TEST(DataLoader, DestroyWhileProducerBlockedOnFullQueue) {
+  std::atomic<std::int64_t> rendered{0};
+  const nn::LazyDataset data(64, [&](std::int64_t i) {
+    rendered.fetch_add(1);
+    return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
+  });
+  nn::DataLoaderConfig cfg;
+  cfg.batch_size = 4;
+  cfg.prefetch = 1;
+  {
+    nn::DataLoader loader(data, cfg);
+    loader.start_epoch();
+    // With depth 1 the producer pushes one batch then stalls on the full
+    // queue before rendering the next. Wait until that first batch has
+    // definitely been rendered, give the producer a beat to reach the
+    // not-full wait, then destroy the loader mid-stall. The destructor
+    // must cancel the wait and join — never deadlock.
+    while (rendered.load() < 4) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LT(rendered.load(), 64);  // the epoch was genuinely cut short
+}
+
+TEST(DataLoader, DestroyWithUndeliveredErrorPending) {
+  std::atomic<bool> threw{false};
+  const nn::LazyDataset data(8, [&](std::int64_t i) {
+    if (i == 0) {
+      threw.store(true);
+      throw std::runtime_error("render failed");
+    }
+    return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
+  });
+  nn::DataLoaderConfig cfg;
+  cfg.batch_size = 4;
+  cfg.prefetch = 2;
+  {
+    nn::DataLoader loader(data, cfg);
+    loader.start_epoch();
+    // Never call next(): the producer parks its exception in error_ and
+    // finishes. Destruction with the error still undelivered must be
+    // clean (the stored exception_ptr is simply dropped).
+    while (!threw.load()) std::this_thread::yield();
+  }
+  SUCCEED();
+}
+
+// Regression: a producer error surfacing from next() must close the
+// epoch. Before the fix, prefetcher_/epoch_active_ were left set, so a
+// caller that caught the error and probed the loader again got the same
+// stale exception rethrown instead of the "no active epoch" contract —
+// and start_epoch() was the only way out.
+TEST(DataLoader, EpochIsClosedAfterPrefetchErrorSurfaces) {
+  std::atomic<bool> fail_once{true};
+  const nn::LazyDataset data(8, [&](std::int64_t i) {
+    if (i == 5 && fail_once.exchange(false)) {
+      throw std::runtime_error("render failed");
+    }
+    return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
+  });
+  nn::DataLoaderConfig cfg;
+  cfg.batch_size = 4;
+  cfg.prefetch = 2;
+  nn::DataLoader loader(data, cfg);
+  loader.start_epoch();
+  nn::Sample batch;
+  EXPECT_THROW(
+      {
+        while (loader.next(batch)) {
+        }
+      },
+      std::runtime_error);
+  // The failed epoch is over: next() reports the closed-epoch contract
+  // violation, not a stale rethrow of the producer error.
+  EXPECT_THROW(loader.next(batch), std::logic_error);
+  // And the loader is reusable: a fresh epoch covers the dataset.
+  loader.start_epoch();
+  std::int64_t count = 0;
+  while (loader.next(batch)) count += batch.x.extent(0);
+  EXPECT_EQ(count, 8);
 }
 
 TEST(Dataset, GetBatchRejectsTransposedSampleShapes) {

@@ -271,6 +271,27 @@ TEST(Env, ParsesAndFallsBack) {
   ::unsetenv("SNE_OBSTEST_FLOAT");
 }
 
+// The strict whole-string parser behind both env overrides and the CLI's
+// flag values (tools/sne_cli.cpp routes --foo N through these so that
+// "--top 20x" is an error naming the flag, not a silent parse of 20).
+TEST(Env, StrictParsersRejectJunkTailsAndOverflow) {
+  EXPECT_EQ(env::parse_int64("42").value_or(-1), 42);
+  EXPECT_EQ(env::parse_int64("-7").value_or(-1), -7);
+  EXPECT_EQ(env::parse_int64("  11").value_or(-1), 11);  // strtoll skip-ws
+  EXPECT_FALSE(env::parse_int64(""));
+  EXPECT_FALSE(env::parse_int64("12junk"));
+  EXPECT_FALSE(env::parse_int64("12 "));
+  EXPECT_FALSE(env::parse_int64("1e3"));  // not an integer literal
+  EXPECT_FALSE(env::parse_int64("99999999999999999999999"));  // ERANGE
+  EXPECT_FALSE(env::parse_int64("abc"));
+
+  EXPECT_DOUBLE_EQ(env::parse_float64("2.5").value_or(-1.0), 2.5);
+  EXPECT_DOUBLE_EQ(env::parse_float64("1e3").value_or(-1.0), 1000.0);
+  EXPECT_FALSE(env::parse_float64(""));
+  EXPECT_FALSE(env::parse_float64("0.5x"));
+  EXPECT_FALSE(env::parse_float64("1e99999"));  // ERANGE
+}
+
 TEST(RuntimeConfigTest, ResolvePrefetchAndTraceToggle) {
   ObsGuard guard;
   const RuntimeConfig saved = RuntimeConfig::current();

@@ -1,0 +1,444 @@
+// serve_test.cpp — the scoring daemon stack bottom-up: wire framing
+// (header validation, budget cap), MicroBatcher flush semantics
+// (size-or-deadline, overload rejection, drain-on-shutdown), and the
+// full ScoreServer over real sockets — concurrent clients must get
+// scores bitwise identical to a direct InferenceSession regardless of
+// how the batcher grouped their requests, overload must surface as a
+// typed error, malformed frames must cost one connection (never the
+// daemon), and stop() must drain everything already admitted. Carries
+// the `threaded` label: the tsan/asan serve presets run exactly this
+// binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "infer/plan.h"
+#include "infer/session.h"
+#include "nn/nn.h"
+#include "serve/client.h"
+#include "serve/micro_batcher.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "tensor/rng.h"
+#include "tensor/view.h"
+
+namespace sne {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- shared fixtures ----
+
+constexpr std::int64_t kIn = 6;
+constexpr std::int64_t kOut = 3;
+
+// Tiny two-layer net; the plan borrows the network, so both live
+// together for the duration of a test.
+struct TestModel {
+  Rng rng{907};
+  nn::Sequential net;
+  std::shared_ptr<const infer::InferencePlan> plan;
+
+  TestModel() {
+    net.emplace<nn::Linear>(kIn, 8, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Linear>(8, kOut, rng);
+    net.set_training(false);
+    plan = std::make_shared<infer::InferencePlan>(net, Shape{kIn});
+  }
+
+  serve::ScorerFactory factory() const {
+    return [plan = plan] { return serve::make_scorer(plan); };
+  }
+};
+
+std::string socket_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<float> sample_for(std::uint64_t tag) {
+  std::vector<float> x(static_cast<std::size_t>(kIn));
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    x[k] = 0.25f * static_cast<float>((tag * 31 + k * 7) % 97) - 12.0f;
+  }
+  return x;
+}
+
+// Reference scores straight through an InferenceSession (batch of one).
+std::vector<float> direct_scores(const TestModel& model,
+                                 const std::vector<float>& x) {
+  infer::InferenceSession session(model.plan);
+  Tensor out;
+  session.run(ConstTensorView(x.data(), Shape{1, kIn}), out);
+  return std::vector<float>(out.data(), out.data() + kOut);
+}
+
+// A Scorer that parks inside run() until released — the lever for
+// filling the queue deterministically (overload, drain tests).
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<std::int64_t> entered{0};
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class GatedScorer final : public serve::Scorer {
+ public:
+  explicit GatedScorer(std::shared_ptr<Gate> gate) : gate_(std::move(gate)) {}
+  std::int64_t sample_numel() const override { return kIn; }
+  std::int64_t output_numel() const override { return kOut; }
+  void run(const Tensor& batch, Tensor& out) override {
+    gate_->entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_->mutex);
+    gate_->cv.wait(lock, [&] { return gate_->open; });
+    const std::int64_t n = batch.extent(0);
+    out.resize({n, kOut});
+    // Echo-style scores: row i gets [x0, x0, x0] of its own input, so
+    // responses are attributable.
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < kOut; ++j) {
+        out.data()[i * kOut + j] = batch.data()[i * kIn];
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<Gate> gate_;
+};
+
+// ---- wire framing ----
+
+TEST(Wire, HeaderRoundTripsAndRejectsCorruption) {
+  unsigned char buf[serve::kFrameHeaderBytes];
+  serve::encode_frame_header(serve::FrameType::kScoreRequest, 1234, buf);
+  const serve::FrameHeader h = serve::decode_frame_header(buf);
+  EXPECT_EQ(h.type, serve::FrameType::kScoreRequest);
+  EXPECT_EQ(h.payload_len, 1234u);
+
+  unsigned char bad[serve::kFrameHeaderBytes];
+  std::memcpy(bad, buf, sizeof(buf));
+  bad[0] = 'X';  // magic
+  EXPECT_THROW(serve::decode_frame_header(bad), std::runtime_error);
+
+  std::memcpy(bad, buf, sizeof(buf));
+  bad[4] = 99;  // version
+  EXPECT_THROW(serve::decode_frame_header(bad), std::runtime_error);
+
+  std::memcpy(bad, buf, sizeof(buf));
+  bad[5] = 0;  // frame type outside the enum
+  EXPECT_THROW(serve::decode_frame_header(bad), std::runtime_error);
+
+  // A lying length beyond the hard cap must throw BEFORE any allocation.
+  serve::encode_frame_header(serve::FrameType::kScoreRequest,
+                             serve::kMaxFramePayload + 1, bad);
+  EXPECT_THROW(serve::decode_frame_header(bad), std::runtime_error);
+}
+
+// ---- MicroBatcher ----
+
+TEST(MicroBatcher, FlushesImmediatelyAtFullBatch) {
+  serve::MicroBatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 60'000'000;  // a full batch must not wait for this
+  serve::MicroBatcher batcher(cfg);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    serve::ScoreJob job;
+    job.id = i;
+    EXPECT_EQ(batcher.submit(std::move(job)),
+              serve::MicroBatcher::Admit::kOk);
+  }
+  std::vector<serve::ScoreJob> batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(batcher.next_batch(batch));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_LT(elapsed, 10s);  // returned long before the 60 s deadline
+  // FIFO into the batch.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].id, i);
+}
+
+TEST(MicroBatcher, FlushesPartialBatchOnDeadline) {
+  serve::MicroBatcherConfig cfg;
+  cfg.max_batch = 1024;  // never reached
+  cfg.max_delay_us = 3000;
+  serve::MicroBatcher batcher(cfg);
+  serve::ScoreJob a, b;
+  a.id = 1;
+  b.id = 2;
+  ASSERT_EQ(batcher.submit(std::move(a)), serve::MicroBatcher::Admit::kOk);
+  ASSERT_EQ(batcher.submit(std::move(b)), serve::MicroBatcher::Admit::kOk);
+  std::vector<serve::ScoreJob> batch;
+  ASSERT_TRUE(batcher.next_batch(batch));  // deadline, not size, fires
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batcher.depth(), 0);
+}
+
+TEST(MicroBatcher, RejectsOverloadAndDrainsOnShutdown) {
+  serve::MicroBatcherConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_queue = 2;
+  serve::MicroBatcher batcher(cfg);
+  ASSERT_EQ(batcher.submit({}), serve::MicroBatcher::Admit::kOk);
+  ASSERT_EQ(batcher.submit({}), serve::MicroBatcher::Admit::kOk);
+  // Admission control: full queue rejects fast, it never blocks.
+  EXPECT_EQ(batcher.submit({}), serve::MicroBatcher::Admit::kOverloaded);
+
+  batcher.begin_shutdown();
+  EXPECT_EQ(batcher.submit({}), serve::MicroBatcher::Admit::kShuttingDown);
+
+  // Drain, don't drop: queued jobs still come out, then workers get the
+  // exit signal.
+  std::vector<serve::ScoreJob> batch;
+  ASSERT_TRUE(batcher.next_batch(batch));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batcher.next_batch(batch));
+}
+
+// ---- ScoreServer integration ----
+
+TEST(Serve, ScoresMatchDirectSessionBitwise) {
+  const TestModel model;
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = socket_path("parity.sock");
+  cfg.workers = 2;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.max_delay_us = 2000;
+  serve::ScoreServer server(cfg, model.factory());
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ScoreClient client =
+          serve::ScoreClient::connect_unix(cfg.unix_path);
+      EXPECT_EQ(client.sample_numel(), kIn);
+      EXPECT_EQ(client.output_numel(), kOut);
+      for (int r = 0; r < kPerClient; ++r) {
+        const auto tag = static_cast<std::uint64_t>(c * 1000 + r);
+        const std::vector<float> x = sample_for(tag);
+        const std::vector<float> got = client.score(x);
+        const std::vector<float> want = direct_scores(model, x);
+        // Bitwise: the GEMM reduction order per output element does not
+        // depend on how many other rows shared the batch.
+        if (std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(float)) != 0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, kClients * kPerClient);
+  EXPECT_EQ(stats.scored, kClients * kPerClient);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GE(stats.batches, 1);
+  std::int64_t hist_total = 0;
+  for (const std::int64_t b : stats.batch_fill) hist_total += b;
+  EXPECT_EQ(hist_total, stats.batches);
+  EXPECT_EQ(stats.latency_samples, kClients * kPerClient);
+  EXPECT_GE(stats.p99_ms, stats.p50_ms);
+  server.stop();
+}
+
+TEST(Serve, DeadlineFlushesASingleWaitingRequest) {
+  const TestModel model;
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = socket_path("deadline.sock");
+  cfg.batcher.max_batch = 64;  // a lone request can never fill this
+  cfg.batcher.max_delay_us = 10'000;
+  serve::ScoreServer server(cfg, model.factory());
+  server.start();
+
+  serve::ScoreClient client = serve::ScoreClient::connect_unix(cfg.unix_path);
+  const std::vector<float> x = sample_for(5);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<float> got = client.score(x);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(got, direct_scores(model, x));
+  // The response can only have been produced by the deadline flush; it
+  // must arrive promptly, not hang for a fuller batch.
+  EXPECT_LT(elapsed, 10s);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.batch_fill[0], 1);  // fill-1 bucket
+  server.stop();
+}
+
+TEST(Serve, OverloadIsRejectedWithTypedError) {
+  auto gate = std::make_shared<Gate>();
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = socket_path("overload.sock");
+  cfg.batcher.max_batch = 1;
+  cfg.batcher.max_queue = 1;
+  cfg.batcher.max_delay_us = 0;
+  serve::ScoreServer server(
+      cfg, [gate] { return std::make_unique<GatedScorer>(gate); });
+  server.start();
+
+  serve::ScoreClient client = serve::ScoreClient::connect_unix(cfg.unix_path);
+  const std::vector<float> x = sample_for(1);
+
+  // A: picked up by the worker, which parks inside run().
+  client.send_request(1, x);
+  while (gate->entered.load() == 0) std::this_thread::yield();
+  // B: sits in the queue (capacity 1).
+  client.send_request(2, x);
+  while (server.queue_depth() < 1) std::this_thread::yield();
+  // C: queue full — must bounce immediately with the typed error while
+  // A and B are still pending.
+  client.send_request(3, x);
+  serve::ScoreResponse rejected = client.recv_response();
+  EXPECT_EQ(rejected.id, 3u);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error, serve::WireError::kOverloaded);
+
+  gate->release();
+  const serve::ScoreResponse ra = client.recv_response();
+  const serve::ScoreResponse rb = client.recv_response();
+  EXPECT_TRUE(ra.ok);
+  EXPECT_TRUE(rb.ok);
+  EXPECT_EQ(ra.id, 1u);
+  EXPECT_EQ(rb.id, 2u);
+  EXPECT_EQ(server.stats().rejected, 1);
+  server.stop();
+}
+
+TEST(Serve, MalformedFrameCostsOneConnectionNotTheDaemon) {
+  const TestModel model;
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = socket_path("malformed.sock");
+  serve::ScoreServer server(cfg, model.factory());
+  server.start();
+
+  // Raw connection speaking garbage.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, cfg.unix_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  serve::Frame frame;
+  ASSERT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kOk);
+  ASSERT_EQ(frame.type, serve::FrameType::kHello);
+
+  unsigned char garbage[serve::kFrameHeaderBytes];
+  std::memset(garbage, 0xFF, sizeof(garbage));
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+  // The server answers with a typed bad-frame error, then closes only
+  // this connection.
+  ASSERT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kOk);
+  EXPECT_EQ(frame.type, serve::FrameType::kScoreError);
+  ASSERT_GE(frame.payload.size(), 16u);
+  EXPECT_EQ(static_cast<serve::WireError>(
+                serve::get_u64(frame.payload.data() + 8)),
+            serve::WireError::kBadFrame);
+  EXPECT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kEof);
+  ::close(fd);
+
+  // A truncated frame — header promising bytes that never arrive — also
+  // kills only its own connection.
+  const int fd2 = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(::connect(fd2, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_EQ(serve::read_frame(fd2, frame), serve::ReadStatus::kOk);
+  unsigned char header[serve::kFrameHeaderBytes];
+  serve::encode_frame_header(serve::FrameType::kScoreRequest, 100, header);
+  ASSERT_EQ(::send(fd2, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ::close(fd2);  // truncate mid-frame
+
+  // The daemon is alive and scoring for everyone else.
+  serve::ScoreClient client = serve::ScoreClient::connect_unix(cfg.unix_path);
+  const std::vector<float> x = sample_for(9);
+  EXPECT_EQ(client.score(x), direct_scores(model, x));
+  EXPECT_GE(server.stats().wire_errors, 1);
+  server.stop();
+}
+
+TEST(Serve, GracefulStopDrainsEveryAdmittedRequest) {
+  auto gate = std::make_shared<Gate>();
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = socket_path("drain.sock");
+  cfg.batcher.max_batch = 1;
+  cfg.batcher.max_queue = 8;
+  cfg.batcher.max_delay_us = 0;
+  serve::ScoreServer server(
+      cfg, [gate] { return std::make_unique<GatedScorer>(gate); });
+  server.start();
+
+  serve::ScoreClient client = serve::ScoreClient::connect_unix(cfg.unix_path);
+  const std::vector<float> x = sample_for(3);
+  client.send_request(1, x);
+  while (gate->entered.load() == 0) std::this_thread::yield();
+  client.send_request(2, x);
+  client.send_request(3, x);
+  while (server.queue_depth() < 2) std::this_thread::yield();
+
+  // Stop with one request inside the scorer and two admitted behind it.
+  std::thread stopper([&] { server.stop(); });
+  std::this_thread::sleep_for(50ms);  // let stop() reach the drain phase
+  gate->release();
+  stopper.join();
+
+  // Every admitted request was answered before the connection closed.
+  std::vector<std::uint64_t> answered;
+  for (int i = 0; i < 3; ++i) {
+    const serve::ScoreResponse r = client.recv_response();
+    EXPECT_TRUE(r.ok);
+    answered.push_back(r.id);
+  }
+  EXPECT_EQ(answered, (std::vector<std::uint64_t>{1, 2, 3}));
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.scored, 3);
+}
+
+TEST(Serve, TcpEphemeralPortServes) {
+  const TestModel model;
+  serve::ScoreServerConfig cfg;
+  cfg.tcp_port = 0;  // kernel-assigned
+  serve::ScoreServer server(cfg, model.factory());
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  serve::ScoreClient client =
+      serve::ScoreClient::connect_tcp("127.0.0.1", server.tcp_port());
+  const std::vector<float> x = sample_for(17);
+  EXPECT_EQ(client.score(x), direct_scores(model, x));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace sne

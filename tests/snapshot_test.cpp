@@ -187,6 +187,35 @@ TEST(Snapshot, TruncatedFileAndLyingCountAreRejectedBeforeAllocation) {
   EXPECT_THROW(data::SnapshotDataset{path}, std::runtime_error);
 }
 
+// Regression: count · (8 + record_bytes) wrapping around u64. The
+// per-shape numel cap (2^40) and the count cap (1e8 < 2^27) each hold
+// individually, yet their product reaches ~2^70 — so a crafted header
+// can make the multiplication wrap to exactly 0, sail through the
+// stream-budget check, and (via SnapshotDataset) turn the offset upper
+// bound into an underflowed huge value that admits out-of-range mmap
+// reads. Before the guard, this 64-byte file "validated" cleanly.
+TEST(Snapshot, HeaderSizeOverflowIsRejected) {
+  const std::string path = temp_path("overflow.snap");
+
+  // x: rank 1, extent 2^39; y: rank 1, extent 2^39 - 2. Both pass the
+  // per-shape cap; record_bytes = (2^40 - 2) · 4 = 2^42 - 8, so one
+  // offset entry + record is exactly 2^42 bytes. count = 2^22 keeps
+  // below kMaxCount while count · 2^42 = 2^64 ≡ 0 (mod 2^64).
+  std::string header(64, '\0');
+  std::memcpy(header.data(), "SNESNAP\0", 8);
+  poke_u64(header, 8, 1);                          // version
+  poke_u64(header, 16, 1);                         // dtype f32
+  poke_u64(header, 24, 1);                         // x rank
+  poke_u64(header, 32, 1ULL << 39);                // x extent
+  poke_u64(header, 40, 1);                         // y rank
+  poke_u64(header, 48, (1ULL << 39) - 2);          // y extent
+  poke_u64(header, 56, 1ULL << 22);                // count
+  spit(path, header);
+
+  EXPECT_THROW(data::read_snapshot_info(path), std::runtime_error);
+  EXPECT_THROW(data::SnapshotDataset{path}, std::runtime_error);
+}
+
 TEST(Snapshot, EmptyDatasetIsRejected) {
   const nn::LazyDataset empty(0, [](std::int64_t) {
     return nn::Sample{Tensor({1}), Tensor({1})};

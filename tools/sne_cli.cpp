@@ -9,21 +9,30 @@
 //   sne info     --model model.snet
 //   sne snapshot --dataset season.snds --out flux.snap [--kind flux|joint]
 //   sne snapshot --info flux.snap
+//   sne serve    --model model.snet --socket /tmp/sne.sock [--port 7070]
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include <csignal>
+#include <unistd.h>
+
+#include "core/inference.h"
 #include "core/sne_pipeline.h"
 #include "data/snapshot.h"
 #include "eval/parity.h"
 #include "eval/roc.h"
 #include "eval/tables.h"
 #include "obs/obs.h"
+#include "serve/server.h"
 #include "sim/dataset_io.h"
+#include "tensor/env.h"
 #include "tensor/runtime.h"
 
 using namespace sne;
@@ -39,9 +48,31 @@ struct Args {
     const auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
+  // Numeric flag values go through the strict env-style parser: trailing
+  // junk and out-of-range values are hard errors naming the flag, never
+  // a silent partial parse (std::stoll would happily read "--top 20x" as
+  // 20 and "--seed 9e99" would throw a bare out_of_range with no
+  // context).
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoll(it->second);
+    if (it == options.end()) return fallback;
+    const auto parsed = env::parse_int64(it->second);
+    if (!parsed) {
+      throw std::runtime_error("option --" + key +
+                               " needs an integer, got \"" + it->second +
+                               "\"");
+    }
+    return *parsed;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    const auto parsed = env::parse_float64(it->second);
+    if (!parsed) {
+      throw std::runtime_error("option --" + key + " needs a number, got \"" +
+                               it->second + "\"");
+    }
+    return *parsed;
   }
   std::string require(const std::string& key) const {
     const auto it = options.find(key);
@@ -128,7 +159,7 @@ int cmd_generate(const Args& args) {
   sim::SnDataset::Config config;
   config.num_samples = args.get_int("samples", 1000);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20171130));
-  config.p_ia = std::stod(args.get("p-ia", "0.5"));
+  config.p_ia = args.get_double("p-ia", 0.5);
   config.catalog.count =
       std::max<std::int64_t>(1000, config.num_samples);
   const std::string out = args.require("out");
@@ -345,6 +376,89 @@ int cmd_snapshot(const Args& args) {
   return 0;
 }
 
+// serve: the long-running scoring daemon. Signal handling uses the
+// self-pipe idiom — the handler only writes one byte; the main thread
+// blocks on the read end and runs the graceful drain outside
+// signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void handle_shutdown_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int cmd_serve(const Args& args) {
+  auto pipeline = std::make_shared<core::SnePipeline>(
+      core::SnePipeline::load(args.require("model")));
+
+  serve::ScoreServerConfig config;
+  config.unix_path = args.get("socket", "");
+  config.tcp_host = args.get("host", "127.0.0.1");
+  config.tcp_port = static_cast<int>(args.get_int("port", -1));
+  if (config.unix_path.empty() && config.tcp_port < 0) {
+    config.unix_path = "sne_serve.sock";
+  }
+  config.workers = static_cast<int>(args.get_int("workers", 1));
+  config.batcher.max_batch = args.get_int("max-batch", 16);
+  config.batcher.max_delay_us = args.get_int("max-delay-us", 2000);
+  config.batcher.max_queue = args.get_int("max-queue", 1024);
+
+  // precision() already resolves the --precision/SNE_PRECISION request
+  // against the model: Int8 only when a calibration table was saved.
+  const Precision precision = pipeline->precision();
+  if (RuntimeConfig::current().precision == Precision::Int8 &&
+      precision != Precision::Int8) {
+    std::fprintf(stderr,
+                 "warning: --precision int8 needs a calibrated model "
+                 "(train with --calibrate N); serving fp32\n");
+  }
+  serve::ScorerFactory factory = [pipeline, precision] {
+    if (precision == Precision::Int8) {
+      return serve::make_scorer(core::make_session(
+          pipeline->joint_model(), pipeline->calibration()));
+    }
+    return serve::make_scorer(core::make_session(pipeline->joint_model()));
+  };
+
+  serve::ScoreServer server(config, std::move(factory));
+
+  if (::pipe(g_signal_pipe) != 0) {
+    throw std::runtime_error("serve: cannot create signal pipe");
+  }
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+
+  server.start();
+  if (!config.unix_path.empty()) {
+    std::printf("listening on unix socket %s\n", config.unix_path.c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("listening on %s:%d\n", config.tcp_host.c_str(),
+                server.tcp_port());
+  }
+  std::printf("serving %s, workers %d, max batch %lld, max delay %lld us "
+              "(^C drains and exits)\n",
+              precision_name(precision), config.workers,
+              static_cast<long long>(config.batcher.max_batch),
+              static_cast<long long>(config.batcher.max_delay_us));
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("\nshutting down: draining %lld queued requests...\n",
+              static_cast<long long>(server.queue_depth()));
+  std::fflush(stdout);
+  server.stop();
+  std::printf("%s", server.stats().to_string().c_str());
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  return 0;
+}
+
 void print_usage() {
   std::printf(
       "sne — single-epoch supernova classification toolkit\n\n"
@@ -358,7 +472,10 @@ void print_usage() {
       "  info     --dataset FILE.snds | --model FILE.snet\n"
       "  snapshot --dataset FILE.snds --out FILE.snap [--kind flux|joint]\n"
       "           [--crop N] [--epoch E] [--batch 64]\n"
-      "  snapshot --info FILE.snap\n\n"
+      "  snapshot --info FILE.snap\n"
+      "  serve    --model FILE.snet [--socket PATH] [--port N (0=auto)]\n"
+      "           [--host 127.0.0.1] [--workers 1] [--max-batch 16]\n"
+      "           [--max-delay-us 2000] [--max-queue 1024]\n\n"
       "global options (any command):\n"
       "  --threads N      worker threads (default: hardware, or "
       "SNE_NUM_THREADS)\n"
@@ -382,6 +499,7 @@ int main(int argc, char** argv) {
     else if (args.command == "score") rc = cmd_score(args);
     else if (args.command == "info") rc = cmd_info(args);
     else if (args.command == "snapshot") rc = cmd_snapshot(args);
+    else if (args.command == "serve") rc = cmd_serve(args);
     else if (args.command == "help" || args.command == "--help") {
       print_usage();
       return 0;
