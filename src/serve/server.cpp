@@ -71,6 +71,16 @@ std::string errno_string(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+// A score request that was framed well enough to carry its 8-byte id
+// but is otherwise malformed: the id rides the exception so the
+// bad-frame error sent back names the request a pipelined client can
+// actually correlate, instead of a hardcoded 0.
+struct BadRequestError : std::runtime_error {
+  BadRequestError(std::uint64_t id, const std::string& what)
+      : std::runtime_error(what), id(id) {}
+  std::uint64_t id;
+};
+
 }  // namespace
 
 std::string ServerStats::to_string() const {
@@ -99,12 +109,20 @@ std::string ServerStats::to_string() const {
   return buf;
 }
 
-// One live client connection. The reader thread owns the fd's lifetime
-// (it closes after its loop exits and the connection has been
-// unregistered); stop() only shutdown()s registered fds to unblock
-// readers, so a recycled descriptor can never be hit by mistake.
+// One live client connection. The Connection owns the fd: the reader
+// thread holds one reference for the life of its loop, and every
+// in-flight ScoreJob's deliver/fail callback holds another, so the
+// descriptor stays open — and its number can never be recycled onto a
+// different client — until the last queued response for this connection
+// has been written. Only ~Connection (the final reference) closes;
+// everyone else, reader exit and stop() alike, at most ::shutdown()s.
 struct ScoreServer::Connection {
-  int fd = -1;
+  explicit Connection(int fd) noexcept : fd(fd) {}
+  ~Connection() { ::close(fd); }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  const int fd;
   std::mutex write_mutex;  ///< responses come from worker threads
 };
 
@@ -236,8 +254,10 @@ void ScoreServer::stop() {
   for (std::thread& t : worker_threads_) t.join();
   worker_threads_.clear();
 
-  // 3. Unblock and retire the readers. Readers own their fds: shutdown
-  //    here, close happens at each reader's exit.
+  // 3. Unblock and retire the readers. Connections own their fds:
+  //    shutdown here wakes blocked read_frame() calls; each fd closes
+  //    when its Connection's last reference (reader or in-flight
+  //    response callback) drops.
   std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
@@ -251,24 +271,29 @@ void ScoreServer::accept_loop(int listen_fd, bool tcp) {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener shut down (or broken): stop accepting
+      if (stopped_.load()) return;
+      if (errno == EINTR || errno == ECONNABORTED || errno == ECONNRESET) {
+        continue;  // that one connection died, not the listener
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Descriptor/memory exhaustion under load is transient: back off
+        // briefly and keep accepting. Returning here would leave the
+        // socket bound but forever unserved — clients would hang in the
+        // backlog while the daemon looks healthy.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      return;  // the listener itself is gone or broken: stop accepting
     }
-    if (stopped_.load()) {
-      ::close(fd);
-      return;
-    }
+    auto conn = std::make_shared<Connection>(fd);  // owns fd from here on
+    if (stopped_.load()) return;
     if (tcp) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    if (stopped_.load()) {
-      ::close(fd);
-      return;
-    }
+    if (stopped_.load()) return;
     connections_.push_back(conn);
     reader_threads_.emplace_back(
         [this, conn = std::move(conn)]() mutable { reader_loop(conn); });
@@ -299,11 +324,10 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
   if (frame.payload.size() != 8 + sample_bytes) {
     const std::uint64_t id =
         frame.payload.size() >= 8 ? get_u64(frame.payload.data()) : 0;
-    throw std::runtime_error(
-        "score request payload holds " +
-        std::to_string(frame.payload.size()) + " bytes, expected " +
-        std::to_string(8 + sample_bytes) + " (id " + std::to_string(id) +
-        ")");
+    throw BadRequestError(
+        id, "score request payload holds " +
+                std::to_string(frame.payload.size()) + " bytes, expected " +
+                std::to_string(8 + sample_bytes));
   }
   ScoreJob job;
   job.id = get_u64(frame.payload.data());
@@ -374,23 +398,32 @@ void ScoreServer::reader_loop(std::shared_ptr<Connection> conn) {
       // Malformed traffic of any kind — bad header, over-budget length,
       // truncated frame, wrong type, wrong payload size: count it,
       // answer with a typed error (best effort — the peer may already
-      // be gone), then drop the connection. The daemon itself keeps
-      // serving every other client.
+      // be gone) carrying the request id when one was parsable, then
+      // drop the connection. The daemon itself keeps serving every
+      // other client.
       wire_errors_.fetch_add(1, std::memory_order_relaxed);
-      send_error(*conn, 0, WireError::kBadFrame, e.what());
+      const auto* bad = dynamic_cast<const BadRequestError*>(&e);
+      send_error(*conn, bad != nullptr ? bad->id : 0, WireError::kBadFrame,
+                 e.what());
+      ::shutdown(conn->fd, SHUT_RDWR);
       break;
     }
   }
 
-  // Unregister before closing so stop() can never shutdown() a recycled
-  // descriptor.
+  // Unregister so stop() forgets this connection, then drop the reader's
+  // reference. The fd itself is NOT closed here: jobs from this
+  // connection may still sit in the batcher, and their deliver/fail
+  // callbacks hold Connection references — the descriptor closes (in
+  // ~Connection) only after the last of those responses is written, so
+  // a worker can never write into a recycled descriptor number. A peer
+  // that half-closed its send side with requests in flight still gets
+  // every answer.
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     connections_.erase(
         std::remove(connections_.begin(), connections_.end(), conn),
         connections_.end());
   }
-  ::close(conn->fd);
 }
 
 void ScoreServer::worker_loop(Scorer* scorer) {

@@ -1,6 +1,7 @@
 #include "tensor/env.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace sne::env {
@@ -21,7 +22,13 @@ std::optional<double> parse_float64(const std::string& text) {
   char* end = nullptr;
   errno = 0;
   const double v = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+  if (end == text.c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  // strtod reports ERANGE for underflow too, where it already returns
+  // the nearest representable value (a subnormal or zero) — accept that;
+  // only overflow to ±HUGE_VAL is an unrepresentable input.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
     return std::nullopt;
   }
   return v;

@@ -289,7 +289,13 @@ TEST(Env, StrictParsersRejectJunkTailsAndOverflow) {
   EXPECT_DOUBLE_EQ(env::parse_float64("1e3").value_or(-1.0), 1000.0);
   EXPECT_FALSE(env::parse_float64(""));
   EXPECT_FALSE(env::parse_float64("0.5x"));
-  EXPECT_FALSE(env::parse_float64("1e99999"));  // ERANGE
+  EXPECT_FALSE(env::parse_float64("1e99999"));   // overflow: ERANGE
+  EXPECT_FALSE(env::parse_float64("-1e99999"));  // negative overflow too
+  // Underflow also sets ERANGE, but strtod already returns the nearest
+  // representable value — tiny magnitudes are legitimate inputs and
+  // must be accepted (subnormal), not rejected as unparsable.
+  EXPECT_DOUBLE_EQ(env::parse_float64("1e-310").value_or(-1.0), 1e-310);
+  EXPECT_DOUBLE_EQ(env::parse_float64("1e-5000").value_or(-1.0), 0.0);
 }
 
 TEST(RuntimeConfigTest, ResolvePrefetchAndTraceToggle) {

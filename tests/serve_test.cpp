@@ -387,6 +387,124 @@ TEST(Serve, MalformedFrameCostsOneConnectionNotTheDaemon) {
   server.stop();
 }
 
+TEST(Serve, BadRequestErrorCarriesParsedId) {
+  const TestModel model;
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = socket_path("badid.sock");
+  serve::ScoreServer server(cfg, model.factory());
+  server.start();
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, cfg.unix_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  serve::Frame frame;
+  ASSERT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kOk);
+  ASSERT_EQ(frame.type, serve::FrameType::kHello);
+
+  // A well-framed score request with a parsable id but the wrong payload
+  // size: the typed bad-frame error must echo the id (not 0), so a
+  // pipelined client can attribute the failure before the drop.
+  constexpr std::uint64_t kId = 0xDEADBEEFCAFEull;
+  std::vector<char> payload;
+  serve::put_u64(payload, kId);
+  payload.push_back(0);  // 9 bytes: never 8 + sample_bytes
+  unsigned char header[serve::kFrameHeaderBytes];
+  serve::encode_frame_header(serve::FrameType::kScoreRequest,
+                             static_cast<std::uint32_t>(payload.size()),
+                             header);
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ASSERT_EQ(::send(fd, payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+
+  ASSERT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kOk);
+  EXPECT_EQ(frame.type, serve::FrameType::kScoreError);
+  ASSERT_GE(frame.payload.size(), 16u);
+  EXPECT_EQ(serve::get_u64(frame.payload.data()), kId);
+  EXPECT_EQ(static_cast<serve::WireError>(
+                serve::get_u64(frame.payload.data() + 8)),
+            serve::WireError::kBadFrame);
+  EXPECT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kEof);
+  ::close(fd);
+  server.stop();
+}
+
+// Regression for the fd-lifetime bug: the reader used to close the
+// connection's descriptor as soon as it saw EOF, while responses for
+// that connection's in-flight jobs were still pending — the late
+// write_frame then hit a closed (and potentially recycled) descriptor
+// number. The Connection must own the fd and keep it open until the
+// last in-flight response is written; observable contract: a client
+// that half-closes its send side with a request still inside the
+// scorer must still receive its answer.
+TEST(Serve, HalfClosedClientStillGetsInFlightResponses) {
+  auto gate = std::make_shared<Gate>();
+  serve::ScoreServerConfig cfg;
+  cfg.unix_path = socket_path("halfclose.sock");
+  cfg.batcher.max_batch = 1;
+  cfg.batcher.max_queue = 8;
+  cfg.batcher.max_delay_us = 0;
+  serve::ScoreServer server(
+      cfg, [gate] { return std::make_unique<GatedScorer>(gate); });
+  server.start();
+
+  // Raw socket: ScoreClient has no half-close surface.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, cfg.unix_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  serve::Frame frame;
+  ASSERT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kOk);
+  ASSERT_EQ(frame.type, serve::FrameType::kHello);
+
+  const std::vector<float> x = sample_for(21);
+  std::vector<char> payload;
+  serve::put_u64(payload, 7);
+  serve::put_f32(payload, x);
+  ASSERT_TRUE(serve::write_frame(fd, serve::FrameType::kScoreRequest,
+                                 {payload.data(), payload.size()}));
+  while (gate->entered.load() == 0) std::this_thread::yield();
+
+  // Half-close with the request parked inside the scorer: the server's
+  // reader sees EOF now, long before the response exists.
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  std::this_thread::sleep_for(50ms);  // let the reader observe EOF, exit
+  gate->release();
+
+  // The in-flight response must still arrive on this connection...
+  ASSERT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kOk);
+  EXPECT_EQ(frame.type, serve::FrameType::kScoreOk);
+  ASSERT_EQ(frame.payload.size(), 8u + kOut * sizeof(float));
+  EXPECT_EQ(serve::get_u64(frame.payload.data()), 7u);
+  float s0 = 0.0f;
+  std::memcpy(&s0, frame.payload.data() + 8, sizeof(s0));
+  EXPECT_EQ(s0, x[0]);  // GatedScorer echoes x0
+  // ...and only then does the server's side close (last Connection
+  // reference dropped with the delivered job).
+  EXPECT_EQ(serve::read_frame(fd, frame), serve::ReadStatus::kEof);
+  ::close(fd);
+
+  // The daemon keeps serving fresh connections afterwards.
+  serve::ScoreClient fresh = serve::ScoreClient::connect_unix(cfg.unix_path);
+  const std::vector<float> y = sample_for(22);
+  const std::vector<float> got = fresh.score(y);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kOut));
+  EXPECT_EQ(got[0], y[0]);
+  EXPECT_EQ(server.stats().internal_errors, 0);
+  server.stop();
+}
+
 TEST(Serve, GracefulStopDrainsEveryAdmittedRequest) {
   auto gate = std::make_shared<Gate>();
   serve::ScoreServerConfig cfg;
