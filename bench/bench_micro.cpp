@@ -23,6 +23,7 @@
 #include "sim/psf.h"
 #include "sim/sersic.h"
 #include "tensor/gemm.h"
+#include "tensor/runtime.h"
 #include "tensor/thread_pool.h"
 
 namespace sne {
@@ -328,7 +329,7 @@ void BM_BandCnnInferSessionPrecision(benchmark::State& state) {
     Tensor out;
     reference.calibrate(x, out, table);
   }
-  infer::PlanOptions options;
+  core::SessionOptions options;
   if (quantized) {
     options.precision = Precision::Int8;
     options.calibration = &table;
@@ -438,7 +439,12 @@ BENCHMARK_REGISTER_F(DatasetFixture, BatchedDifferenceRender)
 // moves.
 BENCHMARK_DEFINE_F(DatasetFixture, FluxCnnEpoch)(benchmark::State& state) {
   const bool overlap = state.range(0) != 0;
-  set_num_threads(static_cast<int>(state.range(1)));
+  // Pool width and prefetch depth are both runtime knobs now; set them
+  // together so the loaders built inside fit() latch the right depth.
+  RuntimeConfig rc = RuntimeConfig::current();
+  rc.threads = static_cast<int>(state.range(1));
+  rc.prefetch = overlap ? 1 : 0;
+  RuntimeConfig::set_current(rc);
   std::vector<std::int64_t> samples(32);
   for (std::int64_t k = 0; k < 32; ++k) samples[k] = k;
   auto items = core::enumerate_flux_pairs(*data, samples, 27.5);
@@ -462,14 +468,15 @@ BENCHMARK_DEFINE_F(DatasetFixture, FluxCnnEpoch)(benchmark::State& state) {
   tc.epochs = 1;
   tc.batch_size = 16;
   tc.shuffle_seed = 9;
-  tc.prefetch = overlap ? 1 : 0;
 
   for (auto _ : state) {
     auto history = trainer.fit(train, nullptr, tc);
     benchmark::DoNotOptimize(history.data());
   }
   state.SetItemsProcessed(state.iterations() * train.size());
-  set_num_threads(1);
+  rc.threads = 1;
+  rc.prefetch = 1;
+  RuntimeConfig::set_current(rc);
 }
 BENCHMARK_REGISTER_F(DatasetFixture, FluxCnnEpoch)
     ->UseRealTime()
@@ -547,7 +554,6 @@ BENCHMARK_DEFINE_F(DatasetFixture, FluxCnnEpochObsOverhead)
   tc.epochs = 1;
   tc.batch_size = 16;
   tc.shuffle_seed = 9;
-  tc.prefetch = 1;
 
   if (traced) obs::enable();
   for (auto _ : state) {

@@ -87,8 +87,9 @@ int main() {
   double singles_rps = 0.0;
   double batched_rps = 0.0;
   {
-    serve::ScoreServer server(
-        cfg, [plan] { return serve::make_scorer(plan); });
+    serve::ScorerSpec spec;
+    spec.plan = plan;
+    serve::ScoreServer server(cfg, std::move(spec));
     server.start();
     serve::ServerStats stats;
     singles_rps = run_scenario(cfg.unix_path, requests, 1, &stats, server);
@@ -99,8 +100,9 @@ int main() {
                 stats.p99_ms);
   }
   {
-    serve::ScoreServer server(
-        cfg, [plan] { return serve::make_scorer(plan); });
+    serve::ScorerSpec spec;
+    spec.plan = plan;
+    serve::ScoreServer server(cfg, std::move(spec));
     server.start();
     serve::ServerStats stats;
     batched_rps =

@@ -1,0 +1,155 @@
+// bench_stream — whole-night alert-stream throughput: BM_JointAll
+// (no per-alert tiers: every candidate completes the gate and the joint
+// image→type model scores the entire night) vs BM_Cascade (the trained
+// tier-1 real/bogus CNN rejects the bogus-dominated alert stream first,
+// so the joint model only sees the few surviving candidates). Both arms
+// pull the identical NightStream — same pool, same arrival schedule,
+// same alerts — so the stamps/second ratio is purely the cascade win,
+// pinned in BENCH_STREAM.json.
+//
+// The night is synthesized streaming (pool-cached renders, per-alert
+// bogus injection), never materialized: the bench also reports the
+// process peak RSS next to what materializing the night up front would
+// cost, which grows with SNE_STREAM_CANDIDATES while the RSS does not.
+//
+// Scale knobs: SNE_STREAM_CANDIDATES (night length), SNE_STREAM_POOL
+// (rendered candidate pool), SNE_STREAM_FIELD, SNE_STREAM_BATCH.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/joint_model.h"
+#include "sim/dataset_builder.h"
+#include "stream/cascade.h"
+#include "stream/night.h"
+#include "stream/tier1.h"
+#include "tensor/env.h"
+#include "tensor/rng.h"
+
+using namespace sne;
+
+namespace {
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+struct ArmResult {
+  double stamps_per_s = 0.0;
+  std::int64_t joint_in = 0;      ///< candidates the joint tier scored
+  std::int64_t joint_passed = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::int64_t candidates = env::int64("STREAM_CANDIDATES", 2048);
+  const std::int64_t pool = env::int64("STREAM_POOL", 48);
+  const std::int64_t field = env::int64("STREAM_FIELD", 32);
+  const std::int64_t batch = env::int64("STREAM_BATCH", 64);
+  constexpr std::int64_t kStamp = 36;
+  constexpr std::int64_t kCrop = 21;
+
+  sim::SnDataset::Config dcfg;
+  dcfg.num_samples = 24;
+  dcfg.seed = 9;
+  dcfg.catalog.count = 150;
+  const sim::SnDataset data = sim::SnDataset::build(dcfg);
+  std::vector<std::int64_t> samples(static_cast<std::size_t>(data.size()));
+  for (std::int64_t i = 0; i < data.size(); ++i) {
+    samples[static_cast<std::size_t>(i)] = i;
+  }
+
+  // Tier 1 trained for real (bright-epoch SN) vs bogus (injected
+  // artifact); the joint model is seeded untrained — its per-candidate
+  // cost, which is what the bench measures, does not depend on weights.
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const auto tier1 = stream::train_tier1(data, samples, t1cfg);
+  Rng rng(7);
+  core::JointModelConfig jcfg;
+  jcfg.cnn.input_size = kStamp;
+  const core::JointModel joint(jcfg, rng);
+
+  stream::NightConfig ncfg;
+  ncfg.candidates = candidates;
+  ncfg.pool = pool;
+  ncfg.field = field;
+  ncfg.batch = batch;
+  ncfg.stamp = kStamp;
+  ncfg.crop = kCrop;
+  // Survey-realistic alert stream: transients are the rare class; the
+  // cascade's whole job is shielding the joint model from the rest.
+  ncfg.real_fraction = 0.02;
+  ncfg.seed = 2026;
+  stream::NightStream night(data, samples, ncfg);
+
+  std::printf("bench_stream: %lld candidates (%lld alerts), pool %lld, "
+              "field %lld, batch %lld, stamp %lld, crop %lld\n\n",
+              static_cast<long long>(candidates),
+              static_cast<long long>(night.total_alerts()),
+              static_cast<long long>(pool), static_cast<long long>(field),
+              static_cast<long long>(batch), static_cast<long long>(kStamp),
+              static_cast<long long>(kCrop));
+
+  // Warm pass (untimed): renders the candidate pool once; reset() keeps
+  // it, so both timed arms replay the same cached imagery.
+  {
+    stream::AlertBatch chunk;
+    while (night.next(chunk)) {
+    }
+  }
+
+  const auto t1plan = stream::compile_tier1_plan(*tier1);
+  const auto run_arm = [&](bool with_tier1) {
+    night.reset();
+    stream::CascadeConfig cfg;
+    if (with_tier1) {
+      cfg.stages.push_back(stream::CascadeStage{
+          "tier1", t1plan, stream::AlertInput::Tier1, 0.0f, false});
+    }
+    cfg.joint = [&] { return core::make_session(joint); };
+    cfg.max_pending = 4 * field;
+    const auto t0 = std::chrono::steady_clock::now();
+    const stream::FilterCascade cascade = stream::run_night(night, cfg);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    ArmResult result;
+    result.stamps_per_s =
+        static_cast<double>(night.total_alerts()) / dt.count();
+    const eval::CascadeTierCounts& joint_tier = cascade.counts().tiers.back();
+    result.joint_in = joint_tier.in;
+    result.joint_passed = joint_tier.passed;
+    return result;
+  };
+
+  const ArmResult baseline = run_arm(false);
+  std::printf("BM_JointAll   %9.0f stamps/s   joint scored %lld/%lld "
+              "candidates\n",
+              baseline.stamps_per_s, static_cast<long long>(baseline.joint_in),
+              static_cast<long long>(candidates));
+  const ArmResult cascade = run_arm(true);
+  std::printf("BM_Cascade    %9.0f stamps/s   joint scored %lld/%lld "
+              "candidates\n",
+              cascade.stamps_per_s, static_cast<long long>(cascade.joint_in),
+              static_cast<long long>(candidates));
+
+  // Memory: what a materialize-then-score night would hold vs what the
+  // streaming pipeline actually held (pool + in-flight batches).
+  const double night_mb =
+      static_cast<double>(night.total_alerts()) *
+      static_cast<double>(kCrop * kCrop + 2 * kStamp * kStamp +
+                          stream::meta::kColumns) *
+      static_cast<double>(sizeof(float)) / (1024.0 * 1024.0);
+  std::printf("\ncascade/joint-all speedup: %.2fx\n",
+              cascade.stamps_per_s / baseline.stamps_per_s);
+  std::printf("peak RSS %.1f MB (materialized night would be %.1f MB of "
+              "alerts alone)\n",
+              peak_rss_mb(), night_mb);
+  return 0;
+}

@@ -18,11 +18,6 @@ struct JointBenchConfig {
   std::int64_t classifier_epochs = 30;
   std::int64_t joint_epochs = 4;
   std::int64_t epoch_subset = 0;  ///< which single-epoch subset feeds it
-  /// DataLoader prefetch depth for every training stage (0 disables the
-  /// render/train overlap; statistics are identical at any depth).
-  /// Negative (the default) defers to RuntimeConfig::current().prefetch,
-  /// which already honours SNE_PREFETCH — no per-bench env hook needed.
-  std::int64_t prefetch = -1;
   std::uint64_t seed = 600;
 };
 
@@ -61,7 +56,6 @@ inline std::unique_ptr<core::BandCnn> pretrain_cnn(
   tc.epochs = cfg.pretrain_epochs;
   tc.batch_size = 16;
   tc.shuffle_seed = cfg.seed + 1;
-  tc.prefetch = cfg.prefetch;
   trainer.fit(pairs, nullptr, tc);
   // Photometric zero-point calibration: a systematic magnitude offset in
   // the pre-trained CNN would shift every feature the transplanted
@@ -94,7 +88,6 @@ inline std::unique_ptr<core::LcClassifier> pretrain_classifier(
   tc.epochs = cfg.classifier_epochs;
   tc.batch_size = 64;
   tc.shuffle_seed = cfg.seed + 3;
-  tc.prefetch = cfg.prefetch;
   trainer.fit(train, nullptr, tc);
   return clf_ptr;
 }
@@ -116,7 +109,6 @@ inline std::vector<nn::EpochStats> train_joint(
   tc.batch_size = 16;
   tc.grad_clip = 5.0f;
   tc.shuffle_seed = cfg.seed + 4;
-  tc.prefetch = cfg.prefetch;
   return trainer.fit(train, &val, tc);
 }
 

@@ -1,31 +1,10 @@
 #include "core/inference.h"
 
+#include <stdexcept>
+
 #include "astro/bands.h"
 
 namespace sne::core {
-
-std::shared_ptr<const infer::InferencePlan> compile_plan(
-    const BandCnn& cnn, infer::PlanOptions options) {
-  const std::int64_t s = cnn.config().input_size;
-  return std::make_shared<const infer::InferencePlan>(cnn.net(),
-                                                      Shape{2, s, s}, options);
-}
-
-std::shared_ptr<const infer::InferencePlan> compile_plan(
-    const LcClassifier& classifier, infer::PlanOptions options) {
-  return std::make_shared<const infer::InferencePlan>(
-      classifier.net(), Shape{classifier.config().input_dim}, options);
-}
-
-infer::InferenceSession make_session(const BandCnn& cnn,
-                                     infer::PlanOptions options) {
-  return infer::InferenceSession(compile_plan(cnn, options));
-}
-
-infer::InferenceSession make_session(const LcClassifier& classifier,
-                                     infer::PlanOptions options) {
-  return infer::InferenceSession(compile_plan(classifier, options));
-}
 
 namespace {
 
@@ -38,12 +17,82 @@ infer::JointGlue joint_glue(const JointModel& joint) {
   return glue;
 }
 
+// Shared validation of the calibration/precision pairing for the
+// single-net factories (which must not receive the joint table).
+void check_single_net(const SessionOptions& options) {
+  if (options.joint_calibration != nullptr) {
+    throw std::invalid_argument(
+        "SessionOptions: joint_calibration is only meaningful for the "
+        "JointModel factory; single-net factories take `calibration`");
+  }
+  if (options.precision == Precision::Int8 && options.calibration == nullptr) {
+    throw std::invalid_argument(
+        "SessionOptions: Int8 requires a calibration table "
+        "(record one via InferenceSession::calibrate)");
+  }
+}
+
 }  // namespace
 
+infer::PlanOptions plan_options(const SessionOptions& options) {
+  check_single_net(options);
+  infer::PlanOptions plan;
+  plan.fold_batchnorm = options.fold_batchnorm;
+  plan.fuse_prelu = options.fuse_prelu;
+  plan.precision = options.precision;
+  plan.calibration = options.calibration;
+  return plan;
+}
+
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const BandCnn& cnn, const SessionOptions& options) {
+  const std::int64_t s = cnn.config().input_size;
+  return std::make_shared<const infer::InferencePlan>(
+      cnn.net(), Shape{2, s, s}, plan_options(options));
+}
+
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const LcClassifier& classifier, const SessionOptions& options) {
+  return std::make_shared<const infer::InferencePlan>(
+      classifier.net(), Shape{classifier.config().input_dim},
+      plan_options(options));
+}
+
+infer::InferenceSession make_session(const BandCnn& cnn,
+                                     const SessionOptions& options) {
+  return infer::InferenceSession(compile_plan(cnn, options));
+}
+
+infer::InferenceSession make_session(const LcClassifier& classifier,
+                                     const SessionOptions& options) {
+  return infer::InferenceSession(compile_plan(classifier, options));
+}
+
 infer::JointSession make_session(const JointModel& joint,
-                                 infer::PlanOptions options) {
-  return infer::JointSession(make_session(joint.band_cnn(), options),
-                             make_session(joint.classifier(), options),
+                                 const SessionOptions& options) {
+  if (options.calibration != nullptr) {
+    throw std::invalid_argument(
+        "SessionOptions: the JointModel factory takes `joint_calibration`, "
+        "not the single-net `calibration` table");
+  }
+  SessionOptions sub = options;
+  sub.joint_calibration = nullptr;
+  if (options.precision == Precision::Int8) {
+    if (options.joint_calibration == nullptr) {
+      throw std::invalid_argument(
+          "SessionOptions: Int8 joint session requires joint_calibration "
+          "(record one via core::calibrate)");
+    }
+    SessionOptions cnn_options = sub;
+    cnn_options.calibration = &options.joint_calibration->cnn;
+    SessionOptions clf_options = sub;
+    clf_options.calibration = &options.joint_calibration->classifier;
+    return infer::JointSession(make_session(joint.band_cnn(), cnn_options),
+                               make_session(joint.classifier(), clf_options),
+                               joint_glue(joint));
+  }
+  return infer::JointSession(make_session(joint.band_cnn(), sub),
+                             make_session(joint.classifier(), sub),
                              joint_glue(joint));
 }
 
@@ -60,17 +109,55 @@ infer::JointCalibration calibrate(const JointModel& joint,
   return table;
 }
 
+// ---- deprecated forwards --------------------------------------------
+
+namespace {
+
+// PlanOptions → SessionOptions, for the legacy overloads below.
+SessionOptions from_plan_options(const infer::PlanOptions& options) {
+  SessionOptions so;
+  so.precision = options.precision;
+  so.fold_batchnorm = options.fold_batchnorm;
+  so.fuse_prelu = options.fuse_prelu;
+  so.calibration = options.calibration;
+  return so;
+}
+
+}  // namespace
+
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const BandCnn& cnn, infer::PlanOptions options) {
+  return compile_plan(cnn, from_plan_options(options));
+}
+
+std::shared_ptr<const infer::InferencePlan> compile_plan(
+    const LcClassifier& classifier, infer::PlanOptions options) {
+  return compile_plan(classifier, from_plan_options(options));
+}
+
+infer::InferenceSession make_session(const BandCnn& cnn,
+                                     infer::PlanOptions options) {
+  return make_session(cnn, from_plan_options(options));
+}
+
+infer::InferenceSession make_session(const LcClassifier& classifier,
+                                     infer::PlanOptions options) {
+  return make_session(classifier, from_plan_options(options));
+}
+
+infer::JointSession make_session(const JointModel& joint,
+                                 infer::PlanOptions options) {
+  return make_session(joint, from_plan_options(options));
+}
+
 infer::JointSession make_session(const JointModel& joint,
                                  const infer::JointCalibration& calibration,
                                  infer::PlanOptions options) {
-  options.precision = Precision::Int8;
-  infer::PlanOptions cnn_options = options;
-  cnn_options.calibration = &calibration.cnn;
-  infer::PlanOptions clf_options = options;
-  clf_options.calibration = &calibration.classifier;
-  return infer::JointSession(make_session(joint.band_cnn(), cnn_options),
-                             make_session(joint.classifier(), clf_options),
-                             joint_glue(joint));
+  SessionOptions so = from_plan_options(options);
+  so.precision = Precision::Int8;
+  so.calibration = nullptr;
+  so.joint_calibration = &calibration;
+  return make_session(joint, so);
 }
 
 }  // namespace sne::core

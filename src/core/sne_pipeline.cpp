@@ -79,7 +79,6 @@ SnePipelineReport SnePipeline::train(
     tc.epochs = config_.flux_epochs;
     tc.batch_size = 16;
     tc.shuffle_seed = config_.seed + 2;
-    tc.prefetch = config_.prefetch;
     tc.on_epoch = stage_sink(config_, "flux");
     report.flux_history = trainer.fit(pairs, nullptr, tc);
     // Photometric zero-point calibration (see calibrate_flux_zero_point).
@@ -113,7 +112,6 @@ SnePipelineReport SnePipeline::train(
     tc.epochs = config_.classifier_epochs;
     tc.batch_size = 64;
     tc.shuffle_seed = config_.seed + 4;
-    tc.prefetch = config_.prefetch;
     tc.on_epoch = stage_sink(config_, "classifier");
     report.classifier_history =
         trainer.fit(train, val ? &*val : nullptr, tc);
@@ -138,7 +136,6 @@ SnePipelineReport SnePipeline::train(
     tc.batch_size = 16;
     tc.grad_clip = 5.0f;
     tc.shuffle_seed = config_.seed + 5;
-    tc.prefetch = config_.prefetch;
     tc.on_epoch = stage_sink(config_, "joint");
     report.joint_history = trainer.fit(train, val ? &*val : nullptr, tc);
   }
@@ -153,19 +150,20 @@ SnePipelineReport SnePipeline::train(
 
 infer::JointSession& SnePipeline::scorer() const {
   if (!scorer_) {
+    SessionOptions options;
     if (precision() == Precision::Int8) {
-      scorer_ =
-          std::make_unique<infer::JointSession>(make_session(*joint_, calib_));
-    } else {
-      scorer_ = std::make_unique<infer::JointSession>(make_session(*joint_));
+      options.precision = Precision::Int8;
+      options.joint_calibration = &calib_;
     }
+    scorer_ =
+        std::make_unique<infer::JointSession>(make_session(*joint_, options));
   }
   return *scorer_;
 }
 
 infer::InferenceSession& SnePipeline::mag_session() const {
   if (!mag_session_) {
-    infer::PlanOptions options;
+    SessionOptions options;
     if (precision() == Precision::Int8) {
       options.precision = Precision::Int8;
       options.calibration = &calib_.cnn;
@@ -293,7 +291,7 @@ constexpr const char* kCalibNames[4] = {
 QTensorMap recompute_quantized(const JointModel& joint,
                                const infer::JointCalibration& calib) {
   QTensorMap out;
-  infer::PlanOptions options;
+  SessionOptions options;
   options.precision = Precision::Int8;
   options.calibration = &calib.cnn;
   compile_plan(joint.band_cnn(), options)

@@ -32,13 +32,6 @@ struct SnePipelineConfig {
   float flux_lr = 2e-3f;
   float classifier_lr = 3e-3f;
   float joint_lr = 3e-4f;
-  /// DataLoader prefetch depth used by every training stage: stamps for
-  /// batch k+1 render on background workers while batch k trains.
-  /// Statistics are bitwise identical at any depth; 0 disables overlap.
-  /// Negative (the default) defers to sne::RuntimeConfig::current()
-  /// .prefetch — this field survives only as a deprecated per-pipeline
-  /// override.
-  std::int64_t prefetch = -1;
   std::uint64_t seed = 1;
   /// Stage progress sink: called after every epoch of every training
   /// stage with the stage name ("flux" / "classifier" / "joint") and

@@ -1,0 +1,66 @@
+#include "eval/cascade.h"
+
+#include <cstdio>
+
+namespace sne::eval {
+
+namespace {
+
+double ratio(std::int64_t num, std::int64_t den) {
+  return den == 0 ? 1.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+CascadeTierReport tier_report(const CascadeTierCounts& c) {
+  CascadeTierReport r;
+  r.name = c.name;
+  r.in = c.in;
+  r.passed = c.passed;
+  r.recall = ratio(c.positives_passed, c.positives_in);
+  const std::int64_t negatives_in = c.in - c.positives_in;
+  const std::int64_t negatives_passed = c.passed - c.positives_passed;
+  r.rejection = ratio(negatives_in - negatives_passed, negatives_in);
+  r.purity = ratio(c.positives_passed, c.passed);
+  return r;
+}
+
+void append_row(std::string& out, const CascadeTierReport& r) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  %-12s %10lld %10lld   %6.4f  %6.4f  %6.4f\n",
+                r.name.c_str(), static_cast<long long>(r.in),
+                static_cast<long long>(r.passed), r.recall, r.rejection,
+                r.purity);
+  out += line;
+}
+
+}  // namespace
+
+CascadeReport cascade_report(const CascadeCounts& counts) {
+  CascadeReport report;
+  report.tiers.reserve(counts.tiers.size());
+  for (const CascadeTierCounts& tier : counts.tiers) {
+    report.tiers.push_back(tier_report(tier));
+  }
+  report.end_to_end = tier_report(counts.end_to_end);
+  report.evicted = counts.evicted;
+  report.incomplete = counts.incomplete;
+  return report;
+}
+
+std::string CascadeReport::to_string() const {
+  std::string out =
+      "  tier                 in     passed   recall  reject  purity\n";
+  for (const CascadeTierReport& tier : tiers) append_row(out, tier);
+  append_row(out, end_to_end);
+  if (evicted != 0 || incomplete != 0) {
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "  gate: %lld evicted, %lld incomplete\n",
+                  static_cast<long long>(evicted),
+                  static_cast<long long>(incomplete));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sne::eval

@@ -1,0 +1,70 @@
+// cascade.h — accounting for the alert-stream filter cascade
+// (src/stream). Each tier of a cascade is a binary filter over the
+// alerts (or candidates) that reach it; the quantities a survey cares
+// about are per-tier and end-to-end:
+//
+//   recall    = positives passed / positives in   (kept what we wanted)
+//   rejection = negatives cut / negatives in      (killed what we didn't)
+//   purity    = positives passed / all passed     (what survivors look like)
+//
+// The counts are plain integers filled by stream::FilterCascade (or by
+// hand in tests); cascade_report() derives the rates. "Positive" is
+// tier-relative: for a real/bogus tier it means a real transient, for
+// the final typing tier it means a genuine SNIa.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sne::eval {
+
+/// Raw per-tier tallies. `in` counts what reached the tier, `passed`
+/// what it forwarded; the `positives_*` pair tracks the tier's own
+/// ground-truth positive class through the same gate.
+struct CascadeTierCounts {
+  std::string name;
+  std::int64_t in = 0;
+  std::int64_t passed = 0;
+  std::int64_t positives_in = 0;
+  std::int64_t positives_passed = 0;
+};
+
+/// Everything a cascade run tallies: one entry per tier in cascade
+/// order, candidate-level end-to-end counts, and the gate's losses
+/// (candidates evicted under memory pressure or left incomplete when
+/// the night ended).
+struct CascadeCounts {
+  std::vector<CascadeTierCounts> tiers;
+  CascadeTierCounts end_to_end;
+  std::int64_t evicted = 0;
+  std::int64_t incomplete = 0;
+};
+
+/// Derived rates of one tier. Empty denominators read as vacuously
+/// perfect (1.0): a tier that saw no positives missed none, a tier
+/// that saw no negatives rejected them all, an empty survivor set is
+/// pure.
+struct CascadeTierReport {
+  std::string name;
+  std::int64_t in = 0;
+  std::int64_t passed = 0;
+  double recall = 1.0;
+  double rejection = 1.0;
+  double purity = 1.0;
+};
+
+struct CascadeReport {
+  std::vector<CascadeTierReport> tiers;
+  CascadeTierReport end_to_end;
+  std::int64_t evicted = 0;
+  std::int64_t incomplete = 0;
+
+  std::string to_string() const;  ///< aligned per-tier table
+};
+
+/// Derives the rates from raw counts (see CascadeTierReport for the
+/// empty-denominator convention).
+CascadeReport cascade_report(const CascadeCounts& counts);
+
+}  // namespace sne::eval

@@ -1,0 +1,172 @@
+// batch_pipeline.h — the bounded producer/consumer engine behind every
+// streaming batch source in the repo. A BatchPipeline pulls batches out
+// of a producer callback and hands them to one consumer in exactly the
+// order the producer yields them:
+//
+//   * depth == 0 — synchronous: next() invokes the producer on the
+//     calling thread, writing straight into the caller's batch (steady
+//     state reuses its capacity, so nothing allocates).
+//   * depth > 0 — one background thread runs the producer up to `depth`
+//     batches ahead of consumption, parked on a bounded queue.
+//
+// Determinism contract: the pipeline never reorders, drops, or
+// duplicates batches, so the consumer sees the producer's serial
+// sequence at any depth — the property DataLoader and stream::NightStream
+// build their bitwise-invariance guarantees on.
+//
+// Telemetry (all names derived from the `prefix` given at construction,
+// e.g. "loader" or "stream"):
+//   <prefix>.render          span around each producer call
+//   <prefix>.prefetch_stall  span while the producer waits on a full queue
+//   <prefix>.batches         counter of produced batches
+//   <prefix>.prefetch_stalls counter of full-queue waits
+//   <prefix>.queue_depth     gauge of queue occupancy after each push/pop
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace sne::nn {
+
+template <typename Batch>
+class BatchPipeline {
+ public:
+  /// Fills `out` with the next batch; returns false when the stream is
+  /// exhausted (leaving `out` untouched). Called from one thread at a
+  /// time: the consumer thread at depth 0, the worker otherwise. May
+  /// throw — the exception surfaces from the consumer's next() call.
+  using Producer = std::function<bool(Batch&)>;
+
+  BatchPipeline(Producer produce, std::int64_t depth, std::string_view prefix)
+      : produce_(std::move(produce)),
+        depth_(depth > 0 ? static_cast<std::size_t>(depth) : 0),
+        render_name_(obs::intern(std::string(prefix) + ".render")),
+        stall_name_(obs::intern(std::string(prefix) + ".prefetch_stall")),
+        batches_(obs::counter(std::string(prefix) + ".batches")),
+        stalls_(obs::counter(std::string(prefix) + ".prefetch_stalls")),
+        queue_gauge_(obs::gauge(std::string(prefix) + ".queue_depth")) {
+    if (depth_ > 0) worker_ = std::thread([this] { run(); });
+  }
+
+  ~BatchPipeline() { stop(); }
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  /// Moves the next batch into `out`; false once the producer finished.
+  /// Rethrows any producer exception (after in-order delivery of the
+  /// batches produced before it).
+  bool next(Batch& out) {
+    if (depth_ == 0) return next_sync(out);
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || done_; });
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      queue_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+      not_full_.notify_one();
+      return true;
+    }
+    if (error_) std::rethrow_exception(error_);
+    return false;
+  }
+
+ private:
+  bool next_sync(Batch& out) {
+    if (finished_) return false;
+    bool more = false;
+    {
+      obs::Span span(render_name_, produced_);
+      more = produce_(out);
+    }
+    if (!more) {
+      finished_ = true;
+      return false;
+    }
+    batches_.add(1);
+    ++produced_;
+    return true;
+  }
+
+  void run() {
+    try {
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (queue_.size() >= depth_ && !cancel_) {
+            // Queue full: production is ahead of consumption; stall until
+            // the consumer drains a batch (or the pipeline is torn down).
+            stalls_.add(1);
+            obs::Span stall(stall_name_);
+            not_full_.wait(lock,
+                           [&] { return cancel_ || queue_.size() < depth_; });
+          }
+          if (cancel_) break;
+        }
+        Batch batch;
+        bool more = false;
+        {
+          obs::Span span(render_name_, produced_);
+          more = produce_(batch);
+        }
+        if (!more) break;
+        batches_.add(1);
+        ++produced_;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (cancel_) break;
+          queue_.push_back(std::move(batch));
+          queue_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+        }
+        not_empty_.notify_one();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancel_ = true;
+    }
+    not_full_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  Producer produce_;
+  std::size_t depth_;
+  const char* render_name_;
+  const char* stall_name_;
+  obs::Counter& batches_;
+  obs::Counter& stalls_;
+  obs::Gauge& queue_gauge_;
+
+  std::int64_t produced_ = 0;  ///< render-span batch index
+  bool finished_ = false;      ///< synchronous path's end-of-stream latch
+
+  std::thread worker_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;   // producer waits for queue space
+  std::condition_variable not_empty_;  // consumer waits for a batch
+  std::deque<Batch> queue_;
+  bool done_ = false;
+  bool cancel_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace sne::nn

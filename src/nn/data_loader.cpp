@@ -1,155 +1,22 @@
 #include "nn/data_loader.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
-#include <utility>
 
-#include "obs/obs.h"
 #include "tensor/runtime.h"
 
 namespace sne::nn {
 
-namespace {
-
-// Loader telemetry. Batches rendered, queue occupancy after each
-// producer push (max = how full the prefetch buffer actually runs), and
-// stalls (producer found the queue full and had to wait — the training
-// thread is the bottleneck; consumer-side waits show up as the
-// caller's data-wait span instead).
-obs::Counter& batches_counter() {
-  static obs::Counter& c = obs::counter("loader.batches");
-  return c;
-}
-
-obs::Counter& stall_counter() {
-  static obs::Counter& c = obs::counter("loader.prefetch_stalls");
-  return c;
-}
-
-obs::Gauge& queue_gauge() {
-  static obs::Gauge& g = obs::gauge("loader.queue_depth");
-  return g;
-}
-
-}  // namespace
-
-// Background batch renderer: one worker thread walks the epoch order and
-// pushes finished batches into a bounded queue (capacity = prefetch
-// depth). The queue preserves submission order, so the consumer sees
-// exactly the serial batch sequence regardless of depth. Rendering
-// happens outside the queue lock; a dataset with a parallel get_batch
-// fans each batch across the shared pool from here, interleaving pool
-// jobs with whatever the training thread is running.
-struct DataLoader::Prefetcher {
-  Prefetcher(const Dataset& data, const std::vector<std::int64_t>& order,
-             std::int64_t batch_size, std::int64_t depth)
-      : data_(&data),
-        order_(&order),
-        batch_size_(static_cast<std::size_t>(batch_size)),
-        depth_(static_cast<std::size_t>(depth)) {
-    worker_ = std::thread([this] { run(); });
-  }
-
-  ~Prefetcher() { stop(); }
-
-  bool pop(Sample& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !queue_.empty() || done_; });
-    if (!queue_.empty()) {
-      out = std::move(queue_.front());
-      queue_.pop_front();
-      queue_gauge().set(static_cast<std::int64_t>(queue_.size()));
-      not_full_.notify_one();
-      return true;
-    }
-    if (error_) std::rethrow_exception(error_);
-    return false;
-  }
-
-  void stop() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      cancel_ = true;
-    }
-    not_full_.notify_all();
-    if (worker_.joinable()) worker_.join();
-  }
-
- private:
-  void run() {
-    try {
-      for (std::size_t first = 0; first < order_->size();
-           first += batch_size_) {
-        {
-          std::unique_lock<std::mutex> lock(mutex_);
-          if (queue_.size() >= depth_ && !cancel_) {
-            // Queue full: rendering is ahead of consumption, the
-            // producer stalls until the training thread drains a batch.
-            stall_counter().add(1);
-            obs::Span stall("loader.prefetch_stall");
-            not_full_.wait(lock,
-                           [&] { return cancel_ || queue_.size() < depth_; });
-          }
-          if (cancel_) break;
-        }
-        const std::size_t count =
-            std::min(batch_size_, order_->size() - first);
-        Sample batch;
-        {
-          obs::Span span("loader.render",
-                         static_cast<std::int64_t>(first / batch_size_));
-          batch = data_->get_batch(*order_, first, count);
-        }
-        batches_counter().add(1);
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          if (cancel_) break;
-          queue_.push_back(std::move(batch));
-          queue_gauge().set(static_cast<std::int64_t>(queue_.size()));
-        }
-        not_empty_.notify_one();
-      }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      error_ = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      done_ = true;
-    }
-    not_empty_.notify_all();
-  }
-
-  const Dataset* data_;
-  const std::vector<std::int64_t>* order_;
-  std::size_t batch_size_;
-  std::size_t depth_;
-
-  std::thread worker_;
-  std::mutex mutex_;
-  std::condition_variable not_full_;   // producer waits for queue space
-  std::condition_variable not_empty_;  // consumer waits for a batch
-  std::deque<Sample> queue_;
-  bool done_ = false;
-  bool cancel_ = false;
-  std::exception_ptr error_;
-};
-
 DataLoader::DataLoader(const Dataset& data, DataLoaderConfig config)
     : data_(&data),
       config_(config),
+      prefetch_(RuntimeConfig::current().prefetch),
       shuffle_rng_(config.shuffle_seed),
       n_(data.size()) {
   if (config_.batch_size <= 0) {
     throw std::invalid_argument("DataLoader: batch_size must be positive");
   }
-  // Negative = unset: resolve through the process-wide runtime config.
-  config_.prefetch = RuntimeConfig::resolve_prefetch(config_.prefetch);
+  if (prefetch_ < 0) prefetch_ = 1;
   if (n_ <= 0) {
     throw std::invalid_argument("DataLoader: empty dataset");
   }
@@ -162,7 +29,7 @@ std::int64_t DataLoader::num_batches() const noexcept {
 }
 
 void DataLoader::start_epoch() {
-  prefetcher_.reset();  // joins the previous epoch's worker, if any
+  pipeline_.reset();  // joins the previous epoch's worker, if any
   if (order_.empty()) {
     order_.resize(static_cast<std::size_t>(n_));
     for (std::size_t i = 0; i < order_.size(); ++i) {
@@ -177,59 +44,46 @@ void DataLoader::start_epoch() {
       order_[i] = static_cast<std::int64_t>(perm[i]);
     }
   }
-  cursor_ = 0;
   epoch_active_ = true;
-  if (config_.prefetch > 0) {
-    prefetcher_ = std::make_unique<Prefetcher>(*data_, order_,
-                                               config_.batch_size,
-                                               config_.prefetch);
-  }
+  // The producer walks the epoch order start to end. Writing into the
+  // pipeline-supplied batch (the caller's own, at depth 0) reuses its
+  // capacity — steady-state epochs over in-memory or snapshot datasets
+  // allocate nothing on the synchronous path.
+  pipeline_ = std::make_unique<BatchPipeline<Sample>>(
+      [this, first = std::size_t{0}](Sample& out) mutable {
+        if (first >= order_.size()) return false;
+        const std::size_t count =
+            std::min(static_cast<std::size_t>(config_.batch_size),
+                     order_.size() - first);
+        data_->get_batch_into(order_, first, count, out);
+        first += count;
+        return true;
+      },
+      prefetch_, "loader");
 }
 
 bool DataLoader::next(Sample& batch) {
   if (!epoch_active_) {
     throw std::logic_error("DataLoader::next: no active epoch");
   }
-  if (prefetcher_) {
-    // A producer-side exception surfaces here (pop rethrows it once the
-    // queue is drained). The epoch must close cleanly either way: leaving
-    // prefetcher_/epoch_active_ set after a throw would make the next
-    // next() call rethrow a stale error — or worse, report an active
-    // epoch that has no live producer.
-    bool more = false;
-    try {
-      more = prefetcher_->pop(batch);
-    } catch (...) {
-      prefetcher_.reset();
-      epoch_active_ = false;
-      throw;
-    }
-    if (more) return true;
-    prefetcher_.reset();
+  // A renderer exception surfaces here (the pipeline rethrows it once
+  // prior batches are delivered). The epoch must close cleanly either
+  // way: leaving pipeline_/epoch_active_ set after a throw would make
+  // the next next() call rethrow a stale error — or worse, report an
+  // active epoch that has no live producer.
+  bool more = false;
+  try {
+    more = pipeline_->next(batch);
+  } catch (...) {
+    pipeline_.reset();
     epoch_active_ = false;
-    return false;
+    throw;
   }
-  if (cursor_ >= order_.size()) {
+  if (!more) {
+    pipeline_.reset();
     epoch_active_ = false;
-    return false;
   }
-  const std::size_t count =
-      std::min(static_cast<std::size_t>(config_.batch_size),
-               order_.size() - cursor_);
-  {
-    // Synchronous path: rendering happens on the consumer thread, so
-    // the whole batch synthesis is visible as loader.render here.
-    // Writing into the caller's batch (instead of returning a fresh
-    // Sample) reuses its capacity — steady-state epochs over in-memory
-    // or snapshot datasets allocate nothing.
-    obs::Span span("loader.render",
-                   static_cast<std::int64_t>(
-                       cursor_ / static_cast<std::size_t>(config_.batch_size)));
-    data_->get_batch_into(order_, cursor_, count, batch);
-  }
-  batches_counter().add(1);
-  cursor_ += count;
-  return true;
+  return more;
 }
 
 }  // namespace sne::nn

@@ -1,8 +1,8 @@
 // data_loader.h — batch-native sample delivery for the training loop.
 // A DataLoader owns epoch shuffling and batch assembly over a Dataset,
-// and (with prefetch > 0) renders batches ahead of consumption on a
-// background thread: batch k+1 is synthesized — through the dataset's
-// possibly pool-parallel get_batch — while batch k trains.
+// and (when the runtime prefetch depth is > 0) renders batches ahead of
+// consumption on a background thread: batch k+1 is synthesized — through
+// the dataset's possibly pool-parallel get_batch — while batch k trains.
 //
 // Determinism contract: the sequence of batches depends only on the
 // dataset, batch size, and shuffle seed. Prefetch depth and thread count
@@ -10,12 +10,18 @@
 // deterministic in i and batches are handed out in epoch order), so
 // training statistics are bitwise identical for any prefetch/thread
 // configuration — asserted by data_loader_test.cpp.
+//
+// The prefetch depth is not a per-loader knob: every loader reads
+// sne::RuntimeConfig::current().prefetch (env SNE_PREFETCH) once, at
+// construction. The queue machinery itself lives in batch_pipeline.h and
+// is shared with the alert-stream generator in src/stream.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "nn/batch_pipeline.h"
 #include "nn/dataset.h"
 #include "tensor/rng.h"
 
@@ -23,13 +29,6 @@ namespace sne::nn {
 
 struct DataLoaderConfig {
   std::int64_t batch_size = 32;
-  /// Number of batches rendered ahead of consumption on a background
-  /// thread (1 = double buffering). 0 renders synchronously on the
-  /// calling thread. Any depth yields bitwise-identical batches.
-  /// Negative (the default) defers to sne::RuntimeConfig::current()
-  /// .prefetch — the unified knob every loader consumer resolves
-  /// through; set a value >= 0 here only to pin this loader explicitly.
-  std::int64_t prefetch = -1;
   /// Reshuffle the epoch order before each start_epoch(). The shuffle
   /// stream advances exactly one permutation per epoch, so epoch k's
   /// order is independent of how (or whether) earlier epochs were read.
@@ -39,7 +38,7 @@ struct DataLoaderConfig {
 
 /// Iterates a dataset in batches, one epoch at a time:
 ///
-///   DataLoader loader(data, {.batch_size = 16, .prefetch = 1});
+///   DataLoader loader(data, {.batch_size = 16});
 ///   for (int e = 0; e < epochs; ++e) {
 ///     loader.start_epoch();
 ///     for (Sample batch; loader.next(batch);) consume(batch);
@@ -60,6 +59,10 @@ class DataLoader {
   std::int64_t num_batches() const noexcept;
   const DataLoaderConfig& config() const noexcept { return config_; }
 
+  /// Prefetch depth this loader latched from RuntimeConfig::current()
+  /// .prefetch at construction (0 = synchronous rendering).
+  std::int64_t prefetch_depth() const noexcept { return prefetch_; }
+
   /// Begins a new epoch: draws the epoch order (advancing the shuffle
   /// stream when shuffling) and, with prefetch > 0, starts rendering
   /// batches on the background thread. Abandoning an unfinished epoch
@@ -68,20 +71,19 @@ class DataLoader {
 
   /// Moves the next batch of the current epoch into `batch`; returns
   /// false when the epoch is exhausted. Rethrows any exception the
-  /// background renderer hit. Requires a start_epoch() first.
+  /// renderer hit (closing the epoch either way). Requires a
+  /// start_epoch() first.
   bool next(Sample& batch);
 
  private:
-  struct Prefetcher;
-
   const Dataset* data_;
   DataLoaderConfig config_;
+  std::int64_t prefetch_ = 0;
   Rng shuffle_rng_;
   std::int64_t n_ = 0;
   std::vector<std::int64_t> order_;
-  std::size_t cursor_ = 0;  ///< next sample offset (synchronous path)
   bool epoch_active_ = false;
-  std::unique_ptr<Prefetcher> prefetcher_;
+  std::unique_ptr<BatchPipeline<Sample>> pipeline_;
 };
 
 }  // namespace sne::nn

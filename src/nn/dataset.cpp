@@ -149,7 +149,6 @@ VectorDataset materialize(const Dataset& dataset) {
   // into per-sample rows here.
   DataLoaderConfig cfg;
   cfg.batch_size = 64;
-  cfg.prefetch = 1;
   cfg.shuffle = false;
   DataLoader loader(dataset, cfg);
   loader.start_epoch();

@@ -13,12 +13,11 @@ namespace sne::nn {
 namespace {
 
 // Loader over a dataset read start-to-end in index order (evaluation,
-// prediction): no shuffle, one batch of prefetch so rendering overlaps
-// scoring.
+// prediction): no shuffle; the runtime prefetch depth decides whether
+// rendering overlaps scoring.
 DataLoaderConfig sequential_loader_config(std::int64_t batch_size) {
   DataLoaderConfig cfg;
   cfg.batch_size = batch_size;
-  cfg.prefetch = 1;
   cfg.shuffle = false;
   return cfg;
 }
@@ -76,7 +75,6 @@ std::vector<EpochStats> Trainer::fit(const Dataset& train, const Dataset* val,
 
   DataLoaderConfig loader_cfg;
   loader_cfg.batch_size = config.batch_size;
-  loader_cfg.prefetch = config.prefetch;
   loader_cfg.shuffle = true;
   loader_cfg.shuffle_seed = config.shuffle_seed;
   DataLoader loader(train, loader_cfg);

@@ -54,11 +54,6 @@ struct TrainConfig {
   float grad_clip = 0.0f;   ///< 0 disables clipping
   float lr_decay = 1.0f;    ///< learning rate ×= lr_decay after each epoch
   std::uint64_t shuffle_seed = 1;
-  /// DataLoader prefetch depth: batches rendered ahead of the training
-  /// step on a background thread (0 = synchronous). Purely a throughput
-  /// knob — statistics are bitwise identical at any depth. Negative (the
-  /// default) defers to sne::RuntimeConfig::current().prefetch.
-  std::int64_t prefetch = -1;
   /// Called after every epoch. Null = silent (unless `verbose`, below).
   EpochSink on_epoch;
   /// Deprecated alias: verbose == true with no on_epoch sink attaches
@@ -81,7 +76,8 @@ class Trainer {
   /// Runs config.epochs passes over `train`; when `val` is non-null the
   /// model is evaluated on it (in inference mode) after every epoch.
   /// Batches come from a shuffling DataLoader (seeded by
-  /// config.shuffle_seed, prefetching config.prefetch batches ahead).
+  /// config.shuffle_seed; the prefetch depth is the process-wide
+  /// sne::RuntimeConfig::current().prefetch).
   std::vector<EpochStats> fit(const Dataset& train, const Dataset* val,
                               const TrainConfig& config);
 

@@ -1,6 +1,7 @@
 #include "serve/scorer.h"
 
 #include <numeric>
+#include <stdexcept>
 #include <utility>
 
 #include "tensor/view.h"
@@ -71,11 +72,37 @@ class JointScorer final : public Scorer {
   std::int64_t output_numel_ = 0;
 };
 
+int sources_set(const ScorerSpec& spec) {
+  return (spec.plan ? 1 : 0) + (spec.joint ? 1 : 0) + (spec.custom ? 1 : 0);
+}
+
 }  // namespace
+
+std::unique_ptr<Scorer> make_scorer(const ScorerSpec& spec) {
+  if (sources_set(spec) != 1) {
+    throw std::invalid_argument(
+        "ScorerSpec: exactly one of plan/joint/custom must be set");
+  }
+  if (spec.plan) return std::make_unique<PlanScorer>(spec.plan);
+  if (spec.joint) return std::make_unique<JointScorer>(spec.joint());
+  return spec.custom();
+}
+
+ScorerFactory scorer_factory(ScorerSpec spec) {
+  if (sources_set(spec) != 1) {
+    throw std::invalid_argument(
+        "ScorerSpec: exactly one of plan/joint/custom must be set");
+  }
+  return [spec = std::move(spec)] { return make_scorer(spec); };
+}
+
+// ---- deprecated forwards --------------------------------------------
 
 std::unique_ptr<Scorer> make_scorer(
     std::shared_ptr<const infer::InferencePlan> plan) {
-  return std::make_unique<PlanScorer>(std::move(plan));
+  ScorerSpec spec;
+  spec.plan = std::move(plan);
+  return make_scorer(spec);
 }
 
 std::unique_ptr<Scorer> make_scorer(infer::JointSession session) {

@@ -2,9 +2,13 @@
 // is generic over what model it serves: a Scorer turns a batch of
 // flat samples ([N, sample_numel]) into a batch of flat scores
 // ([N, output_numel]); the wire protocol speaks exactly those two
-// numbers (advertised in the hello frame). Adapters exist for the two
-// serving executors the repo has — a plain InferencePlan (the band CNN,
-// the classifier, any Sequential) and the two-stage JointSession.
+// numbers (advertised in the hello frame).
+//
+// Construction goes through one ScorerSpec, whatever the backend: a
+// plain InferencePlan (the band CNN, the classifier, any Sequential),
+// the two-stage JointSession, or a fully custom Scorer such as the
+// alert-stream FilterCascade adapter in src/stream. The server mints
+// one scorer per worker through scorer_factory(spec).
 //
 // A Scorer inherits InferenceSession's thread-safety contract: NOT safe
 // for concurrent run() calls, cheap to build per worker over a shared
@@ -37,15 +41,41 @@ class Scorer {
 
 using ScorerFactory = std::function<std::unique_ptr<Scorer>()>;
 
-/// Scorer over a shared InferencePlan: each flat row is reinterpreted as
-/// the plan's sample input shape (zero-copy view), scored by a private
-/// InferenceSession, and the output flattened per row.
+/// The one way to say what a server scores. Exactly one source must be
+/// set; make_scorer/scorer_factory refuse anything else. The builders
+/// (not built objects) make the spec reusable: the server invokes them
+/// once per worker.
+struct ScorerSpec {
+  /// Plan-backed: each flat row is reinterpreted as the plan's sample
+  /// input shape (zero-copy view), scored by a private
+  /// InferenceSession, and the output flattened per row. The plan is
+  /// shared across workers.
+  std::shared_ptr<const infer::InferencePlan> plan;
+  /// Joint-model-backed: builds one JointSession per worker (e.g.
+  /// [] { return core::make_session(model, options); }). The session
+  /// already consumes flat [N, bands·2·S·S + bands] rows.
+  std::function<infer::JointSession()> joint;
+  /// Escape hatch for scorers the serve library does not know about
+  /// (stream::make_cascade_scorer_spec uses this). Invoked once per
+  /// worker.
+  std::function<std::unique_ptr<Scorer>()> custom;
+};
+
+/// Builds one scorer from the spec. Throws std::invalid_argument unless
+/// exactly one of plan/joint/custom is set.
+std::unique_ptr<Scorer> make_scorer(const ScorerSpec& spec);
+
+/// The per-worker factory the ScoreServer consumes; validates the spec
+/// eagerly so a bad spec fails at configuration time, not in start().
+ScorerFactory scorer_factory(ScorerSpec spec);
+
+// ---- deprecated forwards (one release; see docs/API.md) -------------
+
+[[deprecated("wrap the plan in a ScorerSpec")]]
 std::unique_ptr<Scorer> make_scorer(
     std::shared_ptr<const infer::InferencePlan> plan);
 
-/// Scorer over the joint image→class model (which already consumes flat
-/// [N, bands·2·S·S + bands] rows). The session is moved in; build one
-/// per factory call via core::make_session.
+[[deprecated("use ScorerSpec::joint with a session builder")]]
 std::unique_ptr<Scorer> make_scorer(infer::JointSession session);
 
 }  // namespace sne::serve

@@ -139,6 +139,9 @@ ScoreServer::ScoreServer(ScoreServerConfig config, ScorerFactory factory)
   latency_ns_.resize(kLatencyReservoir, 0);
 }
 
+ScoreServer::ScoreServer(ScoreServerConfig config, ScorerSpec spec)
+    : ScoreServer(std::move(config), scorer_factory(std::move(spec))) {}
+
 ScoreServer::~ScoreServer() { stop(); }
 
 void ScoreServer::start() {

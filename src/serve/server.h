@@ -71,6 +71,11 @@ class ScoreServer {
   /// the calling thread (never concurrently). Every scorer must agree
   /// on sample_numel/output_numel.
   ScoreServer(ScoreServerConfig config, ScorerFactory factory);
+
+  /// Spec-driven construction — the uniform path for plan-backed,
+  /// joint, and custom (e.g. cascade) scorers. Equivalent to passing
+  /// scorer_factory(spec); validates the spec immediately.
+  ScoreServer(ScoreServerConfig config, ScorerSpec spec);
   ~ScoreServer();  ///< runs stop()
   ScoreServer(const ScoreServer&) = delete;
   ScoreServer& operator=(const ScoreServer&) = delete;

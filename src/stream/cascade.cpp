@@ -1,0 +1,247 @@
+#include "stream/cascade.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace sne::stream {
+
+namespace {
+
+constexpr std::uint8_t kAllBandsMask =
+    static_cast<std::uint8_t>((1u << astro::kNumBands) - 1);
+
+}  // namespace
+
+FilterCascade::FilterCascade(const CascadeConfig& config)
+    : joint_([&] {
+        if (!config.joint) {
+          throw std::invalid_argument(
+              "FilterCascade: a joint-session builder is required");
+        }
+        return config.joint();
+      }()),
+      joint_threshold_(config.joint_threshold),
+      joint_batch_(config.joint_batch),
+      max_pending_(config.max_pending),
+      joint_survivors_(&obs::counter("stream.joint.survivors")),
+      pending_gauge_(&obs::gauge("stream.gate.pending")) {
+  if (joint_batch_ <= 0 || max_pending_ <= 0) {
+    throw std::invalid_argument(
+        "FilterCascade: joint_batch/max_pending must be positive");
+  }
+  const infer::JointGlue& glue = joint_.glue();
+  stamp_ = glue.stamp;
+  joint_dim_ = glue.num_bands * (2 * stamp_ * stamp_) + glue.num_bands;
+
+  tiers_.reserve(config.stages.size());
+  for (const CascadeStage& stage : config.stages) {
+    if (!stage.plan) {
+      throw std::invalid_argument("FilterCascade: stage '" + stage.name +
+                                  "' has no plan");
+    }
+    tiers_.push_back(Tier{
+        stage, infer::InferenceSession(stage.plan),
+        &obs::counter("stream." + stage.name + ".survivors")});
+    counts_.tiers.push_back({stage.name, 0, 0, 0, 0});
+  }
+  counts_.tiers.push_back({"joint", 0, 0, 0, 0});
+  counts_.end_to_end.name = "night";
+  flush_rows_ = Tensor({joint_batch_, joint_dim_});
+  flush_truth_.resize(static_cast<std::size_t>(joint_batch_));
+}
+
+void FilterCascade::push(const AlertBatch& batch) {
+  if (finished_) {
+    throw std::logic_error("FilterCascade: push() after finish()");
+  }
+  const std::int64_t n = batch.size();
+  if (n == 0) return;
+
+  // Candidate-level universe for the end-to-end row: every candidate
+  // contributes exactly one band-g alert over the night, so counting
+  // those counts candidates once without tracking a candidate set.
+  for (std::int64_t a = 0; a < n; ++a) {
+    const float* m = batch.meta.data() + a * meta::kColumns;
+    if (m[meta::kBand] == 0.0f) {
+      ++counts_.end_to_end.in;
+      if (m[meta::kReal] != 0.0f && m[meta::kIsIa] != 0.0f) {
+        ++counts_.end_to_end.positives_in;
+      }
+    }
+  }
+
+  survivors_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t a = 0; a < n; ++a) survivors_[a] = a;
+
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    Tier& tier = tiers_[t];
+    eval::CascadeTierCounts& tally = counts_.tiers[t];
+    next_survivors_.clear();
+
+    tally.in += static_cast<std::int64_t>(survivors_.size());
+    for (const std::int64_t a : survivors_) {
+      if (batch.meta.data()[a * meta::kColumns + meta::kReal] != 0.0f) {
+        ++tally.positives_in;
+      }
+    }
+
+    // Score survivors run by run: each maximal contiguous index run is
+    // a zero-copy row slice of the original batch tensor.
+    const Tensor& input =
+        tier.stage.input == AlertInput::Tier1 ? batch.tier1 : batch.pair;
+    std::size_t k = 0;
+    while (k < survivors_.size()) {
+      std::size_t end = k + 1;
+      while (end < survivors_.size() &&
+             survivors_[end] == survivors_[end - 1] + 1) {
+        ++end;
+      }
+      const std::int64_t lo = survivors_[k];
+      const std::int64_t hi = survivors_[end - 1] + 1;
+      tier.session.run(input.view().slice(0, lo, hi), scores_);
+      for (std::int64_t r = 0; r < hi - lo; ++r) {
+        const float score = scores_[r];
+        const bool pass = tier.stage.pass_below ? score < tier.stage.threshold
+                                                : score > tier.stage.threshold;
+        if (pass) next_survivors_.push_back(lo + r);
+      }
+      k = end;
+    }
+
+    tally.passed += static_cast<std::int64_t>(next_survivors_.size());
+    for (const std::int64_t a : next_survivors_) {
+      if (batch.meta.data()[a * meta::kColumns + meta::kReal] != 0.0f) {
+        ++tally.positives_passed;
+      }
+    }
+    tier.survivors->add(static_cast<std::int64_t>(next_survivors_.size()));
+    survivors_.swap(next_survivors_);
+    if (survivors_.empty()) return;
+  }
+
+  for (const std::int64_t a : survivors_) gate_add(batch, a);
+}
+
+void FilterCascade::gate_add(const AlertBatch& batch, std::int64_t alert) {
+  const float* m = batch.meta.data() + alert * meta::kColumns;
+  const auto candidate = static_cast<std::int64_t>(m[meta::kCandidate]);
+  const auto band = static_cast<std::int64_t>(m[meta::kBand]);
+
+  auto it = pending_.find(candidate);
+  if (it == pending_.end()) {
+    PendingRow fresh;
+    if (!row_free_list_.empty()) {
+      fresh.row = std::move(row_free_list_.back());
+      row_free_list_.pop_back();
+    } else {
+      fresh.row = Tensor({joint_dim_});
+    }
+    fresh.real = m[meta::kReal] != 0.0f;
+    fresh.is_ia = m[meta::kIsIa] != 0.0f;
+    it = pending_.emplace(candidate, std::move(fresh)).first;
+    pending_order_.push_back(candidate);
+  }
+  PendingRow& row = it->second;
+
+  // Band-major (reference, observation) block plus this band's date —
+  // exactly the joint model's flat sample layout.
+  const std::int64_t per_band = 2 * stamp_ * stamp_;
+  const float* src = batch.pair.data() + alert * per_band;
+  std::memcpy(row.row.data() + band * per_band, src,
+              static_cast<std::size_t>(per_band) * sizeof(float));
+  row.row[astro::kNumBands * per_band + band] = m[meta::kDate];
+  row.seen_mask |= static_cast<std::uint8_t>(1u << band);
+
+  if (row.seen_mask == kAllBandsMask) {
+    submit(candidate, row);
+    row_free_list_.push_back(std::move(row.row));
+    pending_.erase(it);
+  }
+  evict_to_bound();
+  pending_gauge_->set(static_cast<std::int64_t>(pending_.size()));
+}
+
+void FilterCascade::evict_to_bound() {
+  while (static_cast<std::int64_t>(pending_.size()) > max_pending_) {
+    // Oldest first; ids already completed (erased) just fall out of the
+    // FIFO here.
+    while (!pending_order_.empty()) {
+      const std::int64_t victim = pending_order_.front();
+      pending_order_.pop_front();
+      auto it = pending_.find(victim);
+      if (it != pending_.end()) {
+        row_free_list_.push_back(std::move(it->second.row));
+        pending_.erase(it);
+        ++counts_.evicted;
+        break;
+      }
+    }
+  }
+}
+
+void FilterCascade::submit(std::int64_t candidate, PendingRow& row) {
+  eval::CascadeTierCounts& tally = counts_.tiers.back();
+  ++tally.in;
+  if (row.is_ia) ++tally.positives_in;
+
+  std::memcpy(flush_rows_.data() + flush_count_ * joint_dim_, row.row.data(),
+              static_cast<std::size_t>(joint_dim_) * sizeof(float));
+  Verdict& truth = flush_truth_[static_cast<std::size_t>(flush_count_)];
+  truth.candidate = candidate;
+  truth.real = row.real;
+  truth.is_ia = row.is_ia;
+  if (++flush_count_ == joint_batch_) flush_joint(false);
+}
+
+void FilterCascade::flush_joint(bool force) {
+  if (flush_count_ == 0) return;
+  if (!force && flush_count_ < joint_batch_) return;
+  if (flush_count_ < joint_batch_) {
+    flush_rows_.resize({flush_count_, joint_dim_});
+  }
+  joint_.run(flush_rows_, joint_out_);
+
+  eval::CascadeTierCounts& tally = counts_.tiers.back();
+  std::int64_t accepted = 0;
+  for (std::int64_t r = 0; r < flush_count_; ++r) {
+    Verdict v = flush_truth_[static_cast<std::size_t>(r)];
+    v.score = joint_out_[r];
+    v.accepted = v.score > joint_threshold_;
+    if (v.accepted) {
+      ++accepted;
+      ++tally.passed;
+      if (v.is_ia) ++tally.positives_passed;
+      ++counts_.end_to_end.passed;
+      if (v.real && v.is_ia) ++counts_.end_to_end.positives_passed;
+    }
+    verdicts_.push_back(v);
+  }
+  joint_survivors_->add(accepted);
+  flush_count_ = 0;
+  flush_rows_.resize({joint_batch_, joint_dim_});
+}
+
+void FilterCascade::finish() {
+  if (finished_) return;
+  finished_ = true;
+  flush_joint(true);
+  counts_.incomplete += static_cast<std::int64_t>(pending_.size());
+  for (auto& [candidate, row] : pending_) {
+    row_free_list_.push_back(std::move(row.row));
+  }
+  pending_.clear();
+  pending_order_.clear();
+  pending_gauge_->set(0);
+}
+
+FilterCascade run_night(NightStream& night, const CascadeConfig& config) {
+  FilterCascade cascade(config);
+  AlertBatch batch;
+  while (night.next(batch)) cascade.push(batch);
+  cascade.finish();
+  return cascade;
+}
+
+}  // namespace sne::stream

@@ -1,0 +1,89 @@
+#include "stream/cascade_scorer.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sne::stream {
+
+CascadeScorer::CascadeScorer(const CascadeScorerConfig& config)
+    : joint_([&] {
+        if (!config.joint) {
+          throw std::invalid_argument(
+              "CascadeScorer: a joint-session builder is required");
+        }
+        return config.joint();
+      }()),
+      crop_(config.crop) {
+  if (crop_ <= 0) {
+    throw std::invalid_argument("CascadeScorer: crop must be positive");
+  }
+  const infer::JointGlue& glue = joint_.glue();
+  stamp_ = glue.stamp;
+  joint_dim_ = glue.num_bands * (2 * stamp_ * stamp_) + glue.num_bands;
+  sample_numel_ = joint_dim_ + glue.num_bands * crop_ * crop_;
+  tiers_.reserve(config.stages.size());
+  for (const CascadeStage& stage : config.stages) {
+    if (!stage.plan) {
+      throw std::invalid_argument("CascadeScorer: stage '" + stage.name +
+                                  "' has no plan");
+    }
+    tiers_.push_back(Tier{stage, infer::InferenceSession(stage.plan)});
+  }
+}
+
+void CascadeScorer::run(const Tensor& batch, Tensor& out) {
+  const std::int64_t n = batch.extent(0);
+  const std::int64_t c2 = crop_ * crop_;
+  const std::int64_t per_band = 2 * stamp_ * stamp_;
+  out.resize({n, 1});
+
+  alive_.clear();
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = batch.data() + r * sample_numel_;
+    bool pass = true;
+    for (Tier& tier : tiers_) {
+      // Per-band replay of the streaming tier: every band's alert must
+      // survive for the candidate to stay complete at the gate.
+      for (std::int64_t b = 0; pass && b < astro::kNumBands; ++b) {
+        ConstTensorView input =
+            tier.stage.input == AlertInput::Tier1
+                ? ConstTensorView(row + joint_dim_ + b * c2,
+                                  {1, 1, crop_, crop_})
+                : ConstTensorView(row + b * per_band, {1, 2, stamp_, stamp_});
+        tier.session.run(input, tier_out_);
+        const float score = tier_out_[0];
+        pass = tier.stage.pass_below ? score < tier.stage.threshold
+                                     : score > tier.stage.threshold;
+      }
+      if (!pass) break;
+    }
+    if (pass) {
+      alive_.push_back(r);
+    } else {
+      out[r] = kRejectLogit;
+    }
+  }
+
+  if (alive_.empty()) return;
+  const auto rows = static_cast<std::int64_t>(alive_.size());
+  joint_rows_.resize({rows, joint_dim_});
+  for (std::int64_t k = 0; k < rows; ++k) {
+    std::memcpy(joint_rows_.data() + k * joint_dim_,
+                batch.data() + alive_[static_cast<std::size_t>(k)] *
+                                   sample_numel_,
+                static_cast<std::size_t>(joint_dim_) * sizeof(float));
+  }
+  joint_.run(joint_rows_, joint_out_);
+  for (std::int64_t k = 0; k < rows; ++k) {
+    out[alive_[static_cast<std::size_t>(k)]] = joint_out_[k];
+  }
+}
+
+serve::ScorerSpec make_cascade_scorer_spec(
+    const CascadeScorerConfig& config) {
+  serve::ScorerSpec spec;
+  spec.custom = [config] { return std::make_unique<CascadeScorer>(config); };
+  return spec;
+}
+
+}  // namespace sne::stream

@@ -1,0 +1,66 @@
+// cascade_scorer.h — hosts a filter cascade behind the scoring daemon.
+// The wire protocol is batch-of-flat-rows, so the streaming gate logic
+// does not apply; instead each request row carries one complete
+// candidate: the joint-model sample followed by the five tier-1 crops,
+//
+//   [ bands·2·S·S image pairs, bands dates | bands · crop² t1 crops ]
+//
+// and the scorer replays the cascade per row: every band must pass
+// every per-alert tier for the row to reach the joint model; rows cut
+// earlier return kRejectLogit so the response stays one score per row.
+// Survivor rows are gathered into one batch per request for the joint
+// evaluation.
+//
+// Plug into a server with make_cascade_scorer_spec (ScorerSpec::custom):
+//
+//   serve::ScoreServer server(cfg, stream::make_cascade_scorer_spec(sc));
+#pragma once
+
+#include <memory>
+
+#include "serve/scorer.h"
+#include "stream/cascade.h"
+
+namespace sne::stream {
+
+struct CascadeScorerConfig {
+  std::vector<CascadeStage> stages;  ///< per-alert tiers, in order
+  std::function<infer::JointSession()> joint;  ///< required
+  std::int64_t crop = 21;  ///< tier-1 crop extent of the wire layout
+};
+
+/// Logit returned for rows cut before the joint tier: certainly-bogus
+/// on any reasonable sigmoid scale, and distinguishable from any score
+/// the joint model produces in practice.
+inline constexpr float kRejectLogit = -30.0f;
+
+class CascadeScorer final : public serve::Scorer {
+ public:
+  explicit CascadeScorer(const CascadeScorerConfig& config);
+
+  std::int64_t sample_numel() const override { return sample_numel_; }
+  std::int64_t output_numel() const override { return 1; }
+  void run(const Tensor& batch, Tensor& out) override;
+
+ private:
+  struct Tier {
+    CascadeStage stage;
+    infer::InferenceSession session;
+  };
+
+  std::vector<Tier> tiers_;
+  infer::JointSession joint_;
+  std::int64_t crop_;
+  std::int64_t stamp_ = 0;
+  std::int64_t joint_dim_ = 0;
+  std::int64_t sample_numel_ = 0;
+  Tensor joint_rows_;  ///< gathered survivor rows, reused
+  Tensor joint_out_;
+  Tensor tier_out_;
+  std::vector<std::int64_t> alive_;  ///< survivor row indices, reused
+};
+
+/// ScorerSpec wrapper (ScorerSpec::custom) for ScoreServer/scorer_factory.
+serve::ScorerSpec make_cascade_scorer_spec(const CascadeScorerConfig& config);
+
+}  // namespace sne::stream

@@ -1,0 +1,97 @@
+// tier1.h — the cascade's cheap front tier: a small real/bogus CNN over
+// single-band signed-log difference crops. This is the survey pipeline's
+// step (1) (Bailey 2007, Brink 2013): kill the 99%+ of alerts that are
+// cosmic rays, dipoles and detector defects before the expensive joint
+// image→type model ever sees them. The network is deliberately tiny —
+// two conv/pool stages and a 32-unit head over a 21-pixel crop — so the
+// per-alert cost is a small fraction of one joint-model evaluation.
+//
+// Training data comes from sim::make_real_bogus_dataset; serving plans
+// compile through the same core::SessionOptions surface as every other
+// model (fp32 or int8 with a calibration table).
+#pragma once
+
+#include <memory>
+
+#include "core/inference.h"
+#include "infer/session.h"
+#include "nn/nn.h"
+#include "sim/artifacts.h"
+
+namespace sne::stream {
+
+struct Tier1Config {
+  std::int64_t crop = 21;  ///< difference-crop extent (must be ≥ 12)
+  std::array<std::int64_t, 2> conv_channels = {8, 16};
+  std::int64_t kernel = 5;
+  std::int64_t fc_hidden = 32;
+};
+
+/// Input [N, 1, crop, crop] signed-log difference pixels; output [N, 1]
+/// real-vs-bogus logit (positive = real transient).
+class Tier1Cnn final : public nn::Module {
+ public:
+  Tier1Cnn(const Tier1Config& config, Rng& rng);
+
+  Tensor forward(const Tensor& x) override { return net_.forward(x); }
+  Tensor backward(const Tensor& grad_output) override {
+    return net_.backward(grad_output);
+  }
+  void infer_into(ConstTensorView x, Tensor& out) const override {
+    net_.infer_into(x, out);
+  }
+  Shape infer_shape(const Shape& in) const override {
+    return net_.infer_shape(in);
+  }
+  std::vector<nn::Param*> params() override { return net_.params(); }
+  std::vector<const nn::Param*> params() const override {
+    return net_.params();
+  }
+  std::vector<nn::Param*> buffers() override { return net_.buffers(); }
+  std::vector<const nn::Param*> buffers() const override {
+    return net_.buffers();
+  }
+  void set_training(bool training) override { net_.set_training(training); }
+
+  const Tier1Config& config() const noexcept { return config_; }
+  const nn::Sequential& net() const noexcept { return net_; }
+
+  /// Spatial extent after the two conv/pool stages (sizes the FC head;
+  /// throws if `crop` is too small to survive them).
+  static std::int64_t trunk_output_extent(std::int64_t crop,
+                                          std::int64_t kernel);
+
+ private:
+  Tier1Config config_;
+  nn::Sequential net_;
+};
+
+struct Tier1TrainConfig {
+  std::int64_t epochs = 4;
+  std::int64_t batch_size = 32;
+  float lr = 2e-3f;
+  double max_real_mag = 25.0;  ///< "real" faint cut for the training set
+  std::uint64_t seed = 97;
+  std::vector<nn::EpochStats>* history = nullptr;  ///< optional sink
+};
+
+/// Trains a fresh Tier1Cnn on a balanced real/bogus set cut from the
+/// given samples of `data` (sim::make_real_bogus_dataset with the
+/// model's crop). Deterministic in (data, samples, config). Returned by
+/// pointer because modules are pinned in memory (plans borrow them).
+std::unique_ptr<Tier1Cnn> train_tier1(
+    const sim::SnDataset& data, const std::vector<std::int64_t>& samples,
+    const Tier1Config& model_config = {},
+    const Tier1TrainConfig& train_config = {});
+
+/// Serving plan over [N, 1, crop, crop] crops; same options surface as
+/// the core model factories (int8 uses options.calibration). The model
+/// must outlive the plan.
+std::shared_ptr<const infer::InferencePlan> compile_tier1_plan(
+    const Tier1Cnn& cnn, const core::SessionOptions& options = {});
+
+/// One-call session builder over compile_tier1_plan.
+infer::InferenceSession make_tier1_session(
+    const Tier1Cnn& cnn, const core::SessionOptions& options = {});
+
+}  // namespace sne::stream

@@ -21,14 +21,28 @@
 #include "nn/nn.h"
 #include "obs/obs.h"
 #include "sim/dataset_builder.h"
+#include "tensor/runtime.h"
 #include "tensor/thread_pool.h"
 
 namespace sne {
 namespace {
 
-// Restores a 1-wide pool when a test exits, however it exits.
-struct PoolWidthGuard {
-  ~PoolWidthGuard() { set_num_threads(1); }
+// Pool width and prefetch depth are both process-wide runtime knobs
+// now (DataLoaderConfig::prefetch is gone); tests sweep them through
+// RuntimeConfig. Loaders latch the depth at construction, so a sweep
+// sets the knobs, builds the loader, and moves on.
+void set_runtime(int threads, std::int64_t prefetch, bool trace = false) {
+  RuntimeConfig rc = RuntimeConfig::current();
+  rc.threads = threads;
+  rc.prefetch = prefetch;
+  rc.trace = trace;
+  RuntimeConfig::set_current(rc);
+}
+
+// Restores a 1-wide pool and the default prefetch when a test exits,
+// however it exits.
+struct RuntimeGuard {
+  ~RuntimeGuard() { set_runtime(1, 1); }
 };
 
 bool same_bits(float a, float b) {
@@ -54,10 +68,11 @@ nn::LazyDataset make_indexed_dataset(std::int64_t n,
 }
 
 TEST(DataLoader, CoversEpochInOrderWithPartialFinalBatch) {
+  RuntimeGuard guard;
+  set_runtime(1, 0);
   const nn::LazyDataset data = make_indexed_dataset(10);
   nn::DataLoaderConfig cfg;
   cfg.batch_size = 4;
-  cfg.prefetch = 0;
   nn::DataLoader loader(data, cfg);
   EXPECT_EQ(loader.size(), 10);
   EXPECT_EQ(loader.num_batches(), 3);
@@ -84,21 +99,21 @@ TEST(DataLoader, CoversEpochInOrderWithPartialFinalBatch) {
 }
 
 TEST(DataLoader, PrefetchedBatchesIdenticalToSynchronous) {
-  PoolWidthGuard guard;
-  set_num_threads(4);
+  RuntimeGuard guard;
   const nn::LazyDataset data =
       make_indexed_dataset(23, nn::BatchMode::Parallel);
   for (const std::int64_t depth : {1, 4}) {
-    nn::DataLoaderConfig sync_cfg;
-    sync_cfg.batch_size = 5;
-    sync_cfg.prefetch = 0;
-    sync_cfg.shuffle = true;
-    sync_cfg.shuffle_seed = 99;
-    nn::DataLoaderConfig pre_cfg = sync_cfg;
-    pre_cfg.prefetch = depth;
+    nn::DataLoaderConfig cfg;
+    cfg.batch_size = 5;
+    cfg.shuffle = true;
+    cfg.shuffle_seed = 99;
 
-    nn::DataLoader sync_loader(data, sync_cfg);
-    nn::DataLoader pre_loader(data, pre_cfg);
+    set_runtime(4, 0);
+    nn::DataLoader sync_loader(data, cfg);
+    set_runtime(4, depth);
+    nn::DataLoader pre_loader(data, cfg);
+    EXPECT_EQ(sync_loader.prefetch_depth(), 0);
+    EXPECT_EQ(pre_loader.prefetch_depth(), depth);
     for (int epoch = 0; epoch < 3; ++epoch) {
       sync_loader.start_epoch();
       pre_loader.start_epoch();
@@ -116,10 +131,11 @@ TEST(DataLoader, PrefetchedBatchesIdenticalToSynchronous) {
 }
 
 TEST(DataLoader, AbandonedEpochRestartsCleanly) {
+  RuntimeGuard guard;
+  set_runtime(1, 2);
   const nn::LazyDataset data = make_indexed_dataset(16);
   nn::DataLoaderConfig cfg;
   cfg.batch_size = 4;
-  cfg.prefetch = 2;
   nn::DataLoader loader(data, cfg);
   loader.start_epoch();
   nn::Sample batch;
@@ -142,10 +158,11 @@ TEST(DataLoader, PropagatesRendererExceptions) {
     if (i == 5) throw std::runtime_error("render failed");
     return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
   });
+  RuntimeGuard guard;
   for (const std::int64_t depth : {0, 2}) {
+    set_runtime(1, depth);
     nn::DataLoaderConfig cfg;
     cfg.batch_size = 4;
-    cfg.prefetch = depth;
     nn::DataLoader loader(data, cfg);
     loader.start_epoch();
     nn::Sample batch;
@@ -171,9 +188,10 @@ TEST(DataLoader, DestroyWhileProducerBlockedOnFullQueue) {
     rendered.fetch_add(1);
     return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
   });
+  RuntimeGuard guard;
+  set_runtime(1, 1);
   nn::DataLoaderConfig cfg;
   cfg.batch_size = 4;
-  cfg.prefetch = 1;
   {
     nn::DataLoader loader(data, cfg);
     loader.start_epoch();
@@ -197,9 +215,10 @@ TEST(DataLoader, DestroyWithUndeliveredErrorPending) {
     }
     return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
   });
+  RuntimeGuard guard;
+  set_runtime(1, 2);
   nn::DataLoaderConfig cfg;
   cfg.batch_size = 4;
-  cfg.prefetch = 2;
   {
     nn::DataLoader loader(data, cfg);
     loader.start_epoch();
@@ -224,9 +243,10 @@ TEST(DataLoader, EpochIsClosedAfterPrefetchErrorSurfaces) {
     }
     return nn::Sample{Tensor({1}, static_cast<float>(i)), Tensor({1})};
   });
+  RuntimeGuard guard;
+  set_runtime(1, 2);
   nn::DataLoaderConfig cfg;
   cfg.batch_size = 4;
-  cfg.prefetch = 2;
   nn::DataLoader loader(data, cfg);
   loader.start_epoch();
   nn::Sample batch;
@@ -266,7 +286,7 @@ TEST(Dataset, GetBatchRejectsTransposedSampleShapes) {
 }
 
 TEST(Dataset, ParallelGetBatchMatchesSerial) {
-  PoolWidthGuard guard;
+  RuntimeGuard guard;
   const nn::LazyDataset serial = make_indexed_dataset(12);
   const nn::LazyDataset parallel =
       make_indexed_dataset(12, nn::BatchMode::Parallel);
@@ -290,7 +310,7 @@ TEST(Dataset, SubsetDelegatesBatchToBase) {
 }
 
 TEST(Dataset, MaterializeUsesChunkedLoader) {
-  PoolWidthGuard guard;
+  RuntimeGuard guard;
   set_num_threads(4);
   // More samples than one loader chunk (64) to cross a chunk boundary.
   const nn::LazyDataset lazy = make_indexed_dataset(130, nn::BatchMode::Parallel);
@@ -389,8 +409,9 @@ struct TrainOutcome {
 // the same pairs) for the live-rendered one.
 TrainOutcome run_training(const FluxFixture& fx, bool use_loader,
                           std::int64_t prefetch, int threads,
-                          const nn::Dataset* override_data = nullptr) {
-  set_num_threads(threads);
+                          const nn::Dataset* override_data = nullptr,
+                          bool traced = false) {
+  set_runtime(threads, prefetch, traced);
   core::BandCnnConfig cfg;
   cfg.input_size = 36;
   Rng model_rng(21);
@@ -403,7 +424,6 @@ TrainOutcome run_training(const FluxFixture& fx, bool use_loader,
   tc.batch_size = 8;
   tc.grad_clip = 5.0f;
   tc.shuffle_seed = 31;
-  tc.prefetch = prefetch;
 
   const nn::LazyDataset pairs = fx.pairs();
   const nn::Dataset& train = override_data ? *override_data : pairs;
@@ -416,7 +436,7 @@ TrainOutcome run_training(const FluxFixture& fx, bool use_loader,
     }
   }
   out.predictions = trainer.predict(train, 8);
-  set_num_threads(1);
+  set_runtime(1, 1, traced);
   return out;
 }
 
@@ -426,7 +446,7 @@ TrainOutcome run_training(const FluxFixture& fx, bool use_loader,
 // prefetch depth × thread count combination. This is the contract that
 // lets long training runs swap the simulator out for the mmap cache.
 TEST(DataLoaderDeterminism, SnapshotReplayFitBitwiseIdenticalToLiveRender) {
-  PoolWidthGuard guard;
+  RuntimeGuard guard;
   const FluxFixture fx;
   const std::string path = testing::TempDir() + "flux_pairs.snap";
   {
@@ -460,7 +480,7 @@ TEST(DataLoaderDeterminism, SnapshotReplayFitBitwiseIdenticalToLiveRender) {
 }
 
 TEST(DataLoaderDeterminism, FitBitwiseIdenticalAcrossPrefetchAndThreads) {
-  PoolWidthGuard guard;
+  RuntimeGuard guard;
   const FluxFixture fx;
   const TrainOutcome seed = run_training(fx, /*use_loader=*/false, 0, 1);
 
@@ -491,7 +511,8 @@ TEST(DataLoaderDeterminism, FitBitwiseIdenticalAcrossPrefetchAndThreads) {
   // the seed statistics bit for bit, and the spans it records cover the
   // training phases.
   obs::enable();
-  const TrainOutcome traced = run_training(fx, /*use_loader=*/true, 2, 4);
+  const TrainOutcome traced = run_training(fx, /*use_loader=*/true, 2, 4,
+                                           nullptr, /*traced=*/true);
   obs::disable();
   ASSERT_EQ(traced.history.size(), seed.history.size());
   for (std::size_t e = 0; e < seed.history.size(); ++e) {

@@ -87,7 +87,7 @@ TEST(InferParity, SessionMatchesEvalForwardUnfolded) {
       Tensor::rand_uniform({5, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
   const Tensor ref = cnn.forward(x);
 
-  infer::PlanOptions opts;
+  SessionOptions opts;
   opts.fold_batchnorm = false;
   infer::InferenceSession session = make_session(cnn, opts);
   EXPECT_EQ(session.plan().num_folded(), 0u);
@@ -234,7 +234,7 @@ TEST(InferParity, FusedPreluSessionMatchesUnfusedBitwise) {
   const Tensor x =
       Tensor::rand_uniform({6, 2, kStamp, kStamp}, rng, -50.0f, 400.0f);
 
-  infer::PlanOptions unfused_opts;
+  SessionOptions unfused_opts;
   unfused_opts.fuse_prelu = false;
   infer::InferenceSession unfused = make_session(cnn, unfused_opts);
   infer::InferenceSession fused = make_session(cnn);  // fusion on by default
@@ -315,7 +315,7 @@ struct QuantFixture {
   }
 
   infer::InferenceSession int8_session() {
-    infer::PlanOptions opts;
+    SessionOptions opts;
     opts.precision = Precision::Int8;
     opts.calibration = &table;
     return make_session(cnn, opts);
@@ -458,7 +458,7 @@ TEST(Int8Parity, Int8PlanRequiresCalibration) {
   Rng rng(25);
   BandCnn cnn(small_cnn_config(), rng);
   warm_running_stats(cnn, rng);
-  infer::PlanOptions opts;
+  SessionOptions opts;
   opts.precision = Precision::Int8;
   EXPECT_THROW(make_session(cnn, opts), std::invalid_argument);
 }
@@ -512,7 +512,10 @@ TEST(Int8Parity, JointCalibrationFactoryIsDeterministic) {
   EXPECT_TRUE(t1.classifier.step_max.equals(t2.classifier.step_max));
 
   // And the int8 joint session built from it is itself rerun-invariant.
-  infer::JointSession session = make_session(joint, t1);
+  SessionOptions int8_opts;
+  int8_opts.precision = Precision::Int8;
+  int8_opts.joint_calibration = &t1;
+  infer::JointSession session = make_session(joint, int8_opts);
   const Tensor first = session.run(batches[0]);
   EXPECT_TRUE(session.run(batches[0]).equals(first));
 }
@@ -550,8 +553,11 @@ TEST(Int8Parity, JointAucStaysWithinQuantizationBudget) {
   for (int i = 0; i < 3; ++i) calib.push_back(make_batch(8));
   const infer::JointCalibration table = calibrate(joint, calib);
 
+  SessionOptions int8_opts;
+  int8_opts.precision = Precision::Int8;
+  int8_opts.joint_calibration = &table;
   infer::JointSession fp32 = make_session(joint);
-  infer::JointSession int8 = make_session(joint, table);
+  infer::JointSession int8 = make_session(joint, int8_opts);
 
   constexpr std::int64_t kSamples = 192;
   const Tensor batch = make_batch(kSamples);

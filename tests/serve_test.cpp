@@ -60,7 +60,9 @@ struct TestModel {
   }
 
   serve::ScorerFactory factory() const {
-    return [plan = plan] { return serve::make_scorer(plan); };
+    serve::ScorerSpec spec;
+    spec.plan = plan;
+    return serve::scorer_factory(std::move(spec));
   }
 };
 

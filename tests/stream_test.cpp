@@ -1,0 +1,531 @@
+// stream_test.cpp — the survey-night alert cascade: NightStream batch
+// determinism across prefetch depths and thread counts, FilterCascade
+// verdict/count invariance, completion-gate behavior at the threshold
+// extremes, hand-computable tier accounting, and the CascadeScorer
+// serving adapter.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/inference.h"
+#include "eval/cascade.h"
+#include "serve/scorer.h"
+#include "sim/dataset_builder.h"
+#include "stream/cascade.h"
+#include "stream/cascade_scorer.h"
+#include "stream/night.h"
+#include "stream/tier1.h"
+#include "tensor/runtime.h"
+
+namespace sne {
+namespace {
+
+// ---- eval accounting (pure arithmetic, hand-checkable) --------------
+
+TEST(CascadeReport, HandComputedRates) {
+  eval::CascadeCounts counts;
+  // Tier 1: 100 alerts in (40 real), passes 50 of which 36 are real.
+  counts.tiers.push_back({"tier1", 100, 50, 40, 36});
+  // Joint: 10 candidates in (4 SNIa), accepts 5 of which 3 are SNIa.
+  counts.tiers.push_back({"joint", 10, 5, 4, 3});
+  counts.end_to_end = {"night", 20, 5, 4, 3};
+  counts.evicted = 2;
+  counts.incomplete = 1;
+
+  const eval::CascadeReport report = eval::cascade_report(counts);
+  ASSERT_EQ(report.tiers.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.tiers[0].recall, 36.0 / 40.0);
+  // Negatives: 60 in, 14 passed -> 46 rejected.
+  EXPECT_DOUBLE_EQ(report.tiers[0].rejection, 46.0 / 60.0);
+  EXPECT_DOUBLE_EQ(report.tiers[0].purity, 36.0 / 50.0);
+  EXPECT_DOUBLE_EQ(report.tiers[1].recall, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(report.tiers[1].rejection, 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(report.tiers[1].purity, 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(report.end_to_end.recall, 3.0 / 4.0);
+  EXPECT_EQ(report.evicted, 2);
+  EXPECT_EQ(report.incomplete, 1);
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(CascadeReport, EmptyDenominatorsReadVacuouslyPerfect) {
+  eval::CascadeCounts counts;
+  counts.tiers.push_back({"tier1", 0, 0, 0, 0});
+  const eval::CascadeReport report = eval::cascade_report(counts);
+  EXPECT_DOUBLE_EQ(report.tiers[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.tiers[0].rejection, 1.0);
+  EXPECT_DOUBLE_EQ(report.tiers[0].purity, 1.0);
+}
+
+// ---- shared fixtures ------------------------------------------------
+
+constexpr std::int64_t kStamp = 36;
+constexpr std::int64_t kCrop = 21;
+
+sim::SnDataset small_dataset(std::int64_t n = 24, std::uint64_t seed = 9) {
+  sim::SnDataset::Config cfg;
+  cfg.num_samples = n;
+  cfg.seed = seed;
+  cfg.catalog.count = 150;
+  return sim::SnDataset::build(cfg);
+}
+
+std::vector<std::int64_t> range_indices(std::int64_t n) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  return idx;
+}
+
+stream::NightConfig small_night() {
+  stream::NightConfig cfg;
+  cfg.candidates = 40;
+  cfg.pool = 12;
+  cfg.field = 8;
+  cfg.batch = 16;
+  cfg.stamp = kStamp;
+  cfg.crop = kCrop;
+  cfg.seed = 77;
+  return cfg;
+}
+
+void set_runtime(int threads, std::int64_t prefetch) {
+  RuntimeConfig rc = RuntimeConfig::current();
+  rc.threads = threads;
+  rc.prefetch = prefetch;
+  RuntimeConfig::set_current(rc);
+}
+
+struct RuntimeGuard {
+  ~RuntimeGuard() { set_runtime(1, 1); }
+};
+
+// Seeded, untrained models: cascade behavior must not depend on model
+// quality, only on determinism.
+core::JointModelConfig joint_config() {
+  core::JointModelConfig cfg;
+  cfg.cnn.input_size = kStamp;
+  cfg.cnn.conv_channels = {4, 6, 8};
+  cfg.cnn.fc_hidden = {16, 8};
+  cfg.classifier.hidden_units = 12;
+  return cfg;
+}
+
+stream::CascadeConfig cascade_config(const stream::Tier1Cnn& tier1,
+                                     const core::JointModel& joint,
+                                     float tier1_threshold) {
+  stream::CascadeConfig cfg;
+  cfg.stages.push_back(stream::CascadeStage{
+      "tier1", stream::compile_tier1_plan(tier1), stream::AlertInput::Tier1,
+      tier1_threshold, false});
+  cfg.joint = [&joint] { return core::make_session(joint); };
+  cfg.joint_batch = 8;
+  cfg.max_pending = 64;
+  return cfg;
+}
+
+std::vector<float> flatten(const stream::AlertBatch& b) {
+  std::vector<float> out;
+  out.insert(out.end(), b.tier1.data(), b.tier1.data() + b.tier1.size());
+  out.insert(out.end(), b.pair.data(), b.pair.data() + b.pair.size());
+  out.insert(out.end(), b.meta.data(), b.meta.data() + b.meta.size());
+  return out;
+}
+
+// ---- NightStream ----------------------------------------------------
+
+TEST(NightStream, CoversEachCandidateOncePerBandWithBoundedGateSpan) {
+  const sim::SnDataset data = small_dataset();
+  const stream::NightConfig cfg = small_night();
+  stream::NightStream night(data, range_indices(data.size()), cfg);
+
+  std::map<std::pair<std::int64_t, std::int64_t>, int> seen;
+  std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> alert_span;
+  std::int64_t alerts = 0;
+  stream::AlertBatch batch;
+  while (night.next(batch)) {
+    const std::int64_t n = batch.size();
+    ASSERT_EQ(batch.tier1.extent(0), n);
+    ASSERT_EQ(batch.tier1.extent(2), kCrop);
+    ASSERT_EQ(batch.pair.extent(0), n);
+    ASSERT_EQ(batch.pair.extent(2), kStamp);
+    for (std::int64_t a = 0; a < n; ++a) {
+      const float* m = batch.meta.data() + a * stream::meta::kColumns;
+      const auto candidate =
+          static_cast<std::int64_t>(m[stream::meta::kCandidate]);
+      const auto band = static_cast<std::int64_t>(m[stream::meta::kBand]);
+      ASSERT_GE(candidate, 0);
+      ASSERT_LT(candidate, cfg.candidates);
+      ASSERT_GE(band, 0);
+      ASSERT_LT(band, astro::kNumBands);
+      ++seen[{candidate, band}];
+      const std::int64_t index = alerts + a;
+      auto [it, fresh] = alert_span.try_emplace(candidate,
+                                                std::make_pair(index, index));
+      if (!fresh) it->second.second = index;
+      // is_ia implies real; bogus alerts are never SNIa.
+      if (m[stream::meta::kIsIa] != 0.0f) {
+        EXPECT_NE(m[stream::meta::kReal], 0.0f);
+      }
+    }
+    alerts += n;
+  }
+  EXPECT_EQ(alerts, night.total_alerts());
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()),
+            cfg.candidates * astro::kNumBands);
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+  // Field-blocked schedule: all five alerts of a candidate arrive within
+  // one field block of field·bands alerts.
+  for (const auto& [candidate, span] : alert_span) {
+    EXPECT_LT(span.second - span.first, cfg.field * astro::kNumBands)
+        << "candidate " << candidate;
+  }
+}
+
+TEST(NightStream, BatchesBitwiseInvariantToPrefetchAndThreads) {
+  RuntimeGuard guard;
+  const sim::SnDataset data = small_dataset();
+  const stream::NightConfig cfg = small_night();
+
+  set_runtime(1, 0);
+  stream::NightStream reference(data, range_indices(data.size()), cfg);
+  std::vector<std::vector<float>> expected;
+  stream::AlertBatch batch;
+  while (reference.next(batch)) expected.push_back(flatten(batch));
+  ASSERT_FALSE(expected.empty());
+
+  for (const int threads : {1, 4}) {
+    for (const std::int64_t depth : {std::int64_t{0}, std::int64_t{2}}) {
+      set_runtime(threads, depth);
+      stream::NightStream night(data, range_indices(data.size()), cfg);
+      EXPECT_EQ(night.prefetch_depth(), depth);
+      std::size_t k = 0;
+      while (night.next(batch)) {
+        ASSERT_LT(k, expected.size());
+        EXPECT_EQ(flatten(batch), expected[k])
+            << "batch " << k << " threads " << threads << " depth " << depth;
+        ++k;
+      }
+      EXPECT_EQ(k, expected.size());
+    }
+  }
+}
+
+TEST(NightStream, ResetReplaysTheSameNight) {
+  const sim::SnDataset data = small_dataset();
+  stream::NightStream night(data, range_indices(data.size()), small_night());
+  stream::AlertBatch first;
+  ASSERT_TRUE(night.next(first));
+  const std::vector<float> bytes = flatten(first);
+  night.reset();
+  stream::AlertBatch again;
+  ASSERT_TRUE(night.next(again));
+  EXPECT_EQ(flatten(again), bytes);
+}
+
+// ---- FilterCascade --------------------------------------------------
+
+TEST(FilterCascade, PassAllThresholdCompletesEveryCandidate) {
+  const sim::SnDataset data = small_dataset();
+  Rng rng(5);
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const stream::Tier1Cnn tier1(t1cfg, rng);
+  const core::JointModel joint(joint_config(), rng);
+
+  const stream::NightConfig ncfg = small_night();
+  stream::NightStream night(data, range_indices(data.size()), ncfg);
+  const stream::FilterCascade cascade =
+      stream::run_night(night, cascade_config(tier1, joint, -1e30f));
+
+  const eval::CascadeCounts& counts = cascade.counts();
+  ASSERT_EQ(counts.tiers.size(), 2u);
+  EXPECT_EQ(counts.tiers[0].in, night.total_alerts());
+  EXPECT_EQ(counts.tiers[0].passed, night.total_alerts());
+  // Every candidate completed all five bands: the joint tier saw each
+  // exactly once, nothing evicted, nothing incomplete.
+  EXPECT_EQ(counts.tiers[1].in, ncfg.candidates);
+  EXPECT_EQ(counts.evicted, 0);
+  EXPECT_EQ(counts.incomplete, 0);
+  EXPECT_EQ(counts.end_to_end.in, ncfg.candidates);
+  EXPECT_EQ(static_cast<std::int64_t>(cascade.verdicts().size()),
+            ncfg.candidates);
+  EXPECT_EQ(cascade.pending(), 0);
+}
+
+TEST(FilterCascade, RejectAllThresholdStarvesTheGate) {
+  const sim::SnDataset data = small_dataset();
+  Rng rng(5);
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const stream::Tier1Cnn tier1(t1cfg, rng);
+  const core::JointModel joint(joint_config(), rng);
+
+  stream::NightStream night(data, range_indices(data.size()), small_night());
+  const stream::FilterCascade cascade =
+      stream::run_night(night, cascade_config(tier1, joint, 1e30f));
+
+  const eval::CascadeCounts& counts = cascade.counts();
+  EXPECT_EQ(counts.tiers[0].in, night.total_alerts());
+  EXPECT_EQ(counts.tiers[0].passed, 0);
+  EXPECT_EQ(counts.tiers[1].in, 0);
+  EXPECT_TRUE(cascade.verdicts().empty());
+  EXPECT_EQ(counts.incomplete, 0);
+  // The candidate universe is still fully accounted.
+  EXPECT_EQ(counts.end_to_end.in, small_night().candidates);
+  EXPECT_EQ(counts.end_to_end.passed, 0);
+}
+
+TEST(FilterCascade, AccountingIsConsistentAcrossTiers) {
+  const sim::SnDataset data = small_dataset();
+  Rng rng(5);
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const stream::Tier1Cnn tier1(t1cfg, rng);
+  const core::JointModel joint(joint_config(), rng);
+
+  const stream::NightConfig ncfg = small_night();
+  stream::NightStream night(data, range_indices(data.size()), ncfg);
+  // Untrained tier at threshold 0: roughly half the alerts pass, so the
+  // gate sees a real mix of complete/incomplete candidates.
+  const stream::FilterCascade cascade =
+      stream::run_night(night, cascade_config(tier1, joint, 0.0f));
+
+  const eval::CascadeCounts& counts = cascade.counts();
+  EXPECT_EQ(counts.tiers[0].in, night.total_alerts());
+  EXPECT_GE(counts.tiers[0].passed, 0);
+  EXPECT_LE(counts.tiers[0].passed, counts.tiers[0].in);
+  EXPECT_LE(counts.tiers[0].positives_passed, counts.tiers[0].positives_in);
+  // Joint tier consumed complete candidates + incomplete ones left at
+  // the gate; together they can't exceed the candidate universe.
+  EXPECT_LE(counts.tiers[1].in + counts.incomplete + counts.evicted,
+            ncfg.candidates);
+  EXPECT_EQ(counts.end_to_end.in, ncfg.candidates);
+  EXPECT_EQ(counts.end_to_end.passed, counts.tiers[1].passed);
+  EXPECT_EQ(static_cast<std::int64_t>(cascade.verdicts().size()),
+            counts.tiers[1].in);
+}
+
+TEST(FilterCascade, VerdictsBitwiseInvariantToPrefetchAndThreads) {
+  RuntimeGuard guard;
+  const sim::SnDataset data = small_dataset();
+  Rng rng(5);
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const stream::Tier1Cnn tier1(t1cfg, rng);
+  const core::JointModel joint(joint_config(), rng);
+
+  auto run = [&](int threads, std::int64_t depth) {
+    set_runtime(threads, depth);
+    stream::NightStream night(data, range_indices(data.size()),
+                              small_night());
+    return stream::run_night(night, cascade_config(tier1, joint, 0.0f));
+  };
+
+  const stream::FilterCascade reference = run(1, 0);
+  ASSERT_FALSE(reference.verdicts().empty());
+  for (const int threads : {1, 4}) {
+    for (const std::int64_t depth : {std::int64_t{0}, std::int64_t{2}}) {
+      const stream::FilterCascade other = run(threads, depth);
+      ASSERT_EQ(other.verdicts().size(), reference.verdicts().size());
+      for (std::size_t k = 0; k < reference.verdicts().size(); ++k) {
+        const stream::Verdict& a = reference.verdicts()[k];
+        const stream::Verdict& b = other.verdicts()[k];
+        EXPECT_EQ(a.candidate, b.candidate);
+        EXPECT_EQ(std::memcmp(&a.score, &b.score, sizeof(float)), 0)
+            << "verdict " << k << " threads " << threads << " depth "
+            << depth;
+        EXPECT_EQ(a.accepted, b.accepted);
+      }
+      for (std::size_t t = 0; t < reference.counts().tiers.size(); ++t) {
+        EXPECT_EQ(other.counts().tiers[t].in, reference.counts().tiers[t].in);
+        EXPECT_EQ(other.counts().tiers[t].passed,
+                  reference.counts().tiers[t].passed);
+      }
+    }
+  }
+}
+
+TEST(FilterCascade, TinyMaxPendingEvictsInsteadOfGrowing) {
+  const sim::SnDataset data = small_dataset();
+  Rng rng(5);
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const stream::Tier1Cnn tier1(t1cfg, rng);
+  const core::JointModel joint(joint_config(), rng);
+
+  stream::NightConfig ncfg = small_night();
+  stream::NightStream night(data, range_indices(data.size()), ncfg);
+  stream::CascadeConfig ccfg = cascade_config(tier1, joint, -1e30f);
+  ccfg.max_pending = 2;  // far below the ~field candidates in flight
+  const stream::FilterCascade cascade = stream::run_night(night, ccfg);
+
+  EXPECT_GT(cascade.counts().evicted, 0);
+  // Every candidate enters the gate (pass-all tier) and ends completed,
+  // incomplete, or evicted — though one candidate can be evicted more
+  // than once, so eviction events only bound the universe from above.
+  EXPECT_GE(cascade.counts().evicted + cascade.counts().tiers[1].in +
+                cascade.counts().incomplete,
+            ncfg.candidates);
+}
+
+TEST(FilterCascade, PushAfterFinishThrows) {
+  Rng rng(5);
+  const core::JointModel joint(joint_config(), rng);
+  stream::CascadeConfig cfg;
+  cfg.joint = [&joint] { return core::make_session(joint); };
+  stream::FilterCascade cascade(cfg);
+  cascade.finish();
+  stream::AlertBatch batch;
+  batch.meta = Tensor({1, stream::meta::kColumns});
+  EXPECT_THROW(cascade.push(batch), std::logic_error);
+}
+
+// ---- Tier1 ----------------------------------------------------------
+
+TEST(Tier1, Int8SessionMatchesShapeAndRequiresCalibration) {
+  Rng rng(11);
+  stream::Tier1Config cfg;
+  cfg.crop = kCrop;
+  const stream::Tier1Cnn cnn(cfg, rng);
+
+  core::SessionOptions bad;
+  bad.precision = Precision::Int8;
+  EXPECT_THROW(stream::make_tier1_session(cnn, bad), std::invalid_argument);
+
+  Rng data_rng(3);
+  Tensor batch({4, 1, kCrop, kCrop});
+  for (std::int64_t i = 0; i < batch.size(); ++i) {
+    batch[i] = static_cast<float>(data_rng.uniform(-2.0, 2.0));
+  }
+  infer::InferenceSession fp32 = stream::make_tier1_session(cnn);
+  infer::CalibrationTable table;
+  Tensor fp32_out;
+  fp32.calibrate(batch, fp32_out, table);
+  ASSERT_EQ(fp32_out.extent(0), 4);
+
+  core::SessionOptions int8_opts;
+  int8_opts.precision = Precision::Int8;
+  int8_opts.calibration = &table;
+  infer::InferenceSession int8 = stream::make_tier1_session(cnn, int8_opts);
+  Tensor int8_out;
+  int8.run(batch, int8_out);
+  ASSERT_EQ(int8_out.extent(0), 4);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(int8_out[i], fp32_out[i], 0.5f) << "row " << i;
+  }
+}
+
+// ---- CascadeScorer (serving adapter) --------------------------------
+
+Tensor wire_batch(std::int64_t n, std::int64_t joint_dim,
+                  std::int64_t sample_numel, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor batch({n, sample_numel});
+  for (std::int64_t i = 0; i < batch.size(); ++i) {
+    batch[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  // Keep the date slots in a sane feature range.
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t b = 0; b < astro::kNumBands; ++b) {
+      batch[r * sample_numel + joint_dim - astro::kNumBands + b] =
+          static_cast<float>(0.1 * static_cast<double>(b));
+    }
+  }
+  return batch;
+}
+
+TEST(CascadeScorer, PassAllTierMatchesPlainJointScoring) {
+  Rng rng(5);
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const stream::Tier1Cnn tier1(t1cfg, rng);
+  const core::JointModel joint(joint_config(), rng);
+
+  stream::CascadeScorerConfig cfg;
+  cfg.crop = kCrop;
+  cfg.stages.push_back(stream::CascadeStage{
+      "tier1", stream::compile_tier1_plan(tier1), stream::AlertInput::Tier1,
+      -1e30f, false});
+  cfg.joint = [&joint] { return core::make_session(joint); };
+  stream::CascadeScorer scorer(cfg);
+
+  const std::int64_t joint_dim = core::JointModel::input_dim(kStamp);
+  ASSERT_EQ(scorer.sample_numel(),
+            joint_dim + astro::kNumBands * kCrop * kCrop);
+  const Tensor batch = wire_batch(3, joint_dim, scorer.sample_numel(), 21);
+
+  Tensor out;
+  scorer.run(batch, out);
+  ASSERT_EQ(out.extent(0), 3);
+
+  // Reference: score the joint-row prefix of each wire row directly.
+  infer::JointSession session = core::make_session(joint);
+  Tensor joint_rows({3, joint_dim});
+  for (std::int64_t r = 0; r < 3; ++r) {
+    std::memcpy(joint_rows.data() + r * joint_dim,
+                batch.data() + r * scorer.sample_numel(),
+                static_cast<std::size_t>(joint_dim) * sizeof(float));
+  }
+  Tensor expected;
+  session.run(joint_rows, expected);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(std::memcmp(&out[r], &expected[r], sizeof(float)), 0)
+        << "row " << r;
+  }
+}
+
+TEST(CascadeScorer, RejectAllTierReturnsRejectLogit) {
+  Rng rng(5);
+  stream::Tier1Config t1cfg;
+  t1cfg.crop = kCrop;
+  const stream::Tier1Cnn tier1(t1cfg, rng);
+  const core::JointModel joint(joint_config(), rng);
+
+  stream::CascadeScorerConfig cfg;
+  cfg.crop = kCrop;
+  cfg.stages.push_back(stream::CascadeStage{
+      "tier1", stream::compile_tier1_plan(tier1), stream::AlertInput::Tier1,
+      1e30f, false});
+  cfg.joint = [&joint] { return core::make_session(joint); };
+  stream::CascadeScorer scorer(cfg);
+
+  const std::int64_t joint_dim = core::JointModel::input_dim(kStamp);
+  const Tensor batch = wire_batch(2, joint_dim, scorer.sample_numel(), 22);
+  Tensor out;
+  scorer.run(batch, out);
+  EXPECT_EQ(out[0], stream::kRejectLogit);
+  EXPECT_EQ(out[1], stream::kRejectLogit);
+}
+
+TEST(CascadeScorer, SpecRoundTripsThroughServeFactory) {
+  Rng rng(5);
+  const core::JointModel joint(joint_config(), rng);
+  stream::CascadeScorerConfig cfg;
+  cfg.crop = kCrop;
+  cfg.joint = [&joint] { return core::make_session(joint); };
+  const serve::ScorerFactory factory =
+      serve::scorer_factory(stream::make_cascade_scorer_spec(cfg));
+  const std::unique_ptr<serve::Scorer> scorer = factory();
+  EXPECT_EQ(scorer->sample_numel(), core::JointModel::input_dim(kStamp) +
+                                        astro::kNumBands * kCrop * kCrop);
+  EXPECT_EQ(scorer->output_numel(), 1);
+}
+
+// ---- ScorerSpec validation (the redesigned serve surface) -----------
+
+TEST(ScorerSpec, ExactlyOneSourceIsEnforced) {
+  serve::ScorerSpec empty;
+  EXPECT_THROW(serve::make_scorer(empty), std::invalid_argument);
+  EXPECT_THROW(serve::scorer_factory(empty), std::invalid_argument);
+
+  Rng rng(5);
+  const core::JointModel joint(joint_config(), rng);
+  serve::ScorerSpec both;
+  both.joint = [&joint] { return core::make_session(joint); };
+  both.custom = [] { return std::unique_ptr<serve::Scorer>(); };
+  EXPECT_THROW(serve::make_scorer(both), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sne

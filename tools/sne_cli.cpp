@@ -9,9 +9,11 @@
 //   sne info     --model model.snet
 //   sne snapshot --dataset season.snds --out flux.snap [--kind flux|joint]
 //   sne snapshot --info flux.snap
+//   sne stream   --dataset season.snds --model model.snet [--candidates 256]
 //   sne serve    --model model.snet --socket /tmp/sne.sock [--port 7070]
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -32,6 +34,10 @@
 #include "obs/obs.h"
 #include "serve/server.h"
 #include "sim/dataset_io.h"
+#include "stream/cascade.h"
+#include "stream/cascade_scorer.h"
+#include "stream/night.h"
+#include "stream/tier1.h"
 #include "tensor/env.h"
 #include "tensor/runtime.h"
 
@@ -376,6 +382,92 @@ int cmd_snapshot(const Args& args) {
   return 0;
 }
 
+// Shared by stream/serve: the joint-tier session builder over a loaded
+// pipeline, honoring the resolved serving precision.
+std::function<infer::JointSession()> joint_builder(
+    const std::shared_ptr<core::SnePipeline>& pipeline) {
+  const Precision precision = pipeline->precision();
+  return [pipeline, precision] {
+    core::SessionOptions options;
+    if (precision == Precision::Int8) {
+      options.precision = Precision::Int8;
+      options.joint_calibration = &pipeline->calibration();
+    }
+    return core::make_session(pipeline->joint_model(), options);
+  };
+}
+
+// Trains the cascade's tier-1 real/bogus CNN on the head of the dataset
+// (small model, minutes of work at CLI scale).
+std::unique_ptr<stream::Tier1Cnn> train_cli_tier1(const sim::SnDataset& data,
+                                                  const Args& args) {
+  stream::Tier1Config model;
+  model.crop = args.get_int("crop", 21);
+  stream::Tier1TrainConfig tc;
+  tc.epochs = args.get_int("tier1-epochs", 3);
+  tc.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const auto head = std::min<std::int64_t>(data.size(),
+                                           args.get_int("tier1-samples", 48));
+  std::vector<std::int64_t> samples(static_cast<std::size_t>(head));
+  std::iota(samples.begin(), samples.end(), 0);
+  std::printf("training tier-1 real/bogus CNN (crop %lld, %lld epochs, "
+              "%zu samples)...\n",
+              static_cast<long long>(model.crop),
+              static_cast<long long>(tc.epochs), samples.size());
+  std::fflush(stdout);
+  return stream::train_tier1(data, samples, model, tc);
+}
+
+// stream: synthesize one survey night and run the tiered filter cascade
+// over it, reporting per-tier recall/rejection/purity and throughput.
+int cmd_stream(const Args& args) {
+  const sim::SnDataset data = sim::load_dataset(args.require("dataset"));
+  auto pipeline = std::make_shared<core::SnePipeline>(
+      core::SnePipeline::load(args.require("model")));
+
+  const auto tier1 = train_cli_tier1(data, args);
+
+  stream::NightConfig night_cfg;
+  night_cfg.candidates = args.get_int("candidates", 256);
+  night_cfg.pool = args.get_int("pool", 64);
+  night_cfg.field = args.get_int("field", 32);
+  night_cfg.batch = args.get_int("batch", 64);
+  night_cfg.stamp = pipeline->config().stamp_size;
+  night_cfg.crop = tier1->config().crop;
+  night_cfg.real_fraction = args.get_double("real-fraction", 0.5);
+  night_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+
+  std::vector<std::int64_t> all(static_cast<std::size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  stream::NightStream night(data, all, night_cfg);
+
+  stream::CascadeConfig cascade_cfg;
+  cascade_cfg.stages.push_back(stream::CascadeStage{
+      "tier1", stream::compile_tier1_plan(*tier1), stream::AlertInput::Tier1,
+      static_cast<float>(args.get_double("tier1-threshold", 0.0)), false});
+  cascade_cfg.joint = joint_builder(pipeline);
+  cascade_cfg.joint_threshold =
+      static_cast<float>(args.get_double("joint-threshold", 0.0));
+  cascade_cfg.max_pending = args.get_int("max-pending", 4 * night_cfg.field);
+
+  std::printf("streaming %lld alerts (%lld candidates x 5 bands)...\n",
+              static_cast<long long>(night.total_alerts()),
+              static_cast<long long>(night_cfg.candidates));
+  std::fflush(stdout);
+  const auto t0 = std::chrono::steady_clock::now();
+  const stream::FilterCascade cascade = stream::run_night(night, cascade_cfg);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const eval::CascadeReport report = eval::cascade_report(cascade.counts());
+  std::printf("%s", report.to_string().c_str());
+  std::printf("night: %lld alerts in %.2f s (%.0f stamps/s)\n",
+              static_cast<long long>(night.total_alerts()), seconds,
+              static_cast<double>(night.total_alerts()) / seconds);
+  return 0;
+}
+
 // serve: the long-running scoring daemon. Signal handling uses the
 // self-pipe idiom — the handler only writes one byte; the main thread
 // blocks on the read end and runs the graceful drain outside
@@ -412,15 +504,28 @@ int cmd_serve(const Args& args) {
                  "warning: --precision int8 needs a calibrated model "
                  "(train with --calibrate N); serving fp32\n");
   }
-  serve::ScorerFactory factory = [pipeline, precision] {
-    if (precision == Precision::Int8) {
-      return serve::make_scorer(core::make_session(
-          pipeline->joint_model(), pipeline->calibration()));
-    }
-    return serve::make_scorer(core::make_session(pipeline->joint_model()));
-  };
+  // Default: serve the joint model directly. --cascade DATASET.snds
+  // hosts the full filter cascade instead (tier-1 trained on that
+  // dataset; requests then carry joint row + tier-1 crops per row, see
+  // docs/FORMATS.md).
+  serve::ScorerSpec spec;
+  std::shared_ptr<stream::Tier1Cnn> tier1;  // owns the model the plan borrows
+  if (args.has("cascade")) {
+    const sim::SnDataset cascade_data =
+        sim::load_dataset(args.get("cascade", ""));
+    tier1 = train_cli_tier1(cascade_data, args);
+    stream::CascadeScorerConfig cascade_cfg;
+    cascade_cfg.crop = tier1->config().crop;
+    cascade_cfg.stages.push_back(stream::CascadeStage{
+        "tier1", stream::compile_tier1_plan(*tier1), stream::AlertInput::Tier1,
+        static_cast<float>(args.get_double("tier1-threshold", 0.0)), false});
+    cascade_cfg.joint = joint_builder(pipeline);
+    spec = stream::make_cascade_scorer_spec(cascade_cfg);
+  } else {
+    spec.joint = joint_builder(pipeline);
+  }
 
-  serve::ScoreServer server(config, std::move(factory));
+  serve::ScoreServer server(config, std::move(spec));
 
   if (::pipe(g_signal_pipe) != 0) {
     throw std::runtime_error("serve: cannot create signal pipe");
@@ -473,9 +578,15 @@ void print_usage() {
       "  snapshot --dataset FILE.snds --out FILE.snap [--kind flux|joint]\n"
       "           [--crop N] [--epoch E] [--batch 64]\n"
       "  snapshot --info FILE.snap\n"
+      "  stream   --dataset FILE.snds --model FILE.snet [--candidates 256]\n"
+      "           [--pool 64] [--field 32] [--batch 64] [--crop 21]\n"
+      "           [--real-fraction 0.5] [--tier1-threshold 0.0]\n"
+      "           [--joint-threshold 0.0] [--tier1-epochs 3]\n"
+      "           [--tier1-samples 48] [--max-pending 4*field] [--seed 2026]\n"
       "  serve    --model FILE.snet [--socket PATH] [--port N (0=auto)]\n"
       "           [--host 127.0.0.1] [--workers 1] [--max-batch 16]\n"
-      "           [--max-delay-us 2000] [--max-queue 1024]\n\n"
+      "           [--max-delay-us 2000] [--max-queue 1024]\n"
+      "           [--cascade FILE.snds [--crop 21] [--tier1-threshold 0.0]]\n\n"
       "global options (any command):\n"
       "  --threads N      worker threads (default: hardware, or "
       "SNE_NUM_THREADS)\n"
@@ -499,6 +610,7 @@ int main(int argc, char** argv) {
     else if (args.command == "score") rc = cmd_score(args);
     else if (args.command == "info") rc = cmd_info(args);
     else if (args.command == "snapshot") rc = cmd_snapshot(args);
+    else if (args.command == "stream") rc = cmd_stream(args);
     else if (args.command == "serve") rc = cmd_serve(args);
     else if (args.command == "help" || args.command == "--help") {
       print_usage();
